@@ -1,0 +1,130 @@
+// Shared configuration for the figure-reproduction benches.
+//
+// Every bench accepts:
+//   --scale=N   divide the paper's database, cache, and disk by N
+//               (default 4: 250k accounts on a 75 MB disk with a 2 MB
+//               kernel cache — same cache:database and database:disk
+//               ratios as the paper's full-size configuration)
+//   --txns=N    measured transactions (default depends on the bench)
+// Measured quantities are *virtual* (simulated) times; wall-clock run time
+// of the binary is irrelevant.
+#ifndef LFSTX_BENCH_BENCH_COMMON_H_
+#define LFSTX_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/rig.h"
+#include "harness/table.h"
+#include "tpcb/driver.h"
+#include "workloads/scan.h"
+
+namespace lfstx {
+
+struct BenchConfig {
+  uint64_t scale = 4;
+  uint64_t txns = 0;  // 0 = bench default
+
+  static BenchConfig FromArgs(int argc, char** argv) {
+    BenchConfig c;
+    for (int i = 1; i < argc; i++) {
+      if (strncmp(argv[i], "--scale=", 8) == 0) {
+        c.scale = std::max<uint64_t>(1, strtoull(argv[i] + 8, nullptr, 10));
+      } else if (strncmp(argv[i], "--txns=", 7) == 0) {
+        c.txns = strtoull(argv[i] + 7, nullptr, 10);
+      }
+    }
+    return c;
+  }
+
+  TpcbConfig Tpcb() const {
+    TpcbConfig t;
+    return t.Scaled(scale);
+  }
+
+  Machine::Options MachineOptions() const {
+    Machine::Options o;
+    o.cache_blocks = std::max<size_t>(384, 2048 / scale);
+    o.disk.geometry.cylinders =
+        static_cast<uint32_t>(std::max<uint64_t>(96, 1280 / scale));
+    return o;
+  }
+
+  LibTp::Options LibTpOptions() const {
+    LibTp::Options o;
+    o.pool_pages = std::max<size_t>(192, 1024 / scale);
+    return o;
+  }
+
+  uint64_t TxnsOr(uint64_t dflt) const {
+    return txns != 0 ? txns : dflt / scale;
+  }
+};
+
+/// \brief One architecture's TPC-B measurement.
+struct TpcbMeasurement {
+  double tps = 0;
+  SimTime elapsed = 0;
+  uint64_t txns = 0;
+  uint64_t cleaner_cleaned = 0;
+  SimTime cleaner_busy = 0;
+  uint64_t syscalls = 0;
+  bool ok = false;
+  std::string error;
+};
+
+/// Build a rig, load TPC-B, warm up, and run `measure_txns` transactions.
+inline TpcbMeasurement MeasureTpcb(Arch arch, const BenchConfig& cfg,
+                                   uint64_t warmup_txns,
+                                   uint64_t measure_txns) {
+  TpcbMeasurement out;
+  fprintf(stderr, "[bench] %s: loading...\n", ArchName(arch));
+  auto rig = ArchRig::Create(arch, cfg.MachineOptions(), cfg.LibTpOptions());
+  TpcbConfig tpcb = cfg.Tpcb();
+  Status run_status = rig->Run([&] {
+    auto db = LoadTpcb(rig->backend.get(), rig->machine->kernel.get(), tpcb);
+    if (!db.ok()) {
+      out.error = db.status().ToString();
+      return;
+    }
+    fprintf(stderr, "[bench] %s: warming up...\n", ArchName(arch));
+    Status s = rig->machine->fs->SyncAll();
+    if (!s.ok()) {
+      out.error = s.ToString();
+      return;
+    }
+    TpcbDriver driver(rig->backend.get(), &db.value(), tpcb, /*seed=*/17);
+    if (warmup_txns > 0) {
+      auto w = driver.Run(warmup_txns);
+      if (!w.ok()) {
+        out.error = w.status().ToString();
+        return;
+      }
+    }
+    uint64_t syscalls0 = rig->env()->stats().syscalls;
+    fprintf(stderr, "[bench] %s: measuring...\n", ArchName(arch));
+    auto r = driver.Run(measure_txns);
+    if (!r.ok()) {
+      out.error = r.status().ToString();
+      return;
+    }
+    out.tps = r.value().tps();
+    out.elapsed = r.value().elapsed;
+    out.txns = r.value().transactions;
+    out.syscalls = rig->env()->stats().syscalls - syscalls0;
+    if (rig->machine->cleaner != nullptr) {
+      out.cleaner_cleaned = rig->machine->cleaner->stats().segments_cleaned;
+      out.cleaner_busy = rig->machine->cleaner->stats().busy_us;
+    }
+    out.ok = true;
+  });
+  if (!run_status.ok() && out.error.empty()) {
+    out.error = run_status.ToString();
+  }
+  return out;
+}
+
+}  // namespace lfstx
+
+#endif  // LFSTX_BENCH_BENCH_COMMON_H_

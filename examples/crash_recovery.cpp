@@ -1,0 +1,62 @@
+// Crash recovery walkthrough for the *user-level* architecture (LIBTP):
+// write-ahead logging with redo of committed winners and undo of losers.
+// The companion example `filetool` shows the embedded manager's log-less
+// recovery; this one shows the traditional path the paper compares it to.
+//
+//   $ ./crash_recovery
+#include <cstdio>
+
+#include "harness/rig.h"
+
+using namespace lfstx;
+
+int main() {
+  auto rig = ArchRig::Create(Arch::kUserLfs);
+  Status result = rig->Run([&] {
+    LibTp* tp = rig->libtp.get();
+    uint32_t f = tp->pool()->RegisterFile("/bank.db", true).value();
+
+    // Transaction A commits: its update must survive the crash even though
+    // the data page itself was never written back (redo from the log).
+    TxnId a = tp->Begin().value();
+    DbPage* p = tp->GetPage(a, f, 0, LockMode::kExclusive).value();
+    memcpy(p->data + 64, "alice=100", 9);
+    tp->PutPageDirty(a, p);
+    tp->Commit(a);
+    printf("txn A committed: alice=100 (page NOT flushed, only the log)\n");
+
+    // Transaction B updates the same page and its dirty page is even
+    // stolen to disk — but B never commits.
+    TxnId b = tp->Begin().value();
+    p = tp->GetPage(b, f, 0, LockMode::kExclusive).value();
+    memcpy(p->data + 64, "alice=-1!", 9);
+    tp->PutPageDirty(b, p);
+    tp->pool()->FlushAll();  // steal: the loser's bytes are on disk
+    printf("txn B wrote alice=-1! and its page reached disk... then the "
+           "process crashed before commit\n");
+
+    // "Crash": abandon this LIBTP instance (its pool and lock tables are
+    // gone) and restart a fresh one on the same machine. Recovery scans
+    // the log: redo A, undo B with compensation records.
+    LibTp fresh(rig->machine->kernel.get());
+    fresh.pool()->RegisterFile("/bank.db", false).value();
+    Status rec = fresh.Open("/txn.log");
+    printf("restart recovery: %s\n", rec.ToString().c_str());
+
+    TxnId check = fresh.Begin().value();
+    p = fresh.GetPage(check, 0, 0, LockMode::kShared).value();
+    printf("after recovery: %.9s  (winner redone, loser undone)\n",
+           p->data + 64);
+    fresh.PutPage(p);
+    fresh.Commit(check);
+
+    printf("\nlog wrote %llu records over the run; the embedded manager "
+           "writes none.\n",
+           (unsigned long long)fresh.log()->stats().records);
+  });
+  if (!result.ok()) {
+    fprintf(stderr, "boot failed: %s\n", result.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

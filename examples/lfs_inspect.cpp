@@ -1,0 +1,103 @@
+// lfs_inspect: build a small LFS workload, then dump what actually landed
+// on disk — segment usage, partial-segment chains, the inode map — and run
+// the consistency checker. A window into the on-disk structures Figure 1
+// of the paper draws.
+//
+//   $ ./lfs_inspect
+#include <cstdio>
+
+#include "lfs/cleaner.h"
+#include "lfs/fsck.h"
+#include "lfs/lfs.h"
+#include "lfs/segment.h"
+
+using namespace lfstx;
+
+int main() {
+  SimEnv env;
+  SimDisk disk(&env, SimDisk::Options{});
+  BufferCache cache(&env, 1024);
+  Lfs fs(&env, &disk, &cache);
+  cache.set_writeback(&fs);
+
+  env.Spawn("main", [&] {
+    if (!fs.Format().ok()) return;
+    // A little history: two files, an overwrite, a delete.
+    InodeNum a = fs.Create("/alpha").value();
+    fs.Write(a, 0, std::string(10 * kBlockSize, 'a'));
+    fs.SyncAll();
+    InodeNum b = fs.Create("/beta").value();
+    fs.Write(b, 0, std::string(6 * kBlockSize, 'b'));
+    fs.Write(a, 0, std::string(4 * kBlockSize, 'A'));  // partial overwrite
+    fs.SyncAll();
+    fs.Close(b);
+    fs.Remove("/beta");
+    fs.SyncAll();
+
+    printf("=== inode map (in-use entries) ===\n");
+    for (InodeNum i = 1; i <= 16; i++) {
+      const ImapEntry& e = fs.imap().Get(i);
+      if (e.inode_addr != 0) {
+        printf("  inode %-3u -> block %-6llu (version %u)\n", i,
+               (unsigned long long)e.inode_addr, e.version);
+      }
+    }
+
+    printf("\n=== non-clean segments ===\n");
+    for (uint32_t s = 0; s < fs.nsegments(); s++) {
+      if (fs.usage().state(s) == SegState::kClean) continue;
+      printf("  segment %-3u %-6s live=%-4u gen=%u\n", s,
+             fs.usage().state(s) == SegState::kActive ? "ACTIVE" : "dirty",
+             fs.usage().live(s), fs.usage().generation(s));
+      // Walk the partial-segment chain inside this segment.
+      std::vector<char> seg(
+          static_cast<size_t>(fs.segment_blocks()) * kBlockSize);
+      disk.RawRead(fs.seg_start() +
+                       static_cast<uint64_t>(s) * fs.segment_blocks(),
+                   fs.segment_blocks(), seg.data());
+      uint32_t off = 0;
+      while (off + 1 < fs.segment_blocks()) {
+        auto n = Summary::PeekNBlocks(seg.data() +
+                                      static_cast<size_t>(off) * kBlockSize);
+        if (!n.ok()) break;
+        auto sum = Summary::Decode(
+            seg.data() + static_cast<size_t>(off) * kBlockSize,
+            seg.data() + static_cast<size_t>(off + 1) * kBlockSize,
+            n.value());
+        if (!sum.ok()) break;
+        printf("    chunk @+%-3u seq=%-4llu blocks=%-3u [", off,
+               (unsigned long long)sum.value().write_seq,
+               sum.value().nblocks());
+        for (uint32_t i = 0; i < sum.value().nblocks(); i++) {
+          const SummaryEntry& e = sum.value().entries[i];
+          switch (static_cast<BlockKind>(e.kind)) {
+            case BlockKind::kData:
+              printf("d%u:%llu ", e.inum, (unsigned long long)e.lblock);
+              break;
+            case BlockKind::kIndirect:
+              printf("m%u ", e.inum);
+              break;
+            case BlockKind::kInode:
+              printf("I ");
+              break;
+            case BlockKind::kImap:
+              printf("M%llu ", (unsigned long long)e.lblock);
+              break;
+          }
+        }
+        printf("]\n");
+        off += 1 + n.value();
+      }
+    }
+
+    printf("\n=== fsck ===\n");
+    auto report = CheckLfs(&fs);
+    if (report.ok()) {
+      printf("%s", report.value().ToString().c_str());
+    }
+    printf("\nnote: /alpha's first 4 blocks appear twice in the log — the "
+           "older copies are dead (no-overwrite), as are all of /beta's.\n");
+  });
+  env.Run();
+  return 0;
+}

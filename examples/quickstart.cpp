@@ -1,0 +1,55 @@
+// Quickstart: boot a simulated machine with the LFS-embedded transaction
+// manager, mark a file transaction-protected, and use the three new system
+// calls — txn_begin / txn_commit / txn_abort — around plain read()/write().
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "harness/rig.h"
+
+using namespace lfstx;
+
+int main() {
+  // One call assembles the paper's whole platform: virtual CPU + RZ55-like
+  // disk + buffer cache + LFS + cleaner + kernel txn manager.
+  auto rig = ArchRig::Create(Arch::kEmbedded);
+
+  Status result = rig->Run([&] {
+    Kernel* k = rig->machine->kernel.get();
+
+    // Transaction protection is a per-file attribute, switched on by a
+    // utility call; open/read/write stay completely unchanged.
+    InodeNum account = k->Create("/account").value();
+    Status s = k->SetTxnProtected("/account", true);
+    printf("created /account (txn-protected): %s\n", s.ToString().c_str());
+
+    // A committed transaction.
+    k->TxnBegin();
+    k->Write(account, 0, Slice("balance: 100"));
+    k->TxnCommit();
+
+    char buf[64] = {0};
+    size_t n = k->Read(account, 0, sizeof(buf), buf).value();
+    printf("after commit : %.*s\n", static_cast<int>(n), buf);
+
+    // An aborted transaction: the kernel simply invalidates the dirty
+    // buffers — the before-images already live in the no-overwrite log.
+    k->TxnBegin();
+    k->Write(account, 0, Slice("balance: 999"));
+    k->TxnAbort();
+
+    n = k->Read(account, 0, sizeof(buf), buf).value();
+    printf("after abort  : %.*s\n", static_cast<int>(n), buf);
+
+    printf("\nvirtual time elapsed: %s\n",
+           FormatDuration(rig->env()->Now()).c_str());
+    printf("LFS wrote %llu partial segments, %llu blocks\n",
+           (unsigned long long)rig->machine->lfs()->lfs_stats().partial_segments,
+           (unsigned long long)rig->machine->lfs()->lfs_stats().blocks_written);
+  });
+  if (!result.ok()) {
+    fprintf(stderr, "boot failed: %s\n", result.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

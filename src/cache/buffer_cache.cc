@@ -1,0 +1,252 @@
+#include "cache/buffer_cache.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace lfstx {
+
+BufferCache::BufferCache(SimEnv* env, size_t capacity_blocks)
+    : env_(env), capacity_(capacity_blocks) {
+  assert(capacity_ >= 8);
+}
+
+BufferCache::~BufferCache() = default;
+
+void BufferCache::TouchLru(Buffer* buf) {
+  if (buf->in_lru) lru_.erase(buf->lru_pos);
+  lru_.push_back(buf);
+  buf->lru_pos = std::prev(lru_.end());
+  buf->in_lru = true;
+}
+
+Result<Buffer*> BufferCache::Frame(BufferKey key, bool* fresh) {
+  env_->Consume(env_->costs().buffer_lookup_us);
+  for (;;) {
+    auto it = buffers_.find(key);
+    if (it != buffers_.end()) {
+      Buffer* buf = it->second.get();
+      if (buf->io_in_progress) {
+        // Another process is loading or writing back this very block; wait
+        // for it to settle, then retry the lookup (it may have been evicted).
+        buf->pin_count++;
+        if (buf->io_wait == nullptr) {
+          buf->io_wait = std::make_unique<WaitQueue>(env_);
+        }
+        WaitQueue* wq = buf->io_wait.get();
+        WakeReason r = wq->Sleep();
+        buf->pin_count--;
+        if (r == WakeReason::kStopped) {
+          return Status::Busy("simulation stopped during buffer wait");
+        }
+        continue;
+      }
+      buf->pin_count++;
+      TouchLru(buf);
+      *fresh = false;
+      stats_.hits++;
+      return buf;
+    }
+    break;
+  }
+
+  while (buffers_.size() >= capacity_) {
+    LFSTX_RETURN_IF_ERROR(EvictOne());
+  }
+  auto owned = std::make_unique<Buffer>();
+  Buffer* buf = owned.get();
+  buf->key = key;
+  memset(buf->data, 0, sizeof(buf->data));
+  buf->pin_count = 1;
+  buffers_.emplace(key, std::move(owned));
+  TouchLru(buf);
+  *fresh = true;
+  stats_.misses++;
+  return buf;
+}
+
+Status BufferCache::EvictOne() {
+  // Pass 1: prefer a clean victim — cheap, and safe even when the eviction
+  // happens re-entrantly inside a file system flush.
+  for (Buffer* victim : lru_) {
+    if (victim->pin_count > 0 || victim->txn_dirty ||
+        victim->io_in_progress || victim->dirty) {
+      continue;
+    }
+    stats_.evictions++;
+    lru_.erase(victim->lru_pos);
+    victim->in_lru = false;
+    buffers_.erase(victim->key);
+    return Status::OK();
+  }
+  if (no_dirty_eviction_ > 0) {
+    return Status::NoSpace(
+        "buffer cache exhausted during flush: no clean frame available");
+  }
+  // Pass 2: write back the coldest dirty victim.
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    Buffer* victim = *it;
+    if (victim->pin_count > 0 || victim->txn_dirty || victim->io_in_progress) {
+      continue;
+    }
+    if (victim->dirty) {
+      assert(writeback_ != nullptr);
+      victim->io_in_progress = true;
+      victim->pin_count++;
+      Status s = writeback_->WriteBack(victim);
+      victim->pin_count--;
+      victim->io_in_progress = false;
+      if (victim->io_wait != nullptr) victim->io_wait->WakeAll();
+      LFSTX_RETURN_IF_ERROR(s);
+      stats_.dirty_evictions++;
+      // The world may have changed while we were writing; restart the scan.
+      if (victim->pin_count > 0 || victim->dirty || victim->txn_dirty) {
+        return Status::OK();  // someone re-dirtied or pinned it; try again
+      }
+    }
+    stats_.evictions++;
+    lru_.erase(victim->lru_pos);
+    victim->in_lru = false;
+    buffers_.erase(victim->key);
+    return Status::OK();
+  }
+  return Status::NoSpace(
+      "buffer cache exhausted: all frames pinned or transaction-dirty");
+}
+
+Result<Buffer*> BufferCache::Get(BufferKey key,
+                                 std::function<Status(char*)> load) {
+  bool fresh = false;
+  LFSTX_ASSIGN_OR_RETURN(Buffer * buf, Frame(key, &fresh));
+  if (fresh) {
+    buf->io_in_progress = true;
+    Status s = load(buf->data);
+    buf->io_in_progress = false;
+    if (buf->io_wait != nullptr) buf->io_wait->WakeAll();
+    if (!s.ok()) {
+      buf->pin_count--;
+      if (buf->pin_count == 0 && !buf->dirty) {
+        lru_.erase(buf->lru_pos);
+        buffers_.erase(key);
+      }
+      return s;
+    }
+  }
+  return buf;
+}
+
+Result<Buffer*> BufferCache::GetNoLoad(BufferKey key) {
+  bool fresh = false;
+  return Frame(key, &fresh);
+}
+
+Buffer* BufferCache::Peek(BufferKey key) {
+  auto it = buffers_.find(key);
+  if (it == buffers_.end() || it->second->io_in_progress) return nullptr;
+  it->second->pin_count++;
+  return it->second.get();
+}
+
+void BufferCache::Release(Buffer* buf) {
+  assert(buf->pin_count > 0);
+  buf->pin_count--;
+}
+
+void BufferCache::MarkDirty(Buffer* buf) {
+  if (!buf->dirty) {
+    buf->dirtied_at = env_->Now();
+    dirty_count_++;
+  }
+  buf->dirty = true;
+  buf->txn_dirty = false;
+  buf->txn_owner = kNoTxn;
+}
+
+void BufferCache::MarkTxnDirty(Buffer* buf, TxnId txn) {
+  assert(txn != kNoTxn);
+  if (buf->dirty) dirty_count_--;
+  buf->txn_dirty = true;
+  buf->txn_owner = txn;
+  buf->dirty = false;  // invisible to the syncer until commit
+  buf->dirtied_at = env_->Now();
+}
+
+void BufferCache::MarkClean(Buffer* buf) {
+  if (buf->dirty) dirty_count_--;
+  buf->dirty = false;
+  buf->txn_dirty = false;
+  buf->txn_owner = kNoTxn;
+}
+
+std::vector<Buffer*> BufferCache::TakeTxnBuffers(TxnId txn) {
+  std::vector<Buffer*> out;
+  for (auto& [key, buf] : buffers_) {
+    if (buf->txn_dirty && buf->txn_owner == txn) {
+      buf->pin_count++;
+      out.push_back(buf.get());
+    }
+  }
+  return out;
+}
+
+void BufferCache::InvalidateTxnBuffers(TxnId txn) {
+  for (auto it = buffers_.begin(); it != buffers_.end();) {
+    Buffer* buf = it->second.get();
+    if (buf->txn_dirty && buf->txn_owner == txn) {
+      assert(buf->pin_count == 0);
+      if (buf->dirty) dirty_count_--;
+      if (buf->in_lru) lru_.erase(buf->lru_pos);
+      it = buffers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<Buffer*> BufferCache::CollectDirty(SimTime before) {
+  std::vector<Buffer*> out;
+  for (auto& [key, buf] : buffers_) {
+    if (buf->dirty && !buf->io_in_progress && buf->dirtied_at <= before) {
+      buf->pin_count++;
+      out.push_back(buf.get());
+    }
+  }
+  return out;
+}
+
+std::vector<Buffer*> BufferCache::CollectDirtyFile(FileId file) {
+  std::vector<Buffer*> out;
+  auto it = buffers_.lower_bound(BufferKey{file, 0});
+  for (; it != buffers_.end() && it->first.file == file; ++it) {
+    Buffer* buf = it->second.get();
+    if (buf->dirty && !buf->io_in_progress) {
+      buf->pin_count++;
+      out.push_back(buf);
+    }
+  }
+  return out;
+}
+
+void BufferCache::DropFile(FileId file, uint64_t from_lblock) {
+  auto it = buffers_.lower_bound(BufferKey{file, from_lblock});
+  while (it != buffers_.end() && it->first.file == file) {
+    Buffer* buf = it->second.get();
+    assert(buf->pin_count == 0 && !buf->txn_dirty && !buf->io_in_progress);
+    if (buf->dirty) dirty_count_--;
+    if (buf->in_lru) lru_.erase(buf->lru_pos);
+    it = buffers_.erase(it);
+  }
+}
+
+void BufferCache::Clear() {
+  for (auto& [key, buf] : buffers_) {
+    assert(buf->pin_count == 0 && !buf->dirty && !buf->txn_dirty);
+    (void)buf;
+  }
+  buffers_.clear();
+  lru_.clear();
+  dirty_count_ = 0;
+}
+
+
+
+}  // namespace lfstx

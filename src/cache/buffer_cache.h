@@ -1,0 +1,153 @@
+// The operating system's buffer cache (paper sections 2-4).
+//
+// Frames are keyed by (file, logical block). The cache is LRU with pinning;
+// dirty victims are pushed back to the owning file system through a
+// WritebackHandler, because the write path is what distinguishes FFS
+// (overwrite in place) from LFS (append to the log).
+//
+// Embedded-transaction support is the paper's inode extension: besides the
+// normal per-file dirty list, a buffer can sit on a *transaction list*
+// (MarkTxnDirty). Such buffers are unevictable until the transaction
+// commits (moving them to the dirty list) or aborts (invalidating them) —
+// implementation restriction 1 of section 4.5.
+#ifndef LFSTX_CACHE_BUFFER_CACHE_H_
+#define LFSTX_CACHE_BUFFER_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "disk/disk_model.h"
+#include "fs/fs_types.h"
+#include "sim/sim_env.h"
+
+namespace lfstx {
+
+struct BufferKey {
+  FileId file = 0;
+  uint64_t lblock = 0;
+  bool operator==(const BufferKey&) const = default;
+  bool operator<(const BufferKey& o) const {
+    return file != o.file ? file < o.file : lblock < o.lblock;
+  }
+};
+
+/// \brief One cached 4 KiB block.
+struct Buffer {
+  BufferKey key;
+  char data[kBlockSize];
+  bool dirty = false;
+  bool txn_dirty = false;  ///< on a transaction list, unevictable
+  TxnId txn_owner = kNoTxn;
+  int pin_count = 0;
+  bool io_in_progress = false;  ///< being loaded or written back
+  BlockAddr disk_addr = kInvalidBlock;  ///< where this version lives on disk
+  SimTime dirtied_at = 0;
+
+  // Cache-internal bookkeeping.
+  std::list<Buffer*>::iterator lru_pos;
+  bool in_lru = false;
+  std::unique_ptr<WaitQueue> io_wait;
+};
+
+/// \brief File-system-side flush hook.
+class WritebackHandler {
+ public:
+  virtual ~WritebackHandler() = default;
+  /// Write the buffer's current contents to stable storage and leave it
+  /// clean. May block on disk I/O. For LFS this appends to the log and
+  /// reassigns buf->disk_addr; for FFS it overwrites in place.
+  virtual Status WriteBack(Buffer* buf) = 0;
+};
+
+/// \brief LRU buffer cache shared by the whole simulated kernel.
+class BufferCache {
+ public:
+  BufferCache(SimEnv* env, size_t capacity_blocks);
+  ~BufferCache();
+
+  void set_writeback(WritebackHandler* handler) { writeback_ = handler; }
+  SimEnv* env() const { return env_; }
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return buffers_.size(); }
+
+  /// Pinned, valid buffer for `key`, calling `load` to fill it on a miss.
+  /// Concurrent misses of the same block coalesce on one load.
+  Result<Buffer*> Get(BufferKey key, std::function<Status(char*)> load);
+
+  /// Pinned buffer without loading (caller will overwrite it fully, or the
+  /// block is brand new). Contents are zeroed on a miss.
+  Result<Buffer*> GetNoLoad(BufferKey key);
+
+  /// Buffer if resident (and pins it), nullptr otherwise. Never does I/O.
+  Buffer* Peek(BufferKey key);
+
+  /// Unpin. Every successful Get/GetNoLoad/Peek must be paired with one.
+  void Release(Buffer* buf);
+
+  /// Move to the ordinary dirty list (write-back later / at sync).
+  void MarkDirty(Buffer* buf);
+  /// Move to `txn`'s transaction list: unevictable, not visible to Sync.
+  void MarkTxnDirty(Buffer* buf, TxnId txn);
+  /// Called by the file system after it persisted the buffer.
+  void MarkClean(Buffer* buf);
+
+  /// Detach and return txn's buffers (commit path: caller re-marks them
+  /// dirty and flushes). Buffers come back pinned once each.
+  std::vector<Buffer*> TakeTxnBuffers(TxnId txn);
+  /// Drop txn's buffers entirely (abort path): the on-disk before-images
+  /// become the visible versions again.
+  void InvalidateTxnBuffers(TxnId txn);
+
+  /// Snapshot of dirty (non-transaction) buffers, optionally only those
+  /// dirtied at or before `before`. Buffers are returned pinned.
+  std::vector<Buffer*> CollectDirty(SimTime before = ~SimTime{0});
+  /// Dirty buffers belonging to one file, pinned.
+  std::vector<Buffer*> CollectDirtyFile(FileId file);
+
+  /// Invalidate all buffers of a file (delete/truncate). Pinned or
+  /// transaction buffers trip an assertion — callers must quiesce first.
+  void DropFile(FileId file, uint64_t from_lblock = 0);
+
+  /// Drop every buffer (unmount path). Asserts none are pinned, dirty, or
+  /// transaction-dirty — callers must SyncAll first.
+  void Clear();
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t dirty_evictions = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  size_t dirty_count() const { return dirty_count_; }
+
+  /// While the counter is nonzero, eviction only reclaims clean frames
+  /// (never calls the WritebackHandler). The LFS segment writer and the
+  /// cleaner hold this across their critical phases so cache misses inside
+  /// a flush cannot recurse into another flush. Nestable.
+  void PushNoDirtyEviction() { no_dirty_eviction_++; }
+  void PopNoDirtyEviction() { no_dirty_eviction_--; }
+
+ private:
+  Result<Buffer*> Frame(BufferKey key, bool* fresh);
+  Status EvictOne();
+  void TouchLru(Buffer* buf);
+
+  SimEnv* env_;
+  size_t capacity_;
+  WritebackHandler* writeback_ = nullptr;
+  std::map<BufferKey, std::unique_ptr<Buffer>> buffers_;
+  std::list<Buffer*> lru_;  // front = coldest
+  size_t dirty_count_ = 0;
+  int no_dirty_eviction_ = 0;
+  Stats stats_;
+};
+
+}  // namespace lfstx
+
+#endif  // LFSTX_CACHE_BUFFER_CACHE_H_

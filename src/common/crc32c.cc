@@ -1,0 +1,39 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace lfstx::crc32c {
+namespace {
+
+constexpr uint32_t kPoly = 0x82f63b78u;  // reflected Castagnoli polynomial
+
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> t{};
+  for (uint32_t i = 0; i < 256; i++) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; k++) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    t[i] = crc;
+  }
+  return t;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = MakeTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
+  const auto& table = Table();
+  uint32_t crc = init_crc ^ 0xffffffffu;
+  const auto* p = reinterpret_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; i++) {
+    crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace lfstx::crc32c

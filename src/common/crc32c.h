@@ -1,0 +1,28 @@
+// CRC32C (Castagnoli) used for segment summaries, checkpoints, and log
+// records. Software table implementation; speed is irrelevant under the
+// virtual clock.
+#ifndef LFSTX_COMMON_CRC32C_H_
+#define LFSTX_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lfstx::crc32c {
+
+/// Extend an existing CRC with `n` more bytes. Seed a fresh CRC with 0.
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n);
+
+/// CRC of a standalone buffer.
+inline uint32_t Value(const char* data, size_t n) { return Extend(0, data, n); }
+
+/// Masked form (LevelDB trick) so a CRC stored alongside the data it covers
+/// does not look like valid data itself.
+inline uint32_t Mask(uint32_t crc) { return ((crc >> 15) | (crc << 17)) + 0xa282ead8u; }
+inline uint32_t Unmask(uint32_t m) {
+  uint32_t r = m - 0xa282ead8u;
+  return (r << 15) | (r >> 17);
+}
+
+}  // namespace lfstx::crc32c
+
+#endif  // LFSTX_COMMON_CRC32C_H_

@@ -1,0 +1,88 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lfstx {
+
+namespace {
+// SplitMix64 for seeding: spreads any seed (including 0, 1, 2, ...) across
+// the full state space so similar seeds produce unrelated streams.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  uint64_t x = seed;
+  s0_ = SplitMix64(x);
+  s1_ = SplitMix64(x);
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;  // xorshift state must be nonzero
+}
+
+uint64_t Random::Next() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+uint64_t Random::Uniform(uint64_t n) {
+  // Rejection sampling to avoid modulo bias (matters for property tests
+  // that assert distribution properties).
+  const uint64_t threshold = -n % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+uint64_t Random::Range(uint64_t lo, uint64_t hi) {
+  return lo + Uniform(hi - lo + 1);
+}
+
+double Random::NextDouble() {
+  return (Next() >> 11) * (1.0 / 9007199254740992.0);  // 53-bit mantissa
+}
+
+bool Random::Bernoulli(double p) {
+  return NextDouble() < std::clamp(p, 0.0, 1.0);
+}
+
+double Random::Exponential(double mean) {
+  double u = NextDouble();
+  if (u >= 1.0) u = 0.9999999999999999;
+  return -mean * std::log1p(-u);
+}
+
+std::string Random::Bytes(size_t n) {
+  std::string s(n, '\0');
+  for (size_t i = 0; i < n; i++) {
+    s[i] = static_cast<char>(' ' + Uniform(95));
+  }
+  return s;
+}
+
+uint64_t Random::Skewed(uint64_t n, double hot_fraction, double hot_prob) {
+  if (n <= 1) return 0;
+  uint64_t lo = 0, hi = n;
+  // Recurse until the range is small; bounded depth keeps this O(log n).
+  while (hi - lo > 1) {
+    uint64_t split = lo + std::max<uint64_t>(1, static_cast<uint64_t>((hi - lo) * hot_fraction));
+    if (Bernoulli(hot_prob)) {
+      hi = split;
+    } else {
+      lo = split;
+      break;  // cold tail: uniform over the remainder
+    }
+  }
+  return Range(lo, hi - 1);
+}
+
+}  // namespace lfstx

@@ -1,0 +1,48 @@
+// Deterministic PRNG used by workload generators and property tests.
+// Xorshift128+ keeps runs reproducible across platforms (std::mt19937
+// distributions are not bit-stable across standard libraries).
+#ifndef LFSTX_COMMON_RANDOM_H_
+#define LFSTX_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace lfstx {
+
+/// \brief Reproducible pseudo-random number generator.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform in [0, 2^64).
+  uint64_t Next();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive. lo <= hi.
+  uint64_t Range(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Exponentially distributed with the given mean (> 0).
+  double Exponential(double mean);
+
+  /// Random printable-ASCII string of length n.
+  std::string Bytes(size_t n);
+
+  /// Skewed integer in [0, n): 80% of draws land in the first 20% of the
+  /// range, applied recursively (self-similar / hot-spot distribution).
+  uint64_t Skewed(uint64_t n, double hot_fraction = 0.2, double hot_prob = 0.8);
+
+ private:
+  uint64_t s0_, s1_;
+};
+
+}  // namespace lfstx
+
+#endif  // LFSTX_COMMON_RANDOM_H_

@@ -1,0 +1,85 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace lfstx {
+
+void RunningStat::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  n_++;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram() : buckets_(kBuckets, 0) {}
+
+namespace {
+int BucketFor(uint64_t v) {
+  int b = 0;
+  while (v > 0 && b < 63) {
+    v >>= 1;
+    b++;
+  }
+  return b;
+}
+}  // namespace
+
+void Histogram::Add(uint64_t micros) {
+  buckets_[BucketFor(micros)]++;
+  count_++;
+  sum_ += static_cast<double>(micros);
+  min_ = std::min(min_, micros);
+  max_ = std::max(max_, micros);
+}
+
+double Histogram::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  double rank = p / 100.0 * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; b++) {
+    seen += buckets_[b];
+    if (static_cast<double>(seen) >= rank) {
+      uint64_t lo = b == 0 ? 0 : (1ull << (b - 1));
+      uint64_t hi = (b >= 63) ? max_ : (1ull << b);
+      lo = std::max(lo, min_);
+      hi = std::min(hi, max_ ? max_ : hi);
+      if (hi < lo) hi = lo;
+      double frac = buckets_[b]
+                        ? 1.0 - (static_cast<double>(seen) - rank) /
+                                    static_cast<double>(buckets_[b])
+                        : 0.0;
+      return static_cast<double>(lo) + frac * static_cast<double>(hi - lo);
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::ToString() const {
+  char buf[160];
+  snprintf(buf, sizeof(buf),
+           "count=%llu mean=%.1fus p50=%.0fus p95=%.0fus p99=%.0fus max=%lluus",
+           static_cast<unsigned long long>(count_), mean(), Percentile(50),
+           Percentile(95), Percentile(99),
+           static_cast<unsigned long long>(count_ ? max_ : 0));
+  return buf;
+}
+
+}  // namespace lfstx

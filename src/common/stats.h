@@ -1,0 +1,53 @@
+// Statistics helpers for the benchmark harness: online mean/stddev and a
+// fixed-bucket latency histogram.
+#ifndef LFSTX_COMMON_STATS_H_
+#define LFSTX_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lfstx {
+
+/// \brief Welford online mean / variance accumulator.
+class RunningStat {
+ public:
+  void Add(double x);
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// \brief Power-of-two bucketed histogram for latencies in microseconds.
+class Histogram {
+ public:
+  Histogram();
+  void Add(uint64_t micros);
+  uint64_t count() const { return count_; }
+  double mean() const;
+  /// Percentile in [0,100]; linear interpolation within a bucket.
+  double Percentile(double p) const;
+  std::string ToString() const;
+
+ private:
+  static constexpr int kBuckets = 64;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  uint64_t min_ = ~0ull;
+  uint64_t max_ = 0;
+};
+
+}  // namespace lfstx
+
+#endif  // LFSTX_COMMON_STATS_H_

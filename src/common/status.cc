@@ -1,0 +1,31 @@
+#include "common/status.h"
+
+namespace lfstx {
+
+const char* CodeName(Code code) {
+  switch (code) {
+    case Code::kOk: return "OK";
+    case Code::kNotFound: return "NotFound";
+    case Code::kAlreadyExists: return "AlreadyExists";
+    case Code::kInvalidArgument: return "InvalidArgument";
+    case Code::kIOError: return "IOError";
+    case Code::kCorruption: return "Corruption";
+    case Code::kNoSpace: return "NoSpace";
+    case Code::kBusy: return "Busy";
+    case Code::kDeadlock: return "Deadlock";
+    case Code::kTxnAborted: return "TxnAborted";
+    case Code::kNotSupported: return "NotSupported";
+    case Code::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = CodeName(code_);
+  s += ": ";
+  s += msg_;
+  return s;
+}
+
+}  // namespace lfstx

@@ -1,0 +1,127 @@
+// Status / Result error handling for lfstx (no exceptions, RocksDB/Arrow
+// idiom). Every fallible public API returns Status or Result<T>.
+#ifndef LFSTX_COMMON_STATUS_H_
+#define LFSTX_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace lfstx {
+
+/// Error categories used across the library. Codes are stable and coarse;
+/// the message carries detail.
+enum class Code {
+  kOk = 0,
+  kNotFound,        ///< file / key / inode does not exist
+  kAlreadyExists,   ///< create of an existing name
+  kInvalidArgument, ///< caller error (bad offset, bad config, ...)
+  kIOError,         ///< device failure or torn/corrupt on-disk state
+  kCorruption,      ///< checksum mismatch or malformed structure
+  kNoSpace,         ///< file system or log full
+  kBusy,            ///< resource temporarily unavailable (try again)
+  kDeadlock,        ///< lock request would deadlock; transaction must abort
+  kTxnAborted,      ///< operation on an aborted transaction
+  kNotSupported,    ///< restriction documented in DESIGN.md section 2
+  kInternal,        ///< invariant violation (bug)
+};
+
+/// Human-readable name for a Code ("NotFound", ...).
+const char* CodeName(Code code);
+
+/// \brief Result of a fallible operation with no value.
+///
+/// A Status is cheap to copy when OK (no allocation). Non-OK statuses carry
+/// a message. Statuses must not be silently dropped; callers either handle
+/// them or propagate with LFSTX_RETURN_IF_ERROR.
+class Status {
+ public:
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string m) { return {Code::kNotFound, std::move(m)}; }
+  static Status AlreadyExists(std::string m) { return {Code::kAlreadyExists, std::move(m)}; }
+  static Status InvalidArgument(std::string m) { return {Code::kInvalidArgument, std::move(m)}; }
+  static Status IOError(std::string m) { return {Code::kIOError, std::move(m)}; }
+  static Status Corruption(std::string m) { return {Code::kCorruption, std::move(m)}; }
+  static Status NoSpace(std::string m) { return {Code::kNoSpace, std::move(m)}; }
+  static Status Busy(std::string m) { return {Code::kBusy, std::move(m)}; }
+  static Status Deadlock(std::string m) { return {Code::kDeadlock, std::move(m)}; }
+  static Status TxnAborted(std::string m) { return {Code::kTxnAborted, std::move(m)}; }
+  static Status NotSupported(std::string m) { return {Code::kNotSupported, std::move(m)}; }
+  static Status Internal(std::string m) { return {Code::kInternal, std::move(m)}; }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsDeadlock() const { return code_ == Code::kDeadlock; }
+  bool IsNoSpace() const { return code_ == Code::kNoSpace; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Code code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : v_(std::move(status)) {    // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(v_).ok() && "Result must not hold an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+  T& value() {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  const T& value() const {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& take() {
+    assert(ok());
+    return std::move(std::get<T>(v_));
+  }
+  T value_or(T fallback) const { return ok() ? std::get<T>(v_) : fallback; }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+#define LFSTX_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::lfstx::Status _s = (expr);                   \
+    if (!_s.ok()) return _s;                       \
+  } while (0)
+
+#define LFSTX_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto LFSTX_CONCAT_(_res, __LINE__) = (expr);     \
+  if (!LFSTX_CONCAT_(_res, __LINE__).ok())         \
+    return LFSTX_CONCAT_(_res, __LINE__).status(); \
+  lhs = LFSTX_CONCAT_(_res, __LINE__).take()
+
+#define LFSTX_CONCAT_INNER_(a, b) a##b
+#define LFSTX_CONCAT_(a, b) LFSTX_CONCAT_INNER_(a, b)
+
+}  // namespace lfstx
+
+#endif  // LFSTX_COMMON_STATUS_H_

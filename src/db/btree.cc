@@ -1,0 +1,332 @@
+#include "db/btree.h"
+
+#include <cstring>
+#include <vector>
+
+namespace lfstx {
+
+namespace {
+uint64_t ChildPtr(const char* page, int idx) {
+  Slice v = slotted::CellVal(page, idx);
+  uint64_t child;
+  memcpy(&child, v.data(), sizeof(child));
+  return child;
+}
+
+std::string EncodeChild(uint64_t pageno) {
+  return std::string(reinterpret_cast<const char*>(&pageno), sizeof(pageno));
+}
+
+/// Index of the child that owns `key`: the last cell with cell.key <= key.
+int ChildIndex(const char* page, Slice key) {
+  int i = slotted::LowerBound(page, key);
+  if (i >= slotted::SlotCount(page) || slotted::CellKey(page, i) != key) {
+    i--;
+  }
+  return i < 0 ? 0 : i;
+}
+}  // namespace
+
+Result<std::unique_ptr<Db>> Btree::Open(DbBackend* backend,
+                                        const std::string& path,
+                                        const Options& options) {
+  LFSTX_ASSIGN_OR_RETURN(uint32_t fref,
+                         backend->OpenFile(path, options.create));
+  std::unique_ptr<Btree> bt(new Btree(backend, fref));
+  LFSTX_ASSIGN_OR_RETURN(uint64_t pages, backend->FilePages(fref));
+  if (pages == 0) {
+    if (!options.create) return Status::NotFound("empty B-tree file");
+    // Initialize through the transactional page path so a crash before the
+    // first checkpoint still recovers a coherent tree.
+    LFSTX_ASSIGN_OR_RETURN(TxnId txn, backend->Begin());
+    LFSTX_RETURN_IF_ERROR(backend->AllocPage(fref).status());  // meta = 0
+    LFSTX_RETURN_IF_ERROR(backend->AllocPage(fref).status());  // leaf = 1
+    LFSTX_ASSIGN_OR_RETURN(PageRef meta,
+                           backend->GetPage(fref, 0, txn,
+                                            LockMode::kExclusive));
+    InitPage(meta.data, PageType::kMeta);
+    Header(meta.data)->aux = 1;  // root
+    LFSTX_RETURN_IF_ERROR(backend->PutPage(txn, &meta, true));
+    LFSTX_ASSIGN_OR_RETURN(PageRef leaf,
+                           backend->GetPage(fref, 1, txn,
+                                            LockMode::kExclusive));
+    InitPage(leaf.data, PageType::kBtreeLeaf);
+    LFSTX_RETURN_IF_ERROR(backend->PutPage(txn, &leaf, true));
+    LFSTX_RETURN_IF_ERROR(backend->Commit(txn));
+  }
+  return std::unique_ptr<Db>(std::move(bt));
+}
+
+Result<uint64_t> Btree::RootPage(TxnId txn) {
+  LFSTX_ASSIGN_OR_RETURN(PageRef meta,
+                         backend_->GetPage(file_ref_, 0, txn,
+                                           LockMode::kShared));
+  uint64_t root = Header(meta.data)->aux;
+  LFSTX_RETURN_IF_ERROR(backend_->PutPage(txn, &meta, false));
+  backend_->EarlyUnlock(txn, file_ref_, 0);
+  return root;
+}
+
+Result<PageRef> Btree::DescendToLeaf(TxnId txn, Slice key, LockMode mode) {
+  SimEnv* env = backend_->env();
+  LFSTX_ASSIGN_OR_RETURN(uint64_t cur, RootPage(txn));
+  for (;;) {
+    // Interior pages are locked shared and released as soon as the child
+    // is known; only the leaf keeps `mode` until commit.
+    LFSTX_ASSIGN_OR_RETURN(
+        PageRef ref,
+        backend_->GetPage(file_ref_, cur, txn, LockMode::kShared));
+    env->Consume(env->costs().btree_page_search_us);
+    PageType type = static_cast<PageType>(Header(ref.data)->type);
+    if (type == PageType::kBtreeLeaf) {
+      if (mode == LockMode::kExclusive) {
+        // Re-fetch with the real mode (lock upgrade on the leaf).
+        LFSTX_RETURN_IF_ERROR(backend_->PutPage(txn, &ref, false));
+        return backend_->GetPage(file_ref_, cur, txn, mode);
+      }
+      return ref;
+    }
+    if (type != PageType::kBtreeInternal) {
+      LFSTX_RETURN_IF_ERROR(backend_->PutPage(txn, &ref, false));
+      return Status::Corruption("unexpected page type in B-tree descent");
+    }
+    uint64_t child = ChildPtr(ref.data, ChildIndex(ref.data, key));
+    LFSTX_RETURN_IF_ERROR(backend_->PutPage(txn, &ref, false));
+    backend_->EarlyUnlock(txn, file_ref_, cur);
+    cur = child;
+  }
+}
+
+Status Btree::Get(TxnId txn, Slice key, std::string* val) {
+  LFSTX_ASSIGN_OR_RETURN(PageRef leaf, DescendToLeaf(txn, key,
+                                                     LockMode::kShared));
+  int idx = slotted::Find(leaf.data, key);
+  Status result;
+  if (idx < 0) {
+    result = Status::NotFound("key not in B-tree");
+  } else {
+    *val = slotted::CellVal(leaf.data, idx).ToString();
+  }
+  backend_->env()->Consume(backend_->env()->costs().record_op_us);
+  LFSTX_RETURN_IF_ERROR(backend_->PutPage(txn, &leaf, false));
+  return result;
+}
+
+Status Btree::Put(TxnId txn, Slice key, Slice val) {
+  if (key.size() > kMaxKeyLen || 4 + key.size() + val.size() > 1500) {
+    return Status::InvalidArgument("record too large for a B-tree page");
+  }
+  backend_->env()->Consume(backend_->env()->costs().record_op_us);
+  LFSTX_ASSIGN_OR_RETURN(PageRef leaf, DescendToLeaf(txn, key,
+                                                     LockMode::kExclusive));
+  int idx = slotted::Find(leaf.data, key);
+  Status s;
+  if (idx >= 0) {
+    s = slotted::ReplaceVal(leaf.data, idx, val);
+  } else {
+    s = slotted::InsertCell(leaf.data, slotted::LowerBound(leaf.data, key),
+                            key, val);
+  }
+  if (s.ok()) {
+    return backend_->PutPage(txn, &leaf, true);
+  }
+  LFSTX_RETURN_IF_ERROR(backend_->PutPage(txn, &leaf, false));
+  if (!s.IsNoSpace()) return s;
+  return InsertWithSplits(txn, key, val);
+}
+
+Status Btree::InsertWithSplits(TxnId txn, Slice key, Slice val) {
+  SimEnv* env = backend_->env();
+  // Full-path exclusive descent (conservative crabbing): meta + every page
+  // from root to leaf is X-locked for the duration of the split chain.
+  LFSTX_ASSIGN_OR_RETURN(PageRef meta,
+                         backend_->GetPage(file_ref_, 0, txn,
+                                           LockMode::kExclusive));
+  bool meta_dirty = false;
+  std::vector<PageRef> path;
+  std::vector<bool> dirty;
+  auto release_all = [&](Status result) {
+    for (size_t i = path.size(); i-- > 0;) {
+      Status s = backend_->PutPage(txn, &path[i], dirty[i]);
+      if (result.ok()) result = s;
+    }
+    Status s = backend_->PutPage(txn, &meta, meta_dirty);
+    if (result.ok()) result = s;
+    return result;
+  };
+
+  uint64_t cur = Header(meta.data)->aux;
+  for (;;) {
+    auto r = backend_->GetPage(file_ref_, cur, txn, LockMode::kExclusive);
+    if (!r.ok()) return release_all(r.status());
+    env->Consume(env->costs().btree_page_search_us);
+    path.push_back(r.take());
+    dirty.push_back(false);
+    PageRef& ref = path.back();
+    if (static_cast<PageType>(Header(ref.data)->type) ==
+        PageType::kBtreeLeaf) {
+      break;
+    }
+    cur = ChildPtr(ref.data, ChildIndex(ref.data, key));
+  }
+
+  // Insert, splitting from the leaf upward while pages overflow.
+  std::string ins_key = key.ToString();
+  std::string ins_val = val.ToString();
+  int level = static_cast<int>(path.size()) - 1;
+  for (;;) {
+    PageRef& node = path[static_cast<size_t>(level)];
+    int idx = slotted::Find(node.data, ins_key);
+    Status s;
+    if (idx >= 0) {
+      s = slotted::ReplaceVal(node.data, idx, ins_val);
+    } else {
+      s = slotted::InsertCell(node.data,
+                              slotted::LowerBound(node.data, ins_key),
+                              ins_key, ins_val);
+    }
+    if (s.ok()) {
+      dirty[static_cast<size_t>(level)] = true;
+      return release_all(Status::OK());
+    }
+    if (!s.IsNoSpace()) return release_all(s);
+
+    // Split `node`: move the upper half into a fresh right sibling.
+    auto alloc = backend_->AllocPage(file_ref_);
+    if (!alloc.ok()) return release_all(alloc.status());
+    uint64_t right_no = alloc.value();
+    auto rref = backend_->GetPage(file_ref_, right_no, txn,
+                                  LockMode::kExclusive);
+    if (!rref.ok()) return release_all(rref.status());
+    PageRef right = rref.take();
+    PageType type = static_cast<PageType>(Header(node.data)->type);
+    InitPage(right.data, type);
+    int n = slotted::SlotCount(node.data);
+    // Append-friendly split: when the new key lands past the last cell
+    // (sequential load), keep the left page full and start an empty right
+    // page, giving ~100% leaf utilization instead of 50%.
+    bool append_pattern =
+        n > 0 && Slice(ins_key).compare(slotted::CellKey(node.data, n - 1)) > 0;
+    int split_at = append_pattern ? n : n / 2;
+    for (int i = split_at; i < n; i++) {
+      Status mv = slotted::InsertCell(
+          right.data, i - split_at, slotted::CellKey(node.data, i),
+          slotted::CellVal(node.data, i));
+      if (!mv.ok()) {
+        Status put = backend_->PutPage(txn, &right, false);
+        (void)put;
+        return release_all(mv);
+      }
+    }
+    for (int i = n - 1; i >= split_at; i--) {
+      slotted::DeleteCell(node.data, i);
+    }
+    if (type == PageType::kBtreeLeaf) {
+      Header(right.data)->next = Header(node.data)->next;
+      Header(node.data)->next = right_no;
+    }
+    dirty[static_cast<size_t>(level)] = true;
+    // An append-pattern split leaves the right page empty until the
+    // pending record lands there; the separator is then the new key.
+    std::string sep = slotted::SlotCount(right.data) > 0
+                          ? slotted::CellKey(right.data, 0).ToString()
+                          : ins_key;
+
+    // Place the pending record into the correct half.
+    PageRef& target = (ins_key >= sep) ? right : node;
+    int tidx = slotted::Find(target.data, ins_key);
+    Status ins;
+    if (tidx >= 0) {
+      ins = slotted::ReplaceVal(target.data, tidx, ins_val);
+    } else {
+      ins = slotted::InsertCell(target.data,
+                                slotted::LowerBound(target.data, ins_key),
+                                ins_key, ins_val);
+    }
+    {
+      Status put = backend_->PutPage(txn, &right, true);
+      if (ins.ok()) ins = put;
+    }
+    if (!ins.ok()) return release_all(ins);
+
+    // Now insert (sep, right) one level up.
+    ins_key = sep;
+    ins_val = EncodeChild(right_no);
+    level--;
+    if (level < 0) {
+      // Root split: grow the tree by one level.
+      auto nr = backend_->AllocPage(file_ref_);
+      if (!nr.ok()) return release_all(nr.status());
+      uint64_t newroot_no = nr.value();
+      auto nref = backend_->GetPage(file_ref_, newroot_no, txn,
+                                    LockMode::kExclusive);
+      if (!nref.ok()) return release_all(nref.status());
+      PageRef newroot = nref.take();
+      InitPage(newroot.data, PageType::kBtreeInternal);
+      uint64_t old_root = Header(meta.data)->aux;
+      Status a = slotted::InsertCell(newroot.data, 0, Slice("", 0),
+                                     EncodeChild(old_root));
+      Status b = slotted::InsertCell(newroot.data, 1, ins_key, ins_val);
+      Header(meta.data)->aux = newroot_no;
+      meta_dirty = true;
+      Status put = backend_->PutPage(txn, &newroot, true);
+      Status result = a.ok() ? (b.ok() ? put : b) : a;
+      return release_all(result);
+    }
+  }
+}
+
+Status Btree::Delete(TxnId txn, Slice key) {
+  backend_->env()->Consume(backend_->env()->costs().record_op_us);
+  LFSTX_ASSIGN_OR_RETURN(PageRef leaf, DescendToLeaf(txn, key,
+                                                     LockMode::kExclusive));
+  int idx = slotted::Find(leaf.data, key);
+  if (idx < 0) {
+    LFSTX_RETURN_IF_ERROR(backend_->PutPage(txn, &leaf, false));
+    return Status::NotFound("key not in B-tree");
+  }
+  // Lazy deletion: the cell is removed but pages are never merged (the
+  // 4.4BSD B-tree behaved the same way).
+  slotted::DeleteCell(leaf.data, idx);
+  return backend_->PutPage(txn, &leaf, true);
+}
+
+Status Btree::Scan(TxnId txn, const std::function<bool(Slice, Slice)>& fn) {
+  SimEnv* env = backend_->env();
+  LFSTX_ASSIGN_OR_RETURN(PageRef leaf,
+                         DescendToLeaf(txn, Slice("", 0), LockMode::kShared));
+  for (;;) {
+    env->Consume(env->costs().btree_page_search_us);
+    int n = slotted::SlotCount(leaf.data);
+    for (int i = 0; i < n; i++) {
+      if (!fn(slotted::CellKey(leaf.data, i), slotted::CellVal(leaf.data, i))) {
+        return backend_->PutPage(txn, &leaf, false);
+      }
+    }
+    uint64_t next = Header(leaf.data)->next;
+    LFSTX_RETURN_IF_ERROR(backend_->PutPage(txn, &leaf, false));
+    if (next == 0) return Status::OK();
+    LFSTX_ASSIGN_OR_RETURN(leaf, backend_->GetPage(file_ref_, next, txn,
+                                                   LockMode::kShared));
+  }
+}
+
+Result<uint32_t> Btree::Height(TxnId txn) {
+  LFSTX_ASSIGN_OR_RETURN(uint64_t cur, RootPage(txn));
+  uint32_t h = 1;
+  for (;;) {
+    LFSTX_ASSIGN_OR_RETURN(PageRef ref,
+                           backend_->GetPage(file_ref_, cur, txn,
+                                             LockMode::kShared));
+    PageType type = static_cast<PageType>(Header(ref.data)->type);
+    uint64_t child =
+        type == PageType::kBtreeInternal ? ChildPtr(ref.data, 0) : 0;
+    LFSTX_RETURN_IF_ERROR(backend_->PutPage(txn, &ref, false));
+    backend_->EarlyUnlock(txn, file_ref_, cur);
+    if (type == PageType::kBtreeLeaf) return h;
+    h++;
+    cur = child;
+  }
+}
+
+}  // namespace lfstx

@@ -1,0 +1,55 @@
+// B-tree access method (primary index: the data lives in the leaves, as
+// the paper's TPC-B account/branch/teller relations do).
+//
+// Page 0 is the meta page (aux = root page number). Interior pages hold
+// (separator key, child page) cells where each key is the smallest key in
+// its child's subtree; the first cell's key is the empty slice. Leaves
+// chain left-to-right through header.next for key-order scans.
+//
+// Locking: reads descend with shared locks, releasing interior locks as
+// soon as the child is latched ("high concurrency B-Tree locking" of
+// section 3); writes descend with exclusive locks, releasing an ancestor
+// once the child has room for a split (crabbing). Under the embedded
+// backend EarlyUnlock is a no-op and the kernel's strict two-phase
+// page locks apply (restriction 2).
+#ifndef LFSTX_DB_BTREE_H_
+#define LFSTX_DB_BTREE_H_
+
+#include "db/db.h"
+#include "db/page.h"
+
+namespace lfstx {
+
+/// \brief B-tree database.
+class Btree : public Db {
+ public:
+  static Result<std::unique_ptr<Db>> Open(DbBackend* backend,
+                                          const std::string& path,
+                                          const Options& options);
+
+  Status Get(TxnId txn, Slice key, std::string* val) override;
+  Status Put(TxnId txn, Slice key, Slice val) override;
+  Status Delete(TxnId txn, Slice key) override;
+  Status Scan(TxnId txn,
+              const std::function<bool(Slice, Slice)>& fn) override;
+
+  /// Tree height (root-to-leaf page count), for tests.
+  Result<uint32_t> Height(TxnId txn);
+
+ private:
+  Btree(DbBackend* backend, uint32_t file_ref) : Db(backend, file_ref) {}
+
+  Result<uint64_t> RootPage(TxnId txn);
+  Status SetRootPage(TxnId txn, uint64_t root);
+  /// Descend to the leaf that owns `key` with `mode` locks on the leaf,
+  /// releasing interior locks early. Returns the pinned leaf.
+  Result<PageRef> DescendToLeaf(TxnId txn, Slice key, LockMode mode);
+  /// Insert splitting as needed; full-path exclusive descent.
+  Status InsertWithSplits(TxnId txn, Slice key, Slice val);
+
+  static constexpr size_t kMaxKeyLen = 512;
+};
+
+}  // namespace lfstx
+
+#endif  // LFSTX_DB_BTREE_H_

@@ -1,0 +1,192 @@
+#include "db/hash.h"
+
+namespace lfstx {
+
+uint64_t HashDb::HashKey(Slice key) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < key.size(); i++) {
+    h ^= static_cast<unsigned char>(key[i]);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+Result<std::unique_ptr<Db>> HashDb::Open(DbBackend* backend,
+                                         const std::string& path,
+                                         const Options& options) {
+  if (options.nbuckets == 0) {
+    return Status::InvalidArgument("hash needs at least one bucket");
+  }
+  LFSTX_ASSIGN_OR_RETURN(uint32_t fref,
+                         backend->OpenFile(path, options.create));
+  LFSTX_ASSIGN_OR_RETURN(uint64_t pages, backend->FilePages(fref));
+  uint32_t nbuckets = options.nbuckets;
+  if (pages == 0) {
+    if (!options.create) return Status::NotFound("empty hash file");
+    LFSTX_ASSIGN_OR_RETURN(TxnId txn, backend->Begin());
+    LFSTX_RETURN_IF_ERROR(backend->AllocPage(fref).status());  // meta
+    LFSTX_ASSIGN_OR_RETURN(PageRef meta,
+                           backend->GetPage(fref, 0, txn,
+                                            LockMode::kExclusive));
+    InitPage(meta.data, PageType::kMeta);
+    Header(meta.data)->aux = nbuckets;
+    LFSTX_RETURN_IF_ERROR(backend->PutPage(txn, &meta, true));
+    for (uint32_t b = 0; b < nbuckets; b++) {
+      LFSTX_RETURN_IF_ERROR(backend->AllocPage(fref).status());
+      LFSTX_ASSIGN_OR_RETURN(PageRef page,
+                             backend->GetPage(fref, 1 + b, txn,
+                                              LockMode::kExclusive));
+      InitPage(page.data, PageType::kHashBucket);
+      LFSTX_RETURN_IF_ERROR(backend->PutPage(txn, &page, true));
+    }
+    LFSTX_RETURN_IF_ERROR(backend->Commit(txn));
+  } else {
+    LFSTX_ASSIGN_OR_RETURN(TxnId txn, backend->Begin());
+    LFSTX_ASSIGN_OR_RETURN(PageRef meta,
+                           backend->GetPage(fref, 0, txn, LockMode::kShared));
+    nbuckets = static_cast<uint32_t>(Header(meta.data)->aux);
+    LFSTX_RETURN_IF_ERROR(backend->PutPage(txn, &meta, false));
+    LFSTX_RETURN_IF_ERROR(backend->Commit(txn));
+  }
+  return std::unique_ptr<Db>(new HashDb(backend, fref, nbuckets));
+}
+
+Status HashDb::Get(TxnId txn, Slice key, std::string* val) {
+  SimEnv* env = backend_->env();
+  env->Consume(env->costs().record_op_us);
+  uint64_t pageno = BucketPage(key);
+  while (pageno != 0) {
+    LFSTX_ASSIGN_OR_RETURN(PageRef page,
+                           backend_->GetPage(file_ref_, pageno, txn,
+                                             LockMode::kShared));
+    env->Consume(env->costs().btree_page_search_us);
+    int idx = slotted::Find(page.data, key);
+    if (idx >= 0) {
+      *val = slotted::CellVal(page.data, idx).ToString();
+      return backend_->PutPage(txn, &page, false);
+    }
+    uint64_t next = Header(page.data)->next;
+    LFSTX_RETURN_IF_ERROR(backend_->PutPage(txn, &page, false));
+    pageno = next;
+  }
+  return Status::NotFound("key not in hash table");
+}
+
+Status HashDb::Put(TxnId txn, Slice key, Slice val) {
+  SimEnv* env = backend_->env();
+  env->Consume(env->costs().record_op_us);
+  if (4 + key.size() + val.size() > 1500) {
+    return Status::InvalidArgument("record too large for a hash page");
+  }
+  uint64_t pageno = BucketPage(key);
+  uint64_t tail = pageno;
+  // Pass 1: replace an existing cell, or note the chain tail.
+  while (pageno != 0) {
+    LFSTX_ASSIGN_OR_RETURN(PageRef page,
+                           backend_->GetPage(file_ref_, pageno, txn,
+                                             LockMode::kExclusive));
+    env->Consume(env->costs().btree_page_search_us);
+    int idx = slotted::Find(page.data, key);
+    if (idx >= 0) {
+      Status s = slotted::ReplaceVal(page.data, idx, val);
+      if (s.ok()) return backend_->PutPage(txn, &page, true);
+      if (!s.IsNoSpace()) {
+        Status put = backend_->PutPage(txn, &page, false);
+        (void)put;
+        return s;
+      }
+      // No room to grow in place: drop the old cell and fall through to
+      // the chain-insert pass.
+      slotted::DeleteCell(page.data, idx);
+      LFSTX_RETURN_IF_ERROR(backend_->PutPage(txn, &page, true));
+      break;
+    }
+    if (slotted::HasRoom(page.data, key.size(), val.size())) {
+      Status s = slotted::InsertCell(page.data,
+                                     slotted::LowerBound(page.data, key),
+                                     key, val);
+      if (s.ok()) return backend_->PutPage(txn, &page, true);
+      Status put = backend_->PutPage(txn, &page, false);
+      (void)put;
+      return s;
+    }
+    tail = pageno;
+    uint64_t next = Header(page.data)->next;
+    LFSTX_RETURN_IF_ERROR(backend_->PutPage(txn, &page, false));
+    pageno = next;
+  }
+  // Pass 2: insert into the first chain page with room, growing the chain
+  // if every page is full.
+  pageno = BucketPage(key);
+  while (true) {
+    LFSTX_ASSIGN_OR_RETURN(PageRef page,
+                           backend_->GetPage(file_ref_, pageno, txn,
+                                             LockMode::kExclusive));
+    if (slotted::HasRoom(page.data, key.size(), val.size())) {
+      Status s = slotted::InsertCell(page.data,
+                                     slotted::LowerBound(page.data, key),
+                                     key, val);
+      Status put = backend_->PutPage(txn, &page, s.ok());
+      return s.ok() ? put : s;
+    }
+    uint64_t next = Header(page.data)->next;
+    if (next == 0) {
+      LFSTX_ASSIGN_OR_RETURN(uint64_t overflow,
+                             backend_->AllocPage(file_ref_));
+      Header(page.data)->next = overflow;
+      LFSTX_RETURN_IF_ERROR(backend_->PutPage(txn, &page, true));
+      LFSTX_ASSIGN_OR_RETURN(PageRef opage,
+                             backend_->GetPage(file_ref_, overflow, txn,
+                                               LockMode::kExclusive));
+      InitPage(opage.data, PageType::kHashBucket);
+      Status s = slotted::InsertCell(opage.data, 0, key, val);
+      Status put = backend_->PutPage(txn, &opage, true);
+      return s.ok() ? put : s;
+    }
+    LFSTX_RETURN_IF_ERROR(backend_->PutPage(txn, &page, false));
+    pageno = next;
+  }
+  (void)tail;
+}
+
+Status HashDb::Delete(TxnId txn, Slice key) {
+  uint64_t pageno = BucketPage(key);
+  while (pageno != 0) {
+    LFSTX_ASSIGN_OR_RETURN(PageRef page,
+                           backend_->GetPage(file_ref_, pageno, txn,
+                                             LockMode::kExclusive));
+    int idx = slotted::Find(page.data, key);
+    if (idx >= 0) {
+      slotted::DeleteCell(page.data, idx);
+      return backend_->PutPage(txn, &page, true);
+    }
+    uint64_t next = Header(page.data)->next;
+    LFSTX_RETURN_IF_ERROR(backend_->PutPage(txn, &page, false));
+    pageno = next;
+  }
+  return Status::NotFound("key not in hash table");
+}
+
+Status HashDb::Scan(TxnId txn, const std::function<bool(Slice, Slice)>& fn) {
+  for (uint32_t b = 0; b < nbuckets_; b++) {
+    uint64_t pageno = 1 + b;
+    while (pageno != 0) {
+      LFSTX_ASSIGN_OR_RETURN(PageRef page,
+                             backend_->GetPage(file_ref_, pageno, txn,
+                                               LockMode::kShared));
+      int n = slotted::SlotCount(page.data);
+      for (int i = 0; i < n; i++) {
+        if (!fn(slotted::CellKey(page.data, i),
+                slotted::CellVal(page.data, i))) {
+          return backend_->PutPage(txn, &page, false);
+        }
+      }
+      uint64_t next = Header(page.data)->next;
+      LFSTX_RETURN_IF_ERROR(backend_->PutPage(txn, &page, false));
+      pageno = next;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace lfstx

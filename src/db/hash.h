@@ -1,0 +1,40 @@
+// Static-bucket hash access method (db(3) "hash"): a fixed bucket array
+// with overflow-page chains. Constant-time point access; no ordering.
+#ifndef LFSTX_DB_HASH_H_
+#define LFSTX_DB_HASH_H_
+
+#include "db/db.h"
+#include "db/page.h"
+
+namespace lfstx {
+
+/// \brief Hash-table database.
+class HashDb : public Db {
+ public:
+  static Result<std::unique_ptr<Db>> Open(DbBackend* backend,
+                                          const std::string& path,
+                                          const Options& options);
+
+  Status Get(TxnId txn, Slice key, std::string* val) override;
+  Status Put(TxnId txn, Slice key, Slice val) override;
+  Status Delete(TxnId txn, Slice key) override;
+  Status Scan(TxnId txn,
+              const std::function<bool(Slice, Slice)>& fn) override;
+
+  /// FNV-1a, platform-stable.
+  static uint64_t HashKey(Slice key);
+
+ private:
+  HashDb(DbBackend* backend, uint32_t file_ref, uint32_t nbuckets)
+      : Db(backend, file_ref), nbuckets_(nbuckets) {}
+
+  uint64_t BucketPage(Slice key) const {
+    return 1 + HashKey(key) % nbuckets_;
+  }
+
+  uint32_t nbuckets_;
+};
+
+}  // namespace lfstx
+
+#endif  // LFSTX_DB_HASH_H_

@@ -1,0 +1,183 @@
+#include "db/page.h"
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+namespace lfstx {
+
+PageHeader* Header(char* page) { return reinterpret_cast<PageHeader*>(page); }
+const PageHeader* Header(const char* page) {
+  return reinterpret_cast<const PageHeader*>(page);
+}
+
+void InitPage(char* page, PageType type) {
+  memset(page, 0, kBlockSize);
+  PageHeader* h = Header(page);
+  h->type = static_cast<uint16_t>(type);
+  h->cell_start = kBlockSize;
+}
+
+namespace slotted {
+
+namespace {
+constexpr size_t kSlotBase = sizeof(PageHeader);
+
+uint16_t SlotOffset(const char* page, int idx) {
+  uint16_t off;
+  memcpy(&off, page + kSlotBase + static_cast<size_t>(idx) * 2, 2);
+  return off;
+}
+
+void SetSlotOffset(char* page, int idx, uint16_t off) {
+  memcpy(page + kSlotBase + static_cast<size_t>(idx) * 2, &off, 2);
+}
+
+struct CellView {
+  uint16_t klen;
+  uint16_t vlen;
+  const char* key;
+  const char* val;
+};
+
+CellView CellAt(const char* page, uint16_t off) {
+  CellView c;
+  memcpy(&c.klen, page + off, 2);
+  memcpy(&c.vlen, page + off + 2, 2);
+  c.key = page + off + 4;
+  c.val = page + off + 4 + c.klen;
+  return c;
+}
+}  // namespace
+
+uint16_t SlotCount(const char* page) { return Header(page)->nslots; }
+
+Slice CellKey(const char* page, int idx) {
+  CellView c = CellAt(page, SlotOffset(page, idx));
+  return Slice(c.key, c.klen);
+}
+
+Slice CellVal(const char* page, int idx) {
+  CellView c = CellAt(page, SlotOffset(page, idx));
+  return Slice(c.val, c.vlen);
+}
+
+size_t FreeSpace(const char* page) {
+  const PageHeader* h = Header(page);
+  size_t slots_end = kSlotBase + static_cast<size_t>(h->nslots) * 2;
+  // Total reclaimable free space (contiguous after a Compact).
+  size_t used_cells = 0;
+  for (int i = 0; i < h->nslots; i++) {
+    CellView c = CellAt(page, SlotOffset(page, i));
+    used_cells += 4u + c.klen + c.vlen;
+  }
+  return kBlockSize - slots_end - used_cells;
+}
+
+bool HasRoom(const char* page, size_t klen, size_t vlen) {
+  size_t need = 4 + klen + vlen + 2;  // cell + slot entry
+  return FreeSpace(page) >= need;
+}
+
+int LowerBound(const char* page, Slice key) {
+  int lo = 0, hi = SlotCount(page);
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (CellKey(page, mid).compare(key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+int Find(const char* page, Slice key) {
+  int idx = LowerBound(page, key);
+  if (idx < SlotCount(page) && CellKey(page, idx) == key) return idx;
+  return -1;
+}
+
+void Compact(char* page) {
+  PageHeader* h = Header(page);
+  std::vector<std::pair<std::string, std::string>> cells;
+  cells.reserve(h->nslots);
+  for (int i = 0; i < h->nslots; i++) {
+    cells.emplace_back(CellKey(page, i).ToString(),
+                       CellVal(page, i).ToString());
+  }
+  uint16_t cur = kBlockSize;
+  for (int i = 0; i < h->nslots; i++) {
+    const auto& [k, v] = cells[i];
+    cur = static_cast<uint16_t>(cur - (4 + k.size() + v.size()));
+    uint16_t klen = static_cast<uint16_t>(k.size());
+    uint16_t vlen = static_cast<uint16_t>(v.size());
+    memcpy(page + cur, &klen, 2);
+    memcpy(page + cur + 2, &vlen, 2);
+    memcpy(page + cur + 4, k.data(), k.size());
+    memcpy(page + cur + 4 + k.size(), v.data(), v.size());
+    SetSlotOffset(page, i, cur);
+  }
+  h->cell_start = cur;
+}
+
+Status InsertCell(char* page, int idx, Slice key, Slice val) {
+  PageHeader* h = Header(page);
+  size_t cell_size = 4 + key.size() + val.size();
+  if (!HasRoom(page, key.size(), val.size())) {
+    return Status::NoSpace("page full");
+  }
+  size_t slots_end = kSlotBase + static_cast<size_t>(h->nslots) * 2;
+  if (h->cell_start < slots_end + 2 + cell_size) {
+    Compact(page);
+  }
+  assert(h->cell_start >= slots_end + 2 + cell_size);
+  uint16_t off = static_cast<uint16_t>(h->cell_start - cell_size);
+  uint16_t klen = static_cast<uint16_t>(key.size());
+  uint16_t vlen = static_cast<uint16_t>(val.size());
+  memcpy(page + off, &klen, 2);
+  memcpy(page + off + 2, &vlen, 2);
+  memcpy(page + off + 4, key.data(), key.size());
+  memcpy(page + off + 4 + key.size(), val.data(), val.size());
+  // Shift slot entries [idx, nslots) right by one.
+  for (int i = h->nslots; i > idx; i--) {
+    SetSlotOffset(page, i, SlotOffset(page, i - 1));
+  }
+  SetSlotOffset(page, idx, off);
+  h->nslots++;
+  h->cell_start = off;
+  return Status::OK();
+}
+
+void DeleteCell(char* page, int idx) {
+  PageHeader* h = Header(page);
+  assert(idx >= 0 && idx < h->nslots);
+  for (int i = idx; i < h->nslots - 1; i++) {
+    SetSlotOffset(page, i, SlotOffset(page, i + 1));
+  }
+  h->nslots--;
+  // Space is reclaimed lazily by Compact.
+}
+
+Status ReplaceVal(char* page, int idx, Slice val) {
+  std::string key = CellKey(page, idx).ToString();
+  // In-place fast path when sizes match.
+  uint16_t off = SlotOffset(page, idx);
+  CellView c = CellAt(page, off);
+  if (c.vlen == val.size()) {
+    memcpy(page + off + 4 + c.klen, val.data(), val.size());
+    return Status::OK();
+  }
+  DeleteCell(page, idx);
+  Status s = InsertCell(page, idx, key, val);
+  if (!s.ok()) {
+    // Roll the delete back so the caller can split.
+    Status undo = InsertCell(page, idx, key, Slice(c.val, c.vlen));
+    assert(undo.ok());
+    (void)undo;
+  }
+  return s;
+}
+
+}  // namespace slotted
+}  // namespace lfstx

@@ -1,0 +1,125 @@
+#include "db/recno.h"
+
+#include <cstring>
+
+namespace lfstx {
+
+Result<std::unique_ptr<Db>> Recno::Open(DbBackend* backend,
+                                        const std::string& path,
+                                        const Options& options) {
+  if (options.record_size == 0 ||
+      options.record_size > kBlockSize - sizeof(PageHeader)) {
+    return Status::InvalidArgument("bad recno record size");
+  }
+  LFSTX_ASSIGN_OR_RETURN(uint32_t fref,
+                         backend->OpenFile(path, options.create));
+  LFSTX_ASSIGN_OR_RETURN(uint64_t pages, backend->FilePages(fref));
+  uint32_t record_size = options.record_size;
+  if (pages == 0) {
+    if (!options.create) return Status::NotFound("empty recno file");
+    LFSTX_ASSIGN_OR_RETURN(TxnId txn, backend->Begin());
+    LFSTX_RETURN_IF_ERROR(backend->AllocPage(fref).status());
+    LFSTX_ASSIGN_OR_RETURN(PageRef meta,
+                           backend->GetPage(fref, 0, txn,
+                                            LockMode::kExclusive));
+    InitPage(meta.data, PageType::kMeta);
+    Header(meta.data)->aux = record_size;
+    Header(meta.data)->next = 0;  // record count
+    LFSTX_RETURN_IF_ERROR(backend->PutPage(txn, &meta, true));
+    LFSTX_RETURN_IF_ERROR(backend->Commit(txn));
+  } else {
+    // Adopt the on-disk record size.
+    LFSTX_ASSIGN_OR_RETURN(TxnId txn, backend->Begin());
+    LFSTX_ASSIGN_OR_RETURN(PageRef meta,
+                           backend->GetPage(fref, 0, txn, LockMode::kShared));
+    record_size = static_cast<uint32_t>(Header(meta.data)->aux);
+    LFSTX_RETURN_IF_ERROR(backend->PutPage(txn, &meta, false));
+    LFSTX_RETURN_IF_ERROR(backend->Commit(txn));
+  }
+  return std::unique_ptr<Db>(new Recno(backend, fref, record_size));
+}
+
+Result<uint64_t> Recno::Append(TxnId txn, Slice record) {
+  if (record.size() > record_size_) {
+    return Status::InvalidArgument("record larger than fixed size");
+  }
+  backend_->env()->Consume(backend_->env()->costs().record_op_us);
+  // The meta page's exclusive lock serializes appenders.
+  LFSTX_ASSIGN_OR_RETURN(PageRef meta,
+                         backend_->GetPage(file_ref_, 0, txn,
+                                           LockMode::kExclusive));
+  uint64_t recno = Header(meta.data)->next;
+  uint64_t pageno = 1 + recno / PerPage();
+  uint32_t slot = static_cast<uint32_t>(recno % PerPage());
+
+  LFSTX_ASSIGN_OR_RETURN(uint64_t pages, backend_->FilePages(file_ref_));
+  if (pageno >= pages) {
+    auto a = backend_->AllocPage(file_ref_);
+    if (!a.ok()) {
+      Status put = backend_->PutPage(txn, &meta, false);
+      (void)put;
+      return a.status();
+    }
+  }
+  auto pref = backend_->GetPage(file_ref_, pageno, txn,
+                                LockMode::kExclusive);
+  if (!pref.ok()) {
+    Status put = backend_->PutPage(txn, &meta, false);
+    (void)put;
+    return pref.status();
+  }
+  PageRef page = pref.take();
+  if (slot == 0) InitPage(page.data, PageType::kRecno);
+  char* dst = page.data + sizeof(PageHeader) +
+              static_cast<size_t>(slot) * record_size_;
+  memset(dst, 0, record_size_);
+  memcpy(dst, record.data(), record.size());
+  Header(page.data)->nslots = static_cast<uint16_t>(slot + 1);
+  LFSTX_RETURN_IF_ERROR(backend_->PutPage(txn, &page, true));
+
+  Header(meta.data)->next = recno + 1;
+  LFSTX_RETURN_IF_ERROR(backend_->PutPage(txn, &meta, true));
+  return recno;
+}
+
+Status Recno::GetRecord(TxnId txn, uint64_t recno, std::string* out) {
+  backend_->env()->Consume(backend_->env()->costs().record_op_us);
+  LFSTX_ASSIGN_OR_RETURN(PageRef meta,
+                         backend_->GetPage(file_ref_, 0, txn,
+                                           LockMode::kShared));
+  uint64_t count = Header(meta.data)->next;
+  LFSTX_RETURN_IF_ERROR(backend_->PutPage(txn, &meta, false));
+  if (recno >= count) return Status::NotFound("record number out of range");
+  uint64_t pageno = 1 + recno / PerPage();
+  uint32_t slot = static_cast<uint32_t>(recno % PerPage());
+  LFSTX_ASSIGN_OR_RETURN(PageRef page,
+                         backend_->GetPage(file_ref_, pageno, txn,
+                                           LockMode::kShared));
+  out->assign(page.data + sizeof(PageHeader) +
+                  static_cast<size_t>(slot) * record_size_,
+              record_size_);
+  return backend_->PutPage(txn, &page, false);
+}
+
+Result<uint64_t> Recno::RecordCount(TxnId txn) {
+  LFSTX_ASSIGN_OR_RETURN(PageRef meta,
+                         backend_->GetPage(file_ref_, 0, txn,
+                                           LockMode::kShared));
+  uint64_t count = Header(meta.data)->next;
+  LFSTX_RETURN_IF_ERROR(backend_->PutPage(txn, &meta, false));
+  return count;
+}
+
+Status Recno::Scan(TxnId txn, const std::function<bool(Slice, Slice)>& fn) {
+  LFSTX_ASSIGN_OR_RETURN(uint64_t count, RecordCount(txn));
+  std::string rec;
+  for (uint64_t r = 0; r < count; r++) {
+    LFSTX_RETURN_IF_ERROR(GetRecord(txn, r, &rec));
+    char key[sizeof(uint64_t)];
+    memcpy(key, &r, sizeof(r));
+    if (!fn(Slice(key, sizeof(key)), rec)) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace lfstx

@@ -1,0 +1,41 @@
+// Fixed-length record files (db(3) "recno"): records addressable by record
+// number, appendable at the end — the paper's history relation ("records
+// are accessible sequentially or by record number").
+//
+// Page 0 is the meta page (aux = record size, next = record count);
+// records are packed after the header of pages 1..n.
+#ifndef LFSTX_DB_RECNO_H_
+#define LFSTX_DB_RECNO_H_
+
+#include "db/db.h"
+#include "db/page.h"
+
+namespace lfstx {
+
+/// \brief Fixed-length record database.
+class Recno : public Db {
+ public:
+  static Result<std::unique_ptr<Db>> Open(DbBackend* backend,
+                                          const std::string& path,
+                                          const Options& options);
+
+  Result<uint64_t> Append(TxnId txn, Slice record) override;
+  Status GetRecord(TxnId txn, uint64_t recno, std::string* out) override;
+  Result<uint64_t> RecordCount(TxnId txn) override;
+  Status Scan(TxnId txn,
+              const std::function<bool(Slice, Slice)>& fn) override;
+
+ private:
+  Recno(DbBackend* backend, uint32_t file_ref, uint32_t record_size)
+      : Db(backend, file_ref), record_size_(record_size) {}
+
+  uint32_t PerPage() const {
+    return (kBlockSize - sizeof(PageHeader)) / record_size_;
+  }
+
+  uint32_t record_size_;
+};
+
+}  // namespace lfstx
+
+#endif  // LFSTX_DB_RECNO_H_

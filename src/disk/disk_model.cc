@@ -1,0 +1,87 @@
+#include "disk/disk_model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace lfstx {
+
+DiskModel::DiskModel(DiskGeometry geometry, DiskTiming timing)
+    : geometry_(geometry), timing_(timing) {
+  // Fit seek(d) = a + b*sqrt(d) through (1, single_cylinder) and
+  // (cylinders-1, max_seek).
+  const double d1 = 1.0;
+  const double dmax = static_cast<double>(geometry_.cylinders - 1);
+  const double t1 = timing_.single_cylinder_seek_ms * 1000.0;
+  const double tmax = timing_.max_seek_ms * 1000.0;
+  seek_b_us_ = (tmax - t1) / (std::sqrt(dmax) - std::sqrt(d1));
+  seek_a_us_ = t1 - seek_b_us_ * std::sqrt(d1);
+}
+
+SimTime DiskModel::SeekTime(uint32_t d) const {
+  if (d == 0) return 0;
+  return static_cast<SimTime>(seek_a_us_ +
+                              seek_b_us_ * std::sqrt(static_cast<double>(d)));
+}
+
+SimTime DiskModel::Service(SimTime start, BlockAddr block, uint32_t nblocks) {
+  assert(nblocks > 0);
+  assert(block + nblocks <= geometry_.total_blocks());
+  const SimTime rev = timing_.revolution_us();
+  const uint32_t bpt = geometry_.blocks_per_track();
+  const SimTime block_xfer = rev / bpt;
+  const SimTime head_switch =
+      static_cast<SimTime>(timing_.head_switch_ms * 1000.0);
+
+  SimTime t = 0;
+
+  // Seek to the target cylinder (or switch heads within it).
+  uint32_t cyl = geometry_.CylinderOf(block);
+  uint32_t trk = geometry_.TrackOf(block);
+  if (cyl != cur_cylinder_) {
+    uint32_t d = cyl > cur_cylinder_ ? cyl - cur_cylinder_ : cur_cylinder_ - cyl;
+    SimTime s = SeekTime(d);
+    t += s;
+    stats_.seeks++;
+    stats_.seek_us += s;
+  } else if (trk != cur_track_) {
+    t += head_switch;
+    stats_.seek_us += head_switch;
+  }
+  cur_cylinder_ = cyl;
+  cur_track_ = trk;
+
+  // Rotational latency: wait for the first block of the request to pass
+  // under the head. The platter position is a pure function of time.
+  const SimTime arrive = start + t;
+  const uint32_t idx = geometry_.TrackIndexOf(block);
+  const SimTime target_angle_us = idx * block_xfer;
+  const SimTime now_angle_us = arrive % rev;
+  SimTime rot = (target_angle_us + rev - now_angle_us) % rev;
+  t += rot;
+  stats_.rotation_us += rot;
+
+  // Transfer, paying head/cylinder switches at track boundaries.
+  SimTime xfer = 0;
+  for (uint32_t i = 0; i < nblocks; i++) {
+    BlockAddr b = block + i;
+    if (i > 0 && geometry_.TrackIndexOf(b) == 0) {
+      if (geometry_.CylinderOf(b) != cur_cylinder_) {
+        xfer += SeekTime(1);
+        cur_cylinder_ = geometry_.CylinderOf(b);
+      } else {
+        xfer += head_switch;
+      }
+      cur_track_ = geometry_.TrackOf(b);
+    }
+    xfer += block_xfer;
+  }
+  t += xfer;
+  stats_.transfer_us += xfer;
+
+  stats_.requests++;
+  stats_.blocks += nblocks;
+  stats_.busy_us += t;
+  return t;
+}
+
+}  // namespace lfstx

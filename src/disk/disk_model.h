@@ -1,0 +1,109 @@
+// Geometry and service-time model of the simulated disk, calibrated to the
+// DEC RZ55 the paper used: 300 MB, 3600 RPM SCSI drive with ~16 ms average
+// seek and ~1 MB/s sustained transfer.
+//
+// The model tracks head position (cylinder) and uses the continuously
+// spinning platter to compute rotational latency, so sequential runs are
+// cheap and random access pays seek + rotation — the asymmetry every result
+// in the paper rests on.
+#ifndef LFSTX_DISK_DISK_MODEL_H_
+#define LFSTX_DISK_DISK_MODEL_H_
+
+#include <cstdint>
+
+#include "sim/clock.h"
+
+namespace lfstx {
+
+/// All disk addressing in lfstx is in units of 4 KiB blocks.
+constexpr uint32_t kBlockSize = 4096;
+using BlockAddr = uint64_t;
+constexpr BlockAddr kInvalidBlock = ~0ull;
+
+/// \brief Physical layout of the drive.
+///
+/// Defaults give exactly 300 MB: 512 B sectors x 32 sectors/track
+/// x 15 tracks/cylinder x 1280 cylinders; 4 blocks per track,
+/// 60 blocks per cylinder, 76,800 blocks total.
+struct DiskGeometry {
+  uint32_t bytes_per_sector = 512;
+  uint32_t sectors_per_track = 32;
+  uint32_t tracks_per_cylinder = 15;
+  uint32_t cylinders = 1280;
+
+  uint32_t blocks_per_track() const {
+    return sectors_per_track * bytes_per_sector / kBlockSize;
+  }
+  uint32_t blocks_per_cylinder() const {
+    return blocks_per_track() * tracks_per_cylinder;
+  }
+  uint64_t total_blocks() const {
+    return static_cast<uint64_t>(blocks_per_cylinder()) * cylinders;
+  }
+  uint64_t total_bytes() const { return total_blocks() * kBlockSize; }
+
+  uint32_t CylinderOf(BlockAddr b) const {
+    return static_cast<uint32_t>(b / blocks_per_cylinder());
+  }
+  uint32_t TrackOf(BlockAddr b) const {
+    return static_cast<uint32_t>(b % blocks_per_cylinder()) /
+           blocks_per_track();
+  }
+  uint32_t TrackIndexOf(BlockAddr b) const {
+    return static_cast<uint32_t>(b % blocks_per_track());
+  }
+};
+
+/// \brief Mechanical timing parameters.
+struct DiskTiming {
+  double rpm = 3600.0;
+  double single_cylinder_seek_ms = 4.0;  ///< track-to-track
+  double max_seek_ms = 35.0;             ///< full stroke
+  double head_switch_ms = 1.0;           ///< change surface within cylinder
+
+  SimTime revolution_us() const {
+    return static_cast<SimTime>(60.0e6 / rpm);
+  }
+};
+
+/// \brief Head-position-aware service time calculator.
+class DiskModel {
+ public:
+  DiskModel(DiskGeometry geometry, DiskTiming timing);
+
+  /// Service time for a contiguous request of `nblocks` starting at `block`,
+  /// beginning at virtual time `start`. Updates head position.
+  SimTime Service(SimTime start, BlockAddr block, uint32_t nblocks);
+
+  /// Seek time in microseconds for a cylinder distance (a + b*sqrt(d)).
+  SimTime SeekTime(uint32_t cylinder_distance) const;
+
+  const DiskGeometry& geometry() const { return geometry_; }
+  const DiskTiming& timing() const { return timing_; }
+  uint32_t current_cylinder() const { return cur_cylinder_; }
+
+  struct Stats {
+    uint64_t requests = 0;
+    uint64_t blocks = 0;
+    uint64_t seeks = 0;            ///< requests that moved the arm
+    uint64_t seek_us = 0;
+    uint64_t rotation_us = 0;
+    uint64_t transfer_us = 0;
+    SimTime busy_us = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+ private:
+  DiskGeometry geometry_;
+  DiskTiming timing_;
+  double seek_a_us_;  // seek(d) = a + b*sqrt(d)
+  double seek_b_us_;
+  uint32_t cur_cylinder_ = 0;
+  uint32_t cur_track_ = 0;
+  Stats stats_;
+};
+
+}  // namespace lfstx
+
+#endif  // LFSTX_DISK_DISK_MODEL_H_

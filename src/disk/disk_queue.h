@@ -1,0 +1,58 @@
+// Pending-request queue for the simulated disk, with the two scheduling
+// disciplines the paper's platform offered: FIFO and an elevator (C-LOOK)
+// that sorts by cylinder. The read-optimized file system's 30-second
+// write-back ("sorted in the disk queue with all other I/O") relies on the
+// elevator; the ablation bench compares the two.
+#ifndef LFSTX_DISK_DISK_QUEUE_H_
+#define LFSTX_DISK_DISK_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "disk/disk_model.h"
+
+namespace lfstx {
+
+/// \brief One outstanding disk request.
+struct DiskRequest {
+  enum class Kind { kRead, kWrite };
+  Kind kind;
+  BlockAddr block;
+  uint32_t nblocks;
+  char* out = nullptr;      ///< destination for reads
+  std::string data;         ///< payload for writes (captured at submit)
+  std::function<void()> done;
+  uint64_t seq = 0;         ///< submission order
+};
+
+/// \brief Request queue with pluggable scheduling policy.
+class DiskQueue {
+ public:
+  enum class Policy { kFifo, kElevator };
+
+  explicit DiskQueue(Policy policy) : policy_(policy) {}
+
+  void Push(std::unique_ptr<DiskRequest> req);
+
+  /// Select and remove the next request to service given the current head
+  /// position. Returns nullptr if empty. The elevator policy is C-LOOK:
+  /// the nearest request at or beyond the current cylinder, wrapping to the
+  /// lowest cylinder when none remain ahead.
+  std::unique_ptr<DiskRequest> PopNext(uint32_t current_cylinder,
+                                       const DiskGeometry& geometry);
+
+  size_t size() const { return pending_.size(); }
+  bool empty() const { return pending_.empty(); }
+  Policy policy() const { return policy_; }
+
+ private:
+  Policy policy_;
+  std::deque<std::unique_ptr<DiskRequest>> pending_;
+};
+
+}  // namespace lfstx
+
+#endif  // LFSTX_DISK_DISK_QUEUE_H_

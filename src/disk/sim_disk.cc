@@ -1,0 +1,135 @@
+#include "disk/sim_disk.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace lfstx {
+
+namespace {
+const char kZeroBlock[kBlockSize] = {0};
+}  // namespace
+
+SimDisk::SimDisk(SimEnv* env, Options options)
+    : env_(env),
+      model_(options.geometry, options.timing),
+      queue_(options.scheduling) {}
+
+void SimDisk::SubmitRead(BlockAddr block, uint32_t nblocks, char* out,
+                         std::function<void()> done) {
+  auto req = std::make_unique<DiskRequest>();
+  req->kind = DiskRequest::Kind::kRead;
+  req->block = block;
+  req->nblocks = nblocks;
+  req->out = out;
+  req->done = std::move(done);
+  Submit(std::move(req));
+}
+
+void SimDisk::SubmitWrite(BlockAddr block, uint32_t nblocks, const char* data,
+                          std::function<void()> done) {
+  auto req = std::make_unique<DiskRequest>();
+  req->kind = DiskRequest::Kind::kWrite;
+  req->block = block;
+  req->nblocks = nblocks;
+  req->data.assign(data, static_cast<size_t>(nblocks) * kBlockSize);
+  req->done = std::move(done);
+  Submit(std::move(req));
+}
+
+void SimDisk::Submit(std::unique_ptr<DiskRequest> req) {
+  req->seq = next_seq_++;
+  if (req->kind == DiskRequest::Kind::kRead) {
+    stats_.reads++;
+    stats_.blocks_read += req->nblocks;
+  } else {
+    stats_.writes++;
+    stats_.blocks_written += req->nblocks;
+  }
+  if (busy_) {
+    queue_.Push(std::move(req));
+    stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+  } else {
+    StartService(std::move(req));
+  }
+}
+
+void SimDisk::StartService(std::unique_ptr<DiskRequest> req) {
+  busy_ = true;
+  SimTime service = model_.Service(env_->Now(), req->block, req->nblocks);
+  DiskRequest* raw = req.release();
+  env_->After(service, [this, raw] {
+    std::unique_ptr<DiskRequest> owned(raw);
+    Complete(owned.get());
+    auto next = queue_.PopNext(model_.current_cylinder(), model_.geometry());
+    if (next != nullptr) {
+      StartService(std::move(next));
+    } else {
+      busy_ = false;
+    }
+  });
+}
+
+void SimDisk::Complete(DiskRequest* req) {
+  if (req->kind == DiskRequest::Kind::kRead) {
+    for (uint32_t i = 0; i < req->nblocks; i++) {
+      memcpy(req->out + static_cast<size_t>(i) * kBlockSize,
+             BlockData(req->block + i), kBlockSize);
+    }
+  } else {
+    for (uint32_t i = 0; i < req->nblocks; i++) {
+      if (crashed_) {
+        if (persist_budget_ == 0) break;  // power is gone: drop the tail
+        persist_budget_--;
+      }
+      PersistBlock(req->block + i,
+                   req->data.data() + static_cast<size_t>(i) * kBlockSize);
+    }
+  }
+  if (req->done) req->done();
+}
+
+Status SimDisk::Read(BlockAddr block, uint32_t nblocks, char* out) {
+  if (block + nblocks > num_blocks()) {
+    return Status::InvalidArgument("read beyond end of disk");
+  }
+  IoEvent ev(env_);
+  SubmitRead(block, nblocks, out, [&ev] { ev.Fire(); });
+  if (!ev.Wait()) return Status::Busy("simulation stopped during read");
+  return Status::OK();
+}
+
+Status SimDisk::Write(BlockAddr block, uint32_t nblocks, const char* data) {
+  if (block + nblocks > num_blocks()) {
+    return Status::InvalidArgument("write beyond end of disk");
+  }
+  IoEvent ev(env_);
+  SubmitWrite(block, nblocks, data, [&ev] { ev.Fire(); });
+  if (!ev.Wait()) return Status::Busy("simulation stopped during write");
+  return Status::OK();
+}
+
+void SimDisk::PersistBlock(BlockAddr b, const char* src) {
+  auto& slot = store_[b];
+  if (slot == nullptr) slot = std::make_unique<Block>();
+  memcpy(slot->data(), src, kBlockSize);
+}
+
+const char* SimDisk::BlockData(BlockAddr b) const {
+  auto it = store_.find(b);
+  return it == store_.end() ? kZeroBlock : it->second->data();
+}
+
+void SimDisk::RawRead(BlockAddr block, uint32_t nblocks, char* out) const {
+  for (uint32_t i = 0; i < nblocks; i++) {
+    memcpy(out + static_cast<size_t>(i) * kBlockSize, BlockData(block + i),
+           kBlockSize);
+  }
+}
+
+void SimDisk::RawWrite(BlockAddr block, uint32_t nblocks, const char* data) {
+  for (uint32_t i = 0; i < nblocks; i++) {
+    PersistBlock(block + i, data + static_cast<size_t>(i) * kBlockSize);
+  }
+}
+
+}  // namespace lfstx

@@ -1,0 +1,101 @@
+// The simulated disk: sparse 4 KiB block store (real bytes) plus the RZ55
+// timing model, fed through a DiskQueue. One request is in service at a
+// time; completion is a virtual-time event.
+//
+// Crash injection: CrashAfterBlocks() lets tests cut power mid-write — the
+// request still "completes" from the issuer's point of view but only a
+// prefix of its blocks persists, producing the torn segment writes the LFS
+// recovery path must tolerate.
+#ifndef LFSTX_DISK_SIM_DISK_H_
+#define LFSTX_DISK_SIM_DISK_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "disk/disk_model.h"
+#include "disk/disk_queue.h"
+#include "sim/sim_env.h"
+#include "sim/sync.h"
+
+namespace lfstx {
+
+/// \brief Simulated block device.
+class SimDisk {
+ public:
+  struct Options {
+    DiskGeometry geometry;
+    DiskTiming timing;
+    DiskQueue::Policy scheduling = DiskQueue::Policy::kElevator;
+  };
+
+  struct Stats {
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t blocks_read = 0;
+    uint64_t blocks_written = 0;
+    size_t max_queue_depth = 0;
+  };
+
+  SimDisk(SimEnv* env, Options options);
+
+  uint64_t num_blocks() const { return model_.geometry().total_blocks(); }
+  SimEnv* env() const { return env_; }
+
+  /// Asynchronous I/O. `done` runs in scheduler context at completion and
+  /// must not block. Write payloads are captured at submit time.
+  void SubmitRead(BlockAddr block, uint32_t nblocks, char* out,
+                  std::function<void()> done);
+  void SubmitWrite(BlockAddr block, uint32_t nblocks, const char* data,
+                   std::function<void()> done);
+
+  /// Synchronous I/O for simulated processes: submit and block until done.
+  Status Read(BlockAddr block, uint32_t nblocks, char* out);
+  Status Write(BlockAddr block, uint32_t nblocks, const char* data);
+
+  /// After the next `n` blocks are persisted, silently drop further writes
+  /// (simulated power failure with a torn final write). Reads keep serving
+  /// the persisted state, so a "reboot" is simply mounting a fresh file
+  /// system instance over this disk.
+  void CrashAfterBlocks(uint64_t n) { crashed_ = true; persist_budget_ = n; }
+  void ClearCrash() { crashed_ = false; }
+  bool crashed() const { return crashed_; }
+
+  /// Timing-free access for tests and offline inspection tools.
+  void RawRead(BlockAddr block, uint32_t nblocks, char* out) const;
+  void RawWrite(BlockAddr block, uint32_t nblocks, const char* data);
+
+  const Stats& stats() const { return stats_; }
+  const DiskModel::Stats& model_stats() const { return model_.stats(); }
+  void ResetStats() {
+    stats_ = Stats();
+    model_.ResetStats();
+  }
+  size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  void Submit(std::unique_ptr<DiskRequest> req);
+  void StartService(std::unique_ptr<DiskRequest> req);
+  void Complete(DiskRequest* req);
+  void PersistBlock(BlockAddr b, const char* src);
+  const char* BlockData(BlockAddr b) const;  // zeros if never written
+
+  SimEnv* env_;
+  DiskModel model_;
+  DiskQueue queue_;
+  bool busy_ = false;
+  uint64_t next_seq_ = 0;
+  Stats stats_;
+
+  bool crashed_ = false;
+  uint64_t persist_budget_ = 0;
+
+  using Block = std::array<char, kBlockSize>;
+  std::unordered_map<BlockAddr, std::unique_ptr<Block>> store_;
+};
+
+}  // namespace lfstx
+
+#endif  // LFSTX_DISK_SIM_DISK_H_

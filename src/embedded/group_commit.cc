@@ -1,0 +1,51 @@
+#include "embedded/group_commit.h"
+
+namespace lfstx {
+
+GroupCommit::GroupCommit(SimEnv* env, Lfs* lfs, GroupCommitOptions options)
+    : env_(env), lfs_(lfs), options_(options), wait_(env) {}
+
+Status GroupCommit::CommitFlush(TxnId txn, bool others_active) {
+  // A flush that *starts* after this point is guaranteed to pick up our
+  // (already dirty) buffers.
+  uint64_t my_epoch = start_epoch_;
+  pending_++;
+  bool led = false;
+  Status result = Status::OK();
+  for (;;) {
+    if (completed_start_epoch_ > my_epoch) break;  // a later flush covered us
+    if (!flushing_) {
+      flushing_ = true;
+      bool wait_for_company =
+          options_.timeout > 0 && !(options_.adaptive && !others_active);
+      if (wait_for_company) {
+        SimTime deadline = env_->Now() + options_.timeout;
+        while (env_->Now() < deadline && pending_ < options_.min_txns &&
+               !env_->stop_requested()) {
+          env_->SleepUntil(deadline);
+        }
+      }
+      uint64_t this_start = ++start_epoch_;
+      uint64_t batch = pending_;
+      result = lfs_->Flush(txn);
+      completed_start_epoch_ = this_start;
+      stats_.flushes++;
+      stats_.txns_flushed += batch;
+      stats_.batched += batch - 1;
+      flushing_ = false;
+      led = true;
+      wait_.WakeAll();
+      if (!result.ok()) break;
+      continue;
+    }
+    if (wait_.Sleep() == WakeReason::kStopped) {
+      result = Status::Busy("simulation stopped during group commit");
+      break;
+    }
+  }
+  pending_--;
+  (void)led;
+  return result;
+}
+
+}  // namespace lfstx

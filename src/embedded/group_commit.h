@@ -1,0 +1,58 @@
+// Group commit for the embedded transaction manager (section 4.4):
+// "Rather than flushing a transaction's blocks immediately upon issuing a
+// txn_commit, the process sleeps until a timeout interval has elapsed or
+// until sufficiently more transactions have committed to justify the write
+// (create a larger segment)."
+#ifndef LFSTX_EMBEDDED_GROUP_COMMIT_H_
+#define LFSTX_EMBEDDED_GROUP_COMMIT_H_
+
+#include "lfs/lfs.h"
+#include "sim/sim_env.h"
+
+namespace lfstx {
+
+struct GroupCommitOptions {
+  /// How long a committing process sleeps hoping for company. 0 disables
+  /// batching entirely.
+  SimTime timeout = 2 * kMillisecond;
+  /// Flush as soon as this many commits are pending.
+  uint32_t min_txns = 4;
+  /// When true (default), a commit with no other active transactions
+  /// flushes immediately — at multiprogramming level 1 there is nobody to
+  /// wait for, and the paper's single-user benchmark depends on this.
+  bool adaptive = true;
+};
+
+/// \brief Batches concurrent commit flushes into single segment writes.
+class GroupCommit {
+ public:
+  struct Stats {
+    uint64_t flushes = 0;
+    uint64_t txns_flushed = 0;
+    uint64_t batched = 0;  ///< commits that shared another commit's flush
+  };
+
+  GroupCommit(SimEnv* env, Lfs* lfs, GroupCommitOptions options);
+
+  /// Called by a committing transaction after moving its buffers to the
+  /// dirty list; returns once those buffers are durably in the log.
+  /// `others_active` = other transactions are currently running.
+  Status CommitFlush(TxnId txn, bool others_active);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  SimEnv* env_;
+  Lfs* lfs_;
+  GroupCommitOptions options_;
+  bool flushing_ = false;
+  uint64_t start_epoch_ = 0;            ///< flush-start counter
+  uint64_t completed_start_epoch_ = 0;  ///< start epoch of last finished flush
+  uint32_t pending_ = 0;                ///< commits waiting to be flushed
+  WaitQueue wait_;
+  Stats stats_;
+};
+
+}  // namespace lfstx
+
+#endif  // LFSTX_EMBEDDED_GROUP_COMMIT_H_

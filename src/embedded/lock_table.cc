@@ -1,0 +1,5 @@
+// KernelLockTable is header-only; this translation unit anchors it in the
+// library and provides a home for future out-of-line growth.
+#include "embedded/lock_table.h"
+
+namespace lfstx {}  // namespace lfstx

@@ -1,0 +1,38 @@
+// The kernel lock table (section 4.1): "a hash table of currently locked
+// objects which are identified by file and block number. Locks are chained
+// both by object and by transaction, facilitating rapid traversal during
+// transaction commit and abort."
+//
+// A thin wrapper over the shared LockManager core: the kernel variant
+// charges no extra synchronization (locking happens inside the one system
+// call the caller already paid for), which is exactly the asymmetry
+// section 5.1 measures against user-level semaphores.
+#ifndef LFSTX_EMBEDDED_LOCK_TABLE_H_
+#define LFSTX_EMBEDDED_LOCK_TABLE_H_
+
+#include "txn/lock_manager.h"
+
+namespace lfstx {
+
+/// \brief Kernel-resident lock table.
+class KernelLockTable {
+ public:
+  explicit KernelLockTable(SimEnv* env) : lm_(env) {}
+
+  Status LockPage(TxnId txn, FileId file, uint64_t page, LockMode mode) {
+    return lm_.Lock(txn, LockId{file, page}, mode);
+  }
+  /// Commit/abort path: traverse the transaction's lock chain and release.
+  void ReleaseAll(TxnId txn) { lm_.UnlockAll(txn); }
+
+  std::vector<LockId> Held(TxnId txn) const { return lm_.Held(txn); }
+  const LockManager::Stats& stats() const { return lm_.stats(); }
+  size_t locked_objects() const { return lm_.locked_objects(); }
+
+ private:
+  LockManager lm_;
+};
+
+}  // namespace lfstx
+
+#endif  // LFSTX_EMBEDDED_LOCK_TABLE_H_

@@ -1,0 +1,71 @@
+#include "ffs/allocator.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace lfstx {
+
+BlockBitmap::BlockBitmap(BlockAddr first_block, uint64_t nblocks)
+    : first_(first_block),
+      nblocks_(nblocks),
+      free_count_(nblocks),
+      bits_((nblocks + 7) / 8, 0) {}
+
+bool BlockBitmap::IsUsed(BlockAddr addr) const {
+  uint64_t i = IndexOf(addr);
+  assert(i < nblocks_);
+  return (bits_[i >> 3] >> (i & 7)) & 1;
+}
+
+void BlockBitmap::MarkUsed(BlockAddr addr) {
+  uint64_t i = IndexOf(addr);
+  assert(i < nblocks_);
+  if (!((bits_[i >> 3] >> (i & 7)) & 1)) {
+    bits_[i >> 3] |= static_cast<uint8_t>(1u << (i & 7));
+    free_count_--;
+  }
+}
+
+void BlockBitmap::Free(BlockAddr addr) {
+  uint64_t i = IndexOf(addr);
+  assert(i < nblocks_);
+  if ((bits_[i >> 3] >> (i & 7)) & 1) {
+    bits_[i >> 3] &= static_cast<uint8_t>(~(1u << (i & 7)));
+    free_count_++;
+  }
+}
+
+Result<BlockAddr> BlockBitmap::Alloc(BlockAddr hint) {
+  if (free_count_ == 0) return Status::NoSpace("file system full");
+  uint64_t start = 0;
+  if (hint >= first_ && hint < first_ + nblocks_) start = IndexOf(hint);
+  for (uint64_t k = 0; k < nblocks_; k++) {
+    uint64_t i = (start + k) % nblocks_;
+    if (!((bits_[i >> 3] >> (i & 7)) & 1)) {
+      bits_[i >> 3] |= static_cast<uint8_t>(1u << (i & 7));
+      free_count_--;
+      return first_ + i;
+    }
+  }
+  return Status::NoSpace("file system full");
+}
+
+uint32_t BlockBitmap::SerializedBlocks() const {
+  return static_cast<uint32_t>((bits_.size() + kBlockSize - 1) / kBlockSize);
+}
+
+void BlockBitmap::Serialize(char* out) const {
+  size_t total = static_cast<size_t>(SerializedBlocks()) * kBlockSize;
+  memset(out, 0, total);
+  memcpy(out, bits_.data(), bits_.size());
+}
+
+void BlockBitmap::Deserialize(const char* in) {
+  memcpy(bits_.data(), in, bits_.size());
+  free_count_ = 0;
+  for (uint64_t i = 0; i < nblocks_; i++) {
+    if (!((bits_[i >> 3] >> (i & 7)) & 1)) free_count_++;
+  }
+}
+
+}  // namespace lfstx

@@ -1,0 +1,45 @@
+// Free-block bitmap for the read-optimized file system.
+#ifndef LFSTX_FFS_ALLOCATOR_H_
+#define LFSTX_FFS_ALLOCATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "disk/disk_model.h"
+
+namespace lfstx {
+
+/// \brief In-memory bitmap over the data region, persisted as raw blocks.
+///
+/// Allocation takes a hint and returns the first free block at or after it
+/// (wrapping once), which is what gives FFS its near-contiguous layout for
+/// sequentially written files.
+class BlockBitmap {
+ public:
+  BlockBitmap(BlockAddr first_block, uint64_t nblocks);
+
+  Result<BlockAddr> Alloc(BlockAddr hint);
+  void Free(BlockAddr addr);
+  bool IsUsed(BlockAddr addr) const;
+  void MarkUsed(BlockAddr addr);
+  uint64_t free_count() const { return free_count_; }
+  uint64_t total() const { return nblocks_; }
+
+  /// Size of the on-disk representation in 4 KiB blocks.
+  uint32_t SerializedBlocks() const;
+  void Serialize(char* out) const;    // out has SerializedBlocks()*kBlockSize
+  void Deserialize(const char* in);
+
+ private:
+  uint64_t IndexOf(BlockAddr addr) const { return addr - first_; }
+
+  BlockAddr first_;
+  uint64_t nblocks_;
+  uint64_t free_count_;
+  std::vector<uint8_t> bits_;
+};
+
+}  // namespace lfstx
+
+#endif  // LFSTX_FFS_ALLOCATOR_H_

@@ -1,0 +1,27 @@
+#include "ffs/syncer.h"
+
+namespace lfstx {
+
+Syncer::Syncer(SimEnv* env, FileSystem* fs, SimTime interval)
+    : shared_(std::make_shared<Shared>()) {
+  // The daemon thread is owned by SimEnv and may be drained after this
+  // Syncer (and even the file system) is destroyed; shared->alive gates
+  // every use of `fs`.
+  std::shared_ptr<Shared> shared = shared_;
+  env->Spawn(
+      "syncer",
+      [env, fs, shared, interval] {
+        while (!env->stop_requested() && shared->alive) {
+          env->SleepFor(interval);
+          if (env->stop_requested() || !shared->alive) break;
+          Status s = fs->SyncAll();
+          (void)s;  // a full disk is reported by foreground writers
+          shared->rounds++;
+        }
+      },
+      /*daemon=*/true);
+}
+
+Syncer::~Syncer() { shared_->alive = false; }
+
+}  // namespace lfstx

@@ -1,0 +1,37 @@
+// The update daemon: periodically pushes dirty buffers to disk, like the
+// BSD/Sprite 30-second sync. Works against any FileSystem; the paper's
+// read-optimized write-back path ("this write occurs within 30 seconds of
+// when it entered the buffer cache and is sorted in the disk queue with all
+// other I/O") is this daemon plus the elevator disk queue.
+#ifndef LFSTX_FFS_SYNCER_H_
+#define LFSTX_FFS_SYNCER_H_
+
+#include <memory>
+
+#include "fs/vfs.h"
+#include "sim/sim_env.h"
+
+namespace lfstx {
+
+/// \brief Periodic sync daemon (a simulated kernel process).
+class Syncer {
+ public:
+  /// Spawns the daemon immediately. It stops when the simulation shuts
+  /// down, or detaches when this object is destroyed first.
+  Syncer(SimEnv* env, FileSystem* fs, SimTime interval = 30 * kSecond);
+  ~Syncer();
+
+  uint64_t rounds() const { return shared_->rounds; }
+
+ private:
+  struct Shared {
+    bool alive = true;
+    uint64_t rounds = 0;
+  };
+
+  std::shared_ptr<Shared> shared_;
+};
+
+}  // namespace lfstx
+
+#endif  // LFSTX_FFS_SYNCER_H_

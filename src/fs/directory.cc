@@ -1,0 +1,57 @@
+#include "fs/directory.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace lfstx {
+
+namespace {
+struct RawEntry {
+  uint32_t inum;
+  uint8_t name_len;
+  char name[kMaxNameLen];
+};
+static_assert(sizeof(RawEntry) == kDirEntrySize);
+}  // namespace
+
+bool DecodeDirEntry(const char* block, uint32_t slot, DirEntry* out) {
+  assert(slot < kDirEntriesPerBlock);
+  RawEntry e;
+  memcpy(&e, block + slot * kDirEntrySize, sizeof(e));
+  if (e.inum == kInvalidInode) return false;
+  out->inum = e.inum;
+  out->name.assign(e.name, std::min<size_t>(e.name_len, kMaxNameLen));
+  return true;
+}
+
+void EncodeDirEntry(char* block, uint32_t slot, InodeNum inum,
+                    const std::string& name) {
+  assert(slot < kDirEntriesPerBlock);
+  assert(name.size() <= kMaxNameLen);
+  RawEntry e;
+  memset(&e, 0, sizeof(e));
+  e.inum = inum;
+  e.name_len = static_cast<uint8_t>(name.size());
+  memcpy(e.name, name.data(), name.size());
+  memcpy(block + slot * kDirEntrySize, &e, sizeof(e));
+}
+
+int FindDirEntry(const char* block, const std::string& name) {
+  DirEntry e;
+  for (uint32_t s = 0; s < kDirEntriesPerBlock; s++) {
+    if (DecodeDirEntry(block, s, &e) && e.name == name) {
+      return static_cast<int>(s);
+    }
+  }
+  return -1;
+}
+
+int FindFreeDirSlot(const char* block) {
+  DirEntry e;
+  for (uint32_t s = 0; s < kDirEntriesPerBlock; s++) {
+    if (!DecodeDirEntry(block, s, &e)) return static_cast<int>(s);
+  }
+  return -1;
+}
+
+}  // namespace lfstx

@@ -1,0 +1,40 @@
+// Directory block format: 64-byte fixed entries, 64 per block.
+// inum == 0 marks a free slot.
+#ifndef LFSTX_FS_DIRECTORY_H_
+#define LFSTX_FS_DIRECTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "disk/disk_model.h"
+#include "fs/fs_types.h"
+#include "fs/path.h"
+
+namespace lfstx {
+
+constexpr uint32_t kDirEntrySize = 64;
+constexpr uint32_t kDirEntriesPerBlock = kBlockSize / kDirEntrySize;  // 64
+
+/// \brief One directory entry as seen by callers of ReadDir.
+struct DirEntry {
+  InodeNum inum = kInvalidInode;
+  std::string name;
+};
+
+/// Read the entry at `slot` of a directory block. Returns false if free.
+bool DecodeDirEntry(const char* block, uint32_t slot, DirEntry* out);
+
+/// Write (or clear, if inum==0) the entry at `slot`.
+void EncodeDirEntry(char* block, uint32_t slot, InodeNum inum,
+                    const std::string& name);
+
+/// Scan a directory block for `name`; returns slot index or -1.
+int FindDirEntry(const char* block, const std::string& name);
+
+/// Scan a directory block for a free slot; returns slot index or -1.
+int FindFreeDirSlot(const char* block);
+
+}  // namespace lfstx
+
+#endif  // LFSTX_FS_DIRECTORY_H_

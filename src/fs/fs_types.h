@@ -1,0 +1,29 @@
+// Identifiers shared by the cache, file systems, and transaction layers.
+#ifndef LFSTX_FS_FS_TYPES_H_
+#define LFSTX_FS_FS_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace lfstx {
+
+/// Inode number. Inode 1 is the root directory; 0 is invalid.
+using InodeNum = uint32_t;
+constexpr InodeNum kInvalidInode = 0;
+constexpr InodeNum kRootInode = 1;
+
+/// Cache / lock namespace for a file. Ordinary files use their inode
+/// number; file systems reserve high ids for metadata block namespaces.
+using FileId = uint64_t;
+/// FFS metadata (superblock, bitmaps, inode table) cached by physical block.
+constexpr FileId kMetaFileId = ~0ull;
+/// LFS inode-map blocks cached by map block index.
+constexpr FileId kInodeMapFileId = ~0ull - 1;
+
+/// Transaction identifier; 0 means "no transaction".
+using TxnId = uint64_t;
+constexpr TxnId kNoTxn = 0;
+
+}  // namespace lfstx
+
+#endif  // LFSTX_FS_FS_TYPES_H_

@@ -1,0 +1,17 @@
+#include "fs/inode.h"
+
+#include <cassert>
+
+namespace lfstx {
+
+void EncodeInode(const DiskInode& ino, char* block, uint32_t slot) {
+  assert(slot < kInodesPerBlock);
+  memcpy(block + slot * kDiskInodeSize, &ino, kDiskInodeSize);
+}
+
+void DecodeInode(const char* block, uint32_t slot, DiskInode* out) {
+  assert(slot < kInodesPerBlock);
+  memcpy(out, block + slot * kDiskInodeSize, kDiskInodeSize);
+}
+
+}  // namespace lfstx

@@ -1,0 +1,35 @@
+#include "fs/path.h"
+
+namespace lfstx {
+
+Status SplitPath(const std::string& path, std::vector<std::string>* out) {
+  out->clear();
+  if (path.empty() || path[0] != '/') {
+    return Status::InvalidArgument("path must be absolute: " + path);
+  }
+  size_t i = 1;
+  while (i < path.size()) {
+    size_t j = path.find('/', i);
+    if (j == std::string::npos) j = path.size();
+    if (j == i) return Status::InvalidArgument("empty path component: " + path);
+    if (j - i > kMaxNameLen) {
+      return Status::InvalidArgument("path component too long: " + path);
+    }
+    out->push_back(path.substr(i, j - i));
+    i = j + 1;
+  }
+  return Status::OK();
+}
+
+Status SplitParent(const std::string& path, std::vector<std::string>* parent,
+                   std::string* name) {
+  LFSTX_RETURN_IF_ERROR(SplitPath(path, parent));
+  if (parent->empty()) {
+    return Status::InvalidArgument("path has no final component: " + path);
+  }
+  *name = parent->back();
+  parent->pop_back();
+  return Status::OK();
+}
+
+}  // namespace lfstx

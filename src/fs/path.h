@@ -1,0 +1,25 @@
+// Path utilities: absolute slash-separated paths, no "." / ".." support.
+#ifndef LFSTX_FS_PATH_H_
+#define LFSTX_FS_PATH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lfstx {
+
+/// Maximum length of one path component.
+constexpr size_t kMaxNameLen = 59;
+
+/// Split "/a/b/c" into {"a","b","c"}. Rejects empty components, relative
+/// paths, and components longer than kMaxNameLen.
+Status SplitPath(const std::string& path, std::vector<std::string>* out);
+
+/// Split into (parent components, final name). Rejects "/".
+Status SplitParent(const std::string& path, std::vector<std::string>* parent,
+                   std::string* name);
+
+}  // namespace lfstx
+
+#endif  // LFSTX_FS_PATH_H_

@@ -1,0 +1,208 @@
+// The file system interface and FsCore, the implementation shared by both
+// file systems: inode lifecycle, hierarchical directories, and the byte
+// read/write data path through the buffer cache.
+//
+// FFS and LFS differ only in the virtuals: where inodes live, how block
+// addresses are allocated (eagerly in place vs. lazily at segment-write
+// time), and how dirty buffers reach the disk.
+#ifndef LFSTX_FS_VFS_H_
+#define LFSTX_FS_VFS_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/buffer_cache.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "disk/sim_disk.h"
+#include "fs/directory.h"
+#include "fs/inode.h"
+#include "fs/path.h"
+#include "sim/sim_env.h"
+
+namespace lfstx {
+
+/// \brief stat() result.
+struct FileStat {
+  InodeNum inum = kInvalidInode;
+  FileType type = FileType::kFree;
+  uint64_t size = 0;
+  uint32_t nlink = 0;
+  bool txn_protected = false;
+  SimTime mtime = 0;
+};
+
+/// \brief Per-page transaction hook installed by the embedded transaction
+/// manager (section 4.2: read/write system calls request page locks on
+/// transaction-protected files).
+class TxnHooks {
+ public:
+  virtual ~TxnHooks() = default;
+  /// Called for each page of a *transaction-protected* file touched by
+  /// read/write. Acquires the page lock, blocking if necessary. Returns the
+  /// transaction that should own dirtied buffers, or kNoTxn when the
+  /// calling process has no active transaction. Errors (e.g. kDeadlock)
+  /// abort the file operation.
+  virtual Result<TxnId> OnPageAccess(Inode* inode, uint64_t lblock,
+                                     bool is_write) = 0;
+};
+
+/// \brief Public file system API (identical for FFS and LFS, and identical
+/// for protected and unprotected files — the paper's design requirement).
+class FileSystem : public WritebackHandler {
+ public:
+  ~FileSystem() override = default;
+
+  virtual const char* fs_name() const = 0;
+  virtual Status Format() = 0;
+  virtual Status Mount() = 0;
+  virtual Status Unmount() = 0;
+
+  // -- namespace operations (absolute paths) --
+  virtual Status Mkdir(const std::string& path) = 0;
+  virtual Result<InodeNum> Create(const std::string& path) = 0;
+  virtual Result<InodeNum> Open(const std::string& path) = 0;
+  virtual Status Close(InodeNum inum) = 0;
+  virtual Result<InodeNum> LookupPath(const std::string& path) = 0;
+  virtual Status Remove(const std::string& path) = 0;
+  virtual Status ReadDir(const std::string& path,
+                         std::vector<DirEntry>* out) = 0;
+  virtual Status Stat(const std::string& path, FileStat* out) = 0;
+  virtual Status StatInode(InodeNum inum, FileStat* out) = 0;
+
+  // -- data operations --
+  virtual Result<size_t> Read(InodeNum inum, uint64_t offset, size_t n,
+                              char* out) = 0;
+  virtual Status Write(InodeNum inum, uint64_t offset, Slice data) = 0;
+  virtual Status Truncate(InodeNum inum, uint64_t new_size) = 0;
+
+  // -- durability --
+  virtual Status SyncFile(InodeNum inum) = 0;
+  virtual Status SyncAll() = 0;
+
+  // -- transaction protection attribute (section 4: "like protections or
+  // access control lists ... turned on or off through a provided utility") --
+  virtual Status SetTxnProtected(const std::string& path, bool on) = 0;
+};
+
+/// \brief Shared implementation core. See file comment.
+class FsCore : public FileSystem {
+ public:
+  FsCore(SimEnv* env, SimDisk* disk, BufferCache* cache);
+
+  void set_txn_hooks(TxnHooks* hooks) { hooks_ = hooks; }
+  SimEnv* env() const { return env_; }
+  SimDisk* disk() const { return disk_; }
+  BufferCache* cache() const { return cache_; }
+
+  Status Mkdir(const std::string& path) override;
+  Result<InodeNum> Create(const std::string& path) override;
+  Result<InodeNum> Open(const std::string& path) override;
+  Status Close(InodeNum inum) override;
+  Result<InodeNum> LookupPath(const std::string& path) override;
+  Status Remove(const std::string& path) override;
+  Status ReadDir(const std::string& path, std::vector<DirEntry>* out) override;
+  Status Stat(const std::string& path, FileStat* out) override;
+  Status StatInode(InodeNum inum, FileStat* out) override;
+
+  Result<size_t> Read(InodeNum inum, uint64_t offset, size_t n,
+                      char* out) override;
+  Status Write(InodeNum inum, uint64_t offset, Slice data) override;
+  Status Truncate(InodeNum inum, uint64_t new_size) override;
+  Status SetTxnProtected(const std::string& path, bool on) override;
+  Status SyncFile(InodeNum inum) override;
+
+  /// In-core inode for `inum`, loading it if necessary.
+  Result<Inode*> GetInode(InodeNum inum);
+
+  /// Current on-disk address of a file block; kInvalidBlock when the block
+  /// is sparse or only exists as a dirty buffer not yet assigned a home.
+  Result<BlockAddr> MapBlock(Inode* ino, uint64_t lblock);
+
+  /// Update the mapping entry for a block (used by the LFS segment writer
+  /// when it assigns log addresses, and by the cleaner). Returns the
+  /// previous address. Marks the affected metadata dirty.
+  Result<BlockAddr> SetBlockMapping(Inode* ino, uint64_t lblock,
+                                    BlockAddr addr);
+
+  /// Update the on-disk home of an *indirect* block (meta-namespace
+  /// lblock): 0 updates inode.indirect, 1 updates inode.double_indirect,
+  /// 2+k updates entry k of the double-indirect root. Returns the previous
+  /// home (kInvalidBlock if none).
+  Result<BlockAddr> SetMetaBlockMapping(Inode* ino, uint64_t meta_lblock,
+                                        BlockAddr addr);
+
+  /// Current on-disk home of an indirect block (see SetMetaBlockMapping).
+  Result<BlockAddr> GetMetaBlockHome(Inode* ino, uint64_t meta_lblock);
+
+ protected:
+  // ---- FS-specific policy, supplied by FFS / LFS ----
+
+  /// Read inode `inum` from its on-disk home.
+  virtual Status LoadInode(InodeNum inum, DiskInode* out) = 0;
+  /// Reserve a fresh inode number.
+  virtual Result<InodeNum> AllocInodeNum() = 0;
+  /// Return an inode number to the free pool (file fully deleted).
+  virtual Status ReleaseInodeNum(Inode* ino) = 0;
+  /// The inode's fields changed; schedule it to reach disk.
+  virtual Status NoteInodeDirty(Inode* ino) = 0;
+  /// Allocate an on-disk address for a new block of `ino` (FFS), or return
+  /// kInvalidBlock if addresses are assigned at write-back time (LFS).
+  virtual Result<BlockAddr> AllocBlockAddr(Inode* ino) = 0;
+  /// A block address was unmapped (overwrite, truncate, delete).
+  virtual void ReleaseBlockAddr(BlockAddr addr) = 0;
+  /// Block the caller while `ino` is locked by the kernel cleaner; default
+  /// no-op (FFS has no cleaner).
+  virtual Status EnterDataPath(Inode* ino) { (void)ino; return Status::OK(); }
+
+  // ---- shared machinery used by subclasses ----
+
+  /// Allocate + initialize the root directory (called from Format()).
+  Status InitRoot();
+  /// Drop all in-core inodes (called from Unmount()).
+  void ClearInodeTable();
+  /// Walk every in-core dirty inode (LFS segment writer, FFS sync).
+  std::vector<Inode*> DirtyInodes();
+  /// Resolve a path to an inode, charging directory scan CPU.
+  Result<Inode*> Resolve(const std::string& path);
+  Result<Inode*> ResolveParent(const std::string& path, std::string* name);
+  /// Insert an in-core inode built by recovery / format paths.
+  Inode* InstallInode(const DiskInode& d);
+  /// True if any in-core inode is open.
+  bool AnyOpenFiles() const;
+
+  SimEnv* env_;
+  SimDisk* disk_;
+  BufferCache* cache_;
+  TxnHooks* hooks_ = nullptr;
+  bool mounted_ = false;
+
+ private:
+  enum class Access { kRead, kWritePartial, kWriteWhole };
+  /// Pinned, valid data buffer for (ino, lblock); for writes, materializes
+  /// the mapping chain first and sets buf->disk_addr to the block's home.
+  Result<Buffer*> GetDataBuffer(Inode* ino, uint64_t lblock, Access access);
+  /// Materialize the metadata chain for a write to `lblock` (allocating
+  /// real addresses under FFS; just cache presence under LFS).
+  Status EnsureMapped(Inode* ino, uint64_t lblock);
+  /// Pinned metadata buffer (indirect block) by meta-namespace lblock.
+  Result<Buffer*> GetMetaBuffer(Inode* ino, uint64_t meta_lblock,
+                                BlockAddr home);
+  Result<TxnId> MaybeLock(Inode* ino, uint64_t lblock, bool write);
+
+  // Directory plumbing.
+  Status AddDirEntry(Inode* dir, const std::string& name, InodeNum inum);
+  Status RemoveDirEntry(Inode* dir, const std::string& name);
+  Result<InodeNum> FindInDir(Inode* dir, const std::string& name);
+  Result<size_t> CountDirEntries(Inode* dir);
+
+  Status FreeFileBlocks(Inode* ino, uint64_t from_block);
+
+  std::unordered_map<InodeNum, std::unique_ptr<Inode>> inodes_;
+};
+
+}  // namespace lfstx
+
+#endif  // LFSTX_FS_VFS_H_

@@ -1,0 +1,128 @@
+#include "harness/machine.h"
+
+#include "embedded/kernel_txn.h"
+
+namespace lfstx {
+
+Result<InodeNum> Kernel::Open(const std::string& path) {
+  env_->Syscall();
+  return fs_->Open(path);
+}
+
+Result<InodeNum> Kernel::Create(const std::string& path) {
+  env_->Syscall();
+  return fs_->Create(path);
+}
+
+Status Kernel::Close(InodeNum ino) {
+  env_->Syscall();
+  return fs_->Close(ino);
+}
+
+Status Kernel::Mkdir(const std::string& path) {
+  env_->Syscall();
+  return fs_->Mkdir(path);
+}
+
+Status Kernel::Remove(const std::string& path) {
+  env_->Syscall();
+  return fs_->Remove(path);
+}
+
+Result<size_t> Kernel::Read(InodeNum ino, uint64_t off, size_t n, char* out) {
+  env_->Syscall();
+  return fs_->Read(ino, off, n, out);
+}
+
+Status Kernel::Write(InodeNum ino, uint64_t off, Slice data) {
+  env_->Syscall();
+  return fs_->Write(ino, off, data);
+}
+
+Status Kernel::Truncate(InodeNum ino, uint64_t size) {
+  env_->Syscall();
+  return fs_->Truncate(ino, size);
+}
+
+Status Kernel::Fsync(InodeNum ino) {
+  env_->Syscall();
+  return fs_->SyncFile(ino);
+}
+
+Status Kernel::Sync() {
+  env_->Syscall();
+  return fs_->SyncAll();
+}
+
+Status Kernel::Stat(const std::string& path, FileStat* out) {
+  env_->Syscall();
+  return fs_->Stat(path, out);
+}
+
+Status Kernel::ReadDir(const std::string& path, std::vector<DirEntry>* out) {
+  env_->Syscall();
+  return fs_->ReadDir(path, out);
+}
+
+Status Kernel::SetTxnProtected(const std::string& path, bool on) {
+  env_->Syscall();
+  return fs_->SetTxnProtected(path, on);
+}
+
+Status Kernel::TxnBegin() {
+  env_->Syscall();
+  if (txn_mgr_ == nullptr) {
+    return Status::NotSupported("no embedded transaction manager");
+  }
+  return txn_mgr_->TxnBegin();
+}
+
+Status Kernel::TxnCommit() {
+  env_->Syscall();
+  if (txn_mgr_ == nullptr) {
+    return Status::NotSupported("no embedded transaction manager");
+  }
+  return txn_mgr_->TxnCommit();
+}
+
+Status Kernel::TxnAbort() {
+  env_->Syscall();
+  if (txn_mgr_ == nullptr) {
+    return Status::NotSupported("no embedded transaction manager");
+  }
+  return txn_mgr_->TxnAbort();
+}
+
+Lfs* Machine::lfs() const { return dynamic_cast<Lfs*>(fs.get()); }
+
+std::unique_ptr<Machine> Machine::Build(const Options& options) {
+  auto m = std::make_unique<Machine>();
+  m->env = std::make_unique<SimEnv>(options.costs);
+  m->disk = std::make_unique<SimDisk>(m->env.get(), options.disk);
+  m->cache = std::make_unique<BufferCache>(m->env.get(), options.cache_blocks);
+  if (options.fs == FsKind::kLfs) {
+    auto lfs = std::make_unique<Lfs>(m->env.get(), m->disk.get(),
+                                     m->cache.get(), options.lfs);
+    if (options.start_cleaner) {
+      m->cleaner = std::make_unique<Cleaner>(m->env.get(), lfs.get(),
+                                             options.cleaner);
+    }
+    m->fs = std::move(lfs);
+  } else {
+    m->fs = std::make_unique<Ffs>(m->env.get(), m->disk.get(), m->cache.get(),
+                                  options.ffs);
+  }
+  m->cache->set_writeback(m->fs.get());
+  if (options.start_syncer) {
+    m->syncer = std::make_unique<Syncer>(m->env.get(), m->fs.get(),
+                                         options.sync_interval);
+  }
+  m->kernel = std::make_unique<Kernel>(m->env.get(), m->fs.get());
+  return m;
+}
+
+Status Machine::Boot(const Options& options) {
+  return options.format ? fs->Format() : fs->Mount();
+}
+
+}  // namespace lfstx

@@ -1,0 +1,92 @@
+// Architecture rig: one simulated machine assembled into one of the three
+// configurations the paper measures, plus a DbBackend over it. Used by the
+// tests, the benchmark binaries, and the examples.
+#ifndef LFSTX_HARNESS_RIG_H_
+#define LFSTX_HARNESS_RIG_H_
+
+#include <functional>
+#include <memory>
+
+#include "db/db.h"
+#include "embedded/kernel_txn.h"
+#include "harness/machine.h"
+#include "libtp/txn_manager.h"
+
+namespace lfstx {
+
+/// The three measured configurations (Figure 4's three bars).
+enum class Arch { kUserFfs, kUserLfs, kEmbedded };
+
+inline const char* ArchName(Arch a) {
+  switch (a) {
+    case Arch::kUserFfs: return "user-level/read-optimized";
+    case Arch::kUserLfs: return "user-level/LFS";
+    case Arch::kEmbedded: return "embedded/LFS";
+  }
+  return "?";
+}
+
+/// \brief One machine + transaction architecture + db backend.
+struct ArchRig {
+  Arch arch;
+  Machine::Options options;
+  std::unique_ptr<Machine> machine;
+  std::unique_ptr<EmbeddedTxnManager> etm;
+  std::unique_ptr<LibTp> libtp;
+  std::unique_ptr<DbBackend> backend;
+
+  static std::unique_ptr<ArchRig> Create(
+      Arch arch, Machine::Options options = Machine::Options(),
+      LibTp::Options libtp_options = LibTp::Options(),
+      EmbeddedTxnManager::Options etm_options = EmbeddedTxnManager::Options()) {
+    auto rig = std::make_unique<ArchRig>();
+    rig->arch = arch;
+    options.fs = arch == Arch::kUserFfs ? FsKind::kReadOptimized : FsKind::kLfs;
+    rig->options = options;
+    rig->machine = Machine::Build(options);
+    if (arch == Arch::kEmbedded) {
+      rig->etm = std::make_unique<EmbeddedTxnManager>(
+          rig->machine->env.get(), rig->machine->lfs(), etm_options);
+      rig->machine->kernel->AttachTxnManager(rig->etm.get());
+      rig->backend =
+          std::make_unique<EmbeddedBackend>(rig->machine->kernel.get());
+    } else {
+      if (arch == Arch::kUserLfs) {
+        // On LFS a preallocated log region buys nothing (the log is
+        // rewritten through the segment writer anyway) and wastes space.
+        libtp_options.log.preallocate_bytes = 0;
+      }
+      rig->libtp = std::make_unique<LibTp>(rig->machine->kernel.get(),
+                                           libtp_options);
+      rig->backend = std::make_unique<LibTpBackend>(rig->libtp.get());
+    }
+    return rig;
+  }
+
+  /// Format/mount the FS and open the LIBTP log. Call inside a process.
+  Status Boot() {
+    LFSTX_RETURN_IF_ERROR(machine->Boot(options));
+    if (libtp != nullptr) {
+      LFSTX_RETURN_IF_ERROR(libtp->Open("/txn.log"));
+    }
+    return Status::OK();
+  }
+
+  SimEnv* env() { return machine->env.get(); }
+
+  /// Spawn a process that boots the rig and runs `fn`, then drive the
+  /// simulation to completion. Returns OK unless boot failed.
+  Status Run(std::function<void()> fn) {
+    Status boot_status;
+    env()->Spawn("main", [this, &boot_status, fn = std::move(fn)] {
+      boot_status = Boot();
+      if (boot_status.ok()) fn();
+    });
+    env()->Run();
+    return boot_status;
+  }
+};
+
+}  // namespace lfstx
+
+#endif  // LFSTX_HARNESS_RIG_H_

@@ -1,0 +1,47 @@
+#include "harness/table.h"
+
+#include <cstdarg>
+
+namespace lfstx {
+
+ResultTable::ResultTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void ResultTable::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void ResultTable::Print(FILE* out) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); c++) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); c++) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    fprintf(out, " ");
+    for (size_t c = 0; c < widths.size(); c++) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      fprintf(out, " %-*s", static_cast<int>(widths[c]), cell.c_str());
+    }
+    fprintf(out, "\n");
+  };
+  print_row(headers_);
+  size_t total = 2;
+  for (size_t w : widths) total += w + 1;
+  std::string rule(total, '-');
+  fprintf(out, "%s\n", rule.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Fmt(const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  return buf;
+}
+
+}  // namespace lfstx

@@ -1,0 +1,30 @@
+// Plain-text results tables for the benchmark binaries, printing the same
+// rows/series the paper's figures report.
+#ifndef LFSTX_HARNESS_TABLE_H_
+#define LFSTX_HARNESS_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace lfstx {
+
+/// \brief Aligned-column text table.
+class ResultTable {
+ public:
+  explicit ResultTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style std::string.
+std::string Fmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace lfstx
+
+#endif  // LFSTX_HARNESS_TABLE_H_

@@ -1,0 +1,287 @@
+#include "lfs/cleaner.h"
+
+#include <cstring>
+#include <set>
+
+namespace lfstx {
+
+Cleaner::Cleaner(SimEnv* env, Lfs* lfs, Options options)
+    : env_(env),
+      lfs_(lfs),
+      options_(options),
+      shared_(std::make_shared<Shared>(env)) {
+  lfs_->AttachCleaner(this);
+  // The daemon thread is owned by SimEnv and may be drained after this
+  // Cleaner is destroyed; it only touches `this` while shared->alive.
+  std::shared_ptr<Shared> shared = shared_;
+  SimTime poll = options_.poll_interval;
+  env_->Spawn(
+      "cleaner",
+      [this, env, shared, poll] {
+        while (!env->stop_requested() && shared->alive) {
+          shared->wakeup.SleepFor(poll);
+          if (env->stop_requested() || !shared->alive) break;
+          Loop();
+        }
+      },
+      /*daemon=*/true);
+}
+
+Cleaner::~Cleaner() {
+  shared_->alive = false;
+  if (lfs_ != nullptr) lfs_->AttachCleaner(nullptr);
+}
+
+void Cleaner::Loop() {
+  if (lfs_->clean_segments() >= options_.low_water) return;
+  stats_.rounds++;
+  while (lfs_->clean_segments() < options_.high_water &&
+         !env_->stop_requested()) {
+    uint32_t before = lfs_->clean_segments();
+    Status s = CleanOne();
+    if (!s.ok()) break;  // nothing cleanable right now
+    if (lfs_->clean_segments() <= before) break;  // no forward progress
+  }
+  lfs_->clean_wait_.WakeAll();
+}
+
+Status Cleaner::LockFiles(const std::vector<InodeNum>& inums,
+                          std::vector<Inode*>* locked) {
+  for (InodeNum inum : inums) {
+    auto r = lfs_->GetInode(inum);
+    if (!r.ok()) continue;  // deleted since the segment was written
+    Inode* ino = r.value();
+    if (!ino->being_cleaned) {
+      ino->being_cleaned = true;
+      locked->push_back(ino);
+    }
+  }
+  return Status::OK();
+}
+
+void Cleaner::UnlockFiles(const std::vector<Inode*>& locked) {
+  for (Inode* ino : locked) {
+    ino->being_cleaned = false;
+    if (ino->clean_wait != nullptr) ino->clean_wait->WakeAll();
+  }
+}
+
+Status Cleaner::CleanOne() {
+  SimTime t0 = env_->Now();
+  if (!lfs_->flush_lock_.Lock()) return Status::Busy("stopped");
+  lfs_->flush_owner_ = SimEnv::Current();
+  lfs_->cleaning_in_progress_ = true;
+  // The cleaner owns the log for the whole pass; a cache miss during its
+  // copy-forward phase must not recurse into a flush.
+  lfs_->cache()->PushNoDirtyEviction();
+  std::vector<Inode*> locked;
+
+  auto finish = [&](Status s) {
+    UnlockFiles(locked);
+    lfs_->cache()->PopNoDirtyEviction();
+    lfs_->cleaning_in_progress_ = false;
+    lfs_->flush_owner_ = nullptr;
+    lfs_->flush_lock_.Unlock();
+    lfs_->clean_wait_.WakeAll();
+    stats_.busy_us += env_->Now() - t0;
+    return s;
+  };
+
+  auto victim_r = lfs_->usage_.PickVictim(options_.policy, env_->Now(),
+                                          lfs_->segment_blocks());
+  if (!victim_r.ok()) return finish(victim_r.status());
+  uint32_t victim = victim_r.value();
+  uint32_t gen = lfs_->usage_.generation(victim);
+  BlockAddr base = lfs_->SegBase(victim);
+  uint32_t seg_blocks = lfs_->segment_blocks();
+
+  // Read the whole victim in one request.
+  std::vector<char> seg(static_cast<size_t>(seg_blocks) * kBlockSize);
+  if (Status s = lfs_->disk()->Read(base, seg_blocks, seg.data()); !s.ok()) {
+    return finish(s);
+  }
+
+  // Parse this incarnation's chunks.
+  struct Chunk {
+    Summary summary;
+    uint32_t off;
+  };
+  std::vector<Chunk> chunks;
+  uint32_t off = 0;
+  while (off + 1 < seg_blocks) {
+    const char* sb = seg.data() + static_cast<size_t>(off) * kBlockSize;
+    auto npeek = Summary::PeekNBlocks(sb);
+    if (!npeek.ok()) break;
+    uint32_t n = npeek.value();
+    if (off + 1 + n > seg_blocks) break;
+    auto sres = Summary::Decode(
+        sb, seg.data() + static_cast<size_t>(off + 1) * kBlockSize, n);
+    if (!sres.ok()) break;
+    if (sres.value().generation != gen) break;  // stale older incarnation
+    chunks.push_back(Chunk{sres.take(), off});
+    off += 1 + n;
+    env_->Consume(env_->costs().segment_block_cpu_us * (1 + n));
+  }
+
+  // The kernel-mode cleaner locks every file it touches for the duration
+  // (the behavior behind the TPC-B throughput dips, section 5.1).
+  if (options_.mode == Mode::kKernel) {
+    std::vector<InodeNum> inums;
+    for (const Chunk& c : chunks) {
+      for (uint32_t i = 0; i < c.summary.nblocks(); i++) {
+        const SummaryEntry& e = c.summary.entries[i];
+        BlockKind kind = static_cast<BlockKind>(e.kind);
+        if (kind == BlockKind::kData || kind == BlockKind::kIndirect) {
+          inums.push_back(e.inum);
+        } else if (kind == BlockKind::kInode) {
+          const char* payload =
+              seg.data() + static_cast<size_t>(c.off + 1 + i) * kBlockSize;
+          for (uint32_t slot = 0; slot < kInodesPerBlock; slot++) {
+            DiskInode d;
+            DecodeInode(payload, slot, &d);
+            if (d.inum != kInvalidInode &&
+                d.file_type() != FileType::kFree) {
+              inums.push_back(d.inum);
+            }
+          }
+        }
+      }
+    }
+    std::set<InodeNum> unique(inums.begin(), inums.end());
+    if (Status s = LockFiles(
+            std::vector<InodeNum>(unique.begin(), unique.end()), &locked);
+        !s.ok()) {
+      return finish(s);
+    }
+  }
+
+  // Liveness check + copy-forward: mark every live block dirty in the
+  // cache (or the in-core inode / inode map) so the next flush rewrites it.
+  uint64_t live_copied = 0, dead = 0;
+  for (const Chunk& c : chunks) {
+    for (uint32_t i = 0; i < c.summary.nblocks(); i++) {
+      const SummaryEntry& e = c.summary.entries[i];
+      BlockAddr addr = base + c.off + 1 + i;
+      const char* payload =
+          seg.data() + static_cast<size_t>(c.off + 1 + i) * kBlockSize;
+      BlockKind kind = static_cast<BlockKind>(e.kind);
+      bool live = false;
+      if (kind == BlockKind::kData || kind == BlockKind::kIndirect) {
+        auto ir = lfs_->GetInode(e.inum);
+        if (ir.ok()) {
+          auto mr = kind == BlockKind::kData
+                        ? lfs_->MapBlock(ir.value(), e.lblock)
+                        : lfs_->GetMetaBlockHome(ir.value(), e.lblock);
+          if (mr.ok() && mr.value() == addr) {
+            live = true;
+            FileId fid = kind == BlockKind::kData
+                             ? ir.value()->data_file_id()
+                             : ir.value()->meta_file_id();
+            Buffer* buf = lfs_->cache()->Peek(BufferKey{fid, e.lblock});
+            if (buf != nullptr) {
+              // Cached: if clean, its contents equal this log copy; if
+              // dirty, a newer version will be flushed anyway. Either way
+              // just make sure it gets rewritten.
+              lfs_->cache()->MarkDirty(buf);
+              lfs_->cache()->Release(buf);
+            } else {
+              auto br = lfs_->cache()->GetNoLoad(BufferKey{fid, e.lblock});
+              if (!br.ok()) return finish(br.status());
+              memcpy(br.value()->data, payload, kBlockSize);
+              lfs_->cache()->MarkDirty(br.value());
+              lfs_->cache()->Release(br.value());
+              env_->Consume(env_->costs().segment_block_cpu_us);
+            }
+          }
+        }
+      } else if (kind == BlockKind::kInode) {
+        for (uint32_t slot = 0; slot < kInodesPerBlock; slot++) {
+          DiskInode d;
+          DecodeInode(payload, slot, &d);
+          if (d.inum == kInvalidInode || d.file_type() == FileType::kFree) {
+            continue;
+          }
+          const ImapEntry& ie = lfs_->imap_.Get(d.inum);
+          if (ie.inode_addr == addr && ie.version == d.version) {
+            auto ir = lfs_->GetInode(d.inum);
+            if (ir.ok()) {
+              live = true;
+              if (Status s = lfs_->NoteInodeDirty(ir.value()); !s.ok()) {
+                return finish(s);
+              }
+            }
+          }
+        }
+      } else if (kind == BlockKind::kImap) {
+        uint32_t idx = static_cast<uint32_t>(e.lblock);
+        if (idx < lfs_->imap_.nblocks() &&
+            lfs_->imap_.block_addrs()[idx] == addr) {
+          live = true;
+          lfs_->imap_.MarkBlockDirty(idx);
+        }
+      }
+      if (live) {
+        live_copied++;
+      } else {
+        dead++;
+      }
+      // Keep the copy-forward working set bounded: flush part-way if the
+      // cache is filling with copied blocks.
+      if (lfs_->cache()->dirty_count() * 2 >= lfs_->cache()->capacity()) {
+        if (Status s = lfs_->FlushLocked(kNoTxn); !s.ok()) return finish(s);
+      }
+    }
+  }
+  stats_.live_blocks_copied += live_copied;
+  stats_.dead_blocks_dropped += dead;
+
+  // Rewrite the live data elsewhere, reclaim the victim, and checkpoint so
+  // the crash-recovery window never references the reclaimed segment.
+  if (Status s = lfs_->FlushLocked(kNoTxn); !s.ok()) return finish(s);
+  if (options_.mode == Mode::kUserSpace) {
+    // Section 5.4: a user-space cleaner revalidates its copied blocks
+    // against recently-modified blocks inside one system call.
+    env_->Syscall(live_copied * 5);
+  }
+  if (lfs_->usage_.state(victim) == SegState::kDirty &&
+      lfs_->usage_.live(victim) == 0) {
+    lfs_->usage_.MarkClean(victim);
+    stats_.segments_cleaned++;
+  }
+  if (Status s = lfs_->WriteCheckpointLocked(); !s.ok()) return finish(s);
+  return finish(Status::OK());
+}
+
+Status Cleaner::CoalesceFile(InodeNum inum) {
+  auto ir = lfs_->GetInode(inum);
+  if (!ir.ok()) return ir.status();
+  Inode* ino = ir.value();
+  uint64_t nblocks = ino->d.size_blocks();
+  // One window per segment: every mapped block in the window is pulled
+  // into the cache, dirtied, and flushed, so the segment writer lays the
+  // window down contiguously (and in logical order, since it sorts dirty
+  // data by (file, block)).
+  uint64_t window = lfs_->segment_blocks() - 8;  // room for meta blocks
+  for (uint64_t start = 0; start < nblocks; start += window) {
+    uint64_t end = std::min(nblocks, start + window);
+    for (uint64_t lb = start; lb < end; lb++) {
+      LFSTX_ASSIGN_OR_RETURN(BlockAddr addr, lfs_->MapBlock(ino, lb));
+      if (addr == kInvalidBlock) continue;  // sparse
+      Buffer* buf = lfs_->cache()->Peek(BufferKey{ino->data_file_id(), lb});
+      if (buf == nullptr) {
+        SimDisk* disk = lfs_->disk();
+        auto br = lfs_->cache()->Get(
+            BufferKey{ino->data_file_id(), lb},
+            [disk, addr](char* dst) { return disk->Read(addr, 1, dst); });
+        LFSTX_RETURN_IF_ERROR(br.status());
+        buf = br.value();
+      }
+      lfs_->cache()->MarkDirty(buf);
+      lfs_->cache()->Release(buf);
+    }
+    LFSTX_RETURN_IF_ERROR(lfs_->Flush(kNoTxn));
+  }
+  return lfs_->Checkpoint();
+}
+
+}  // namespace lfstx

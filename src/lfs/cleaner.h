@@ -1,0 +1,96 @@
+// The cleaner: LFS's garbage collector (sections 2 and 5.4).
+//
+// Two placements are modeled, because the difference is one of the paper's
+// findings:
+//  * kKernel  — the implementation measured in the paper: while a segment
+//    is cleaned, every file with blocks in it is locked, so regular
+//    processing on those files stops ("periods of very high transaction
+//    throughput are interrupted by periods of no transaction throughput").
+//  * kUserSpace — the section 5.4 redesign: no file locks; the cleaner
+//    copies blocks and revalidates against recently-modified blocks in a
+//    short system call, so applications keep running (they only share the
+//    disk arm).
+#ifndef LFSTX_LFS_CLEANER_H_
+#define LFSTX_LFS_CLEANER_H_
+
+#include <memory>
+#include <vector>
+
+#include "lfs/lfs.h"
+#include "lfs/segment_usage.h"
+
+namespace lfstx {
+
+/// \brief Segment cleaner daemon.
+class Cleaner {
+ public:
+  enum class Mode { kKernel, kUserSpace };
+
+  struct Options {
+    Mode mode = Mode::kKernel;
+    CleanPolicy policy = CleanPolicy::kGreedy;
+    /// Start cleaning when clean segments drop to this many...
+    uint32_t low_water = 8;
+    /// ...and stop once this many are clean again.
+    uint32_t high_water = 16;
+    /// How often the daemon checks the watermark.
+    SimTime poll_interval = kSecond;
+  };
+
+  struct CleanerStats {
+    uint64_t segments_cleaned = 0;
+    uint64_t live_blocks_copied = 0;
+    uint64_t dead_blocks_dropped = 0;
+    uint64_t rounds = 0;
+    SimTime busy_us = 0;  ///< time spent inside CleanOne
+  };
+
+  /// Spawns the cleaner daemon and attaches it to the file system.
+  Cleaner(SimEnv* env, Lfs* lfs, Options options);
+  /// Detaches the daemon: it exits on its next wakeup without touching
+  /// this object again (the daemon thread itself is owned by SimEnv).
+  ~Cleaner();
+
+  /// Wake the daemon immediately (writer is out of segments).
+  void Poke() { shared_->wakeup.WakeAll(); }
+
+  /// Clean exactly one victim segment now (also used by tests). Returns
+  /// kNoSpace when there is nothing to clean.
+  Status CleanOne();
+
+  /// The section 5.4 idle-period policy: rewrite `inum`'s blocks in
+  /// logical order, window by window, so the file becomes sequential on
+  /// disk again ("use the cleaner to coalesce files which become
+  /// fragmented"). Restores read-optimized-like scan performance after a
+  /// random-update workload; see bench/ablation_defrag.
+  Status CoalesceFile(InodeNum inum);
+
+  const CleanerStats& stats() const { return stats_; }
+  const Options& options() const { return options_; }
+
+ private:
+  /// State shared with the daemon lambda so the daemon can detect that the
+  /// Cleaner object is gone.
+  struct Shared {
+    explicit Shared(SimEnv* env) : wakeup(env) {}
+    WaitQueue wakeup;
+    bool alive = true;
+  };
+
+  void Loop();
+  /// Collect the inodes referenced by the victim's summaries and lock them
+  /// (kernel mode).
+  Status LockFiles(const std::vector<InodeNum>& inums,
+                   std::vector<Inode*>* locked);
+  void UnlockFiles(const std::vector<Inode*>& locked);
+
+  SimEnv* env_;
+  Lfs* lfs_;
+  Options options_;
+  std::shared_ptr<Shared> shared_;
+  CleanerStats stats_;
+};
+
+}  // namespace lfstx
+
+#endif  // LFSTX_LFS_CLEANER_H_

@@ -1,0 +1,85 @@
+#include "lfs/inode_map.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace lfstx {
+
+InodeMap::InodeMap(uint32_t max_inodes)
+    : max_inodes_(max_inodes),
+      nblocks_((max_inodes + kImapEntriesPerBlock) / kImapEntriesPerBlock),
+      entries_(max_inodes + 1),
+      dirty_(nblocks_, false),
+      block_addrs_(nblocks_, 0) {}
+
+const ImapEntry& InodeMap::Get(InodeNum inum) const {
+  assert(inum <= max_inodes_);
+  return entries_[inum];
+}
+
+BlockAddr InodeMap::Set(InodeNum inum, BlockAddr inode_addr,
+                        uint32_t version) {
+  assert(inum != kInvalidInode && inum <= max_inodes_);
+  BlockAddr prev = entries_[inum].inode_addr;
+  entries_[inum].inode_addr = inode_addr;
+  entries_[inum].version = version;
+  dirty_[BlockOf(inum)] = true;
+  reserved_.erase(inum);
+  return prev;
+}
+
+BlockAddr InodeMap::Free(InodeNum inum) {
+  assert(inum != kInvalidInode && inum <= max_inodes_);
+  BlockAddr prev = entries_[inum].inode_addr;
+  entries_[inum].inode_addr = 0;
+  entries_[inum].version++;
+  dirty_[BlockOf(inum)] = true;
+  reserved_.erase(inum);
+  return prev;
+}
+
+Result<InodeNum> InodeMap::AllocInum() {
+  for (InodeNum i = 1; i <= max_inodes_; i++) {
+    if (entries_[i].inode_addr == 0 && !reserved_.count(i)) {
+      reserved_.insert(i);
+      return i;
+    }
+  }
+  return Status::NoSpace("out of inodes");
+}
+
+std::vector<uint32_t> InodeMap::DirtyBlocks() const {
+  std::vector<uint32_t> out;
+  for (uint32_t i = 0; i < nblocks_; i++) {
+    if (dirty_[i]) out.push_back(i);
+  }
+  return out;
+}
+
+void InodeMap::MarkBlockDirty(uint32_t block_idx) {
+  assert(block_idx < nblocks_);
+  dirty_[block_idx] = true;
+}
+
+void InodeMap::ClearDirty() { dirty_.assign(nblocks_, false); }
+
+void InodeMap::EncodeBlock(uint32_t idx, char* out) const {
+  memset(out, 0, kBlockSize);
+  uint32_t first = idx * kImapEntriesPerBlock;
+  for (uint32_t i = 0; i < kImapEntriesPerBlock; i++) {
+    uint32_t inum = first + i;
+    if (inum > max_inodes_) break;
+    memcpy(out + i * sizeof(ImapEntry), &entries_[inum], sizeof(ImapEntry));
+  }
+}
+
+void InodeMap::DecodeBlock(uint32_t idx, const char* in) {
+  uint32_t first = idx * kImapEntriesPerBlock;
+  for (uint32_t i = 0; i < kImapEntriesPerBlock; i++) {
+    uint32_t inum = first + i;
+    if (inum > max_inodes_) break;
+    memcpy(&entries_[inum], in + i * sizeof(ImapEntry), sizeof(ImapEntry));
+  }
+}
+
+}  // namespace lfstx

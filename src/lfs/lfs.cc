@@ -1,0 +1,205 @@
+#include "lfs/lfs.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "lfs/cleaner.h"
+
+namespace lfstx {
+
+namespace {
+struct LfsSuperblock {
+  uint32_t magic = Lfs::kMagic;
+  uint32_t segment_blocks = 0;
+  uint32_t max_inodes = 0;
+  uint32_t nsegments = 0;
+  uint64_t seg_start = 0;
+  uint64_t checkpoint_a = 0;
+  uint64_t checkpoint_b = 0;
+  uint32_t checkpoint_blocks = 0;
+  uint32_t pad = 0;
+};
+}  // namespace
+
+Lfs::Lfs(SimEnv* env, SimDisk* disk, BufferCache* cache)
+    : Lfs(env, disk, cache, Options{}) {}
+
+Lfs::Lfs(SimEnv* env, SimDisk* disk, BufferCache* cache, Options options)
+    : FsCore(env, disk, cache),
+      options_(options),
+      imap_(options.max_inodes),
+      usage_(1),  // resized below once geometry is known
+      flush_lock_(env),
+      clean_wait_(env) {
+  uint64_t total = disk->num_blocks();
+  // Checkpoint size depends on the segment count; one refinement pass
+  // converges because more checkpoint blocks only shrink the segment area.
+  uint32_t nseg = static_cast<uint32_t>((total - 1) / options_.segment_blocks);
+  uint32_t cpb = CheckpointData::BlocksNeeded(imap_.nblocks(), nseg);
+  geo_.checkpoint_blocks = cpb;
+  geo_.checkpoint_a = 1;
+  geo_.checkpoint_b = 1 + cpb;
+  geo_.seg_start = 1 + 2ull * cpb;
+  geo_.nsegments =
+      static_cast<uint32_t>((total - geo_.seg_start) / options_.segment_blocks);
+  usage_ = SegmentUsage(geo_.nsegments);
+}
+
+Lfs::~Lfs() = default;
+
+// ------------------------------------------------------------- lifecycle --
+
+Status Lfs::Format() {
+  char block[kBlockSize] = {0};
+  LfsSuperblock sb;
+  sb.segment_blocks = options_.segment_blocks;
+  sb.max_inodes = options_.max_inodes;
+  sb.nsegments = geo_.nsegments;
+  sb.seg_start = geo_.seg_start;
+  sb.checkpoint_a = geo_.checkpoint_a;
+  sb.checkpoint_b = geo_.checkpoint_b;
+  sb.checkpoint_blocks = geo_.checkpoint_blocks;
+  memcpy(block, &sb, sizeof(sb));
+  disk_->RawWrite(0, 1, block);
+
+  cur_seg_ = 0;
+  cur_gen_ = usage_.Activate(cur_seg_);
+  cur_off_ = 0;
+  next_write_seq_ = 1;
+  mounted_ = true;
+  LFSTX_RETURN_IF_ERROR(InitRoot());
+  LFSTX_RETURN_IF_ERROR(Flush(kNoTxn));
+  SimMutexGuard g(&flush_lock_);
+  return WriteCheckpointLocked();
+}
+
+Status Lfs::Mount() {
+  if (mounted_) return Status::OK();
+  char block[kBlockSize];
+  disk_->RawRead(0, 1, block);
+  LfsSuperblock sb;
+  memcpy(&sb, block, sizeof(sb));
+  if (sb.magic != kMagic) return Status::Corruption("bad LFS superblock");
+  if (sb.segment_blocks != options_.segment_blocks ||
+      sb.max_inodes != options_.max_inodes) {
+    // Adopt the on-disk geometry.
+    options_.segment_blocks = sb.segment_blocks;
+    options_.max_inodes = sb.max_inodes;
+    imap_ = InodeMap(sb.max_inodes);
+  }
+  geo_.seg_start = sb.seg_start;
+  geo_.nsegments = sb.nsegments;
+  geo_.checkpoint_blocks = sb.checkpoint_blocks;
+  geo_.checkpoint_a = sb.checkpoint_a;
+  geo_.checkpoint_b = sb.checkpoint_b;
+  usage_ = SegmentUsage(geo_.nsegments);
+
+  LFSTX_RETURN_IF_ERROR(RecoverFromCheckpointAndRollForward());
+  mounted_ = true;
+  return Status::OK();
+}
+
+Status Lfs::Unmount() {
+  if (!mounted_) return Status::OK();
+  if (AnyOpenFiles()) return Status::Busy("open files at unmount");
+  LFSTX_RETURN_IF_ERROR(Flush(kNoTxn));
+  {
+    SimMutexGuard g(&flush_lock_);
+    LFSTX_RETURN_IF_ERROR(WriteCheckpointLocked());
+  }
+  ClearInodeTable();
+  mounted_ = false;
+  return Status::OK();
+}
+
+Status Lfs::SyncAll() { return Flush(kNoTxn); }
+
+Status Lfs::SyncFile(InodeNum inum) {
+  (void)inum;  // LFS always writes whole segments
+  return Flush(kNoTxn);
+}
+
+Status Lfs::WriteBack(Buffer* buf) {
+  (void)buf;
+  if (flush_owner_ != nullptr && flush_owner_ == SimEnv::Current()) {
+    return Status::Internal(
+        "re-entrant LFS flush: buffer cache too small for the flush "
+        "working set");
+  }
+  return Flush(kNoTxn);
+}
+
+Status Lfs::Checkpoint() {
+  SimMutexGuard g(&flush_lock_);
+  return WriteCheckpointLocked();
+}
+
+// ----------------------------------------------------------------- inodes --
+
+Status Lfs::LoadInode(InodeNum inum, DiskInode* out) {
+  if (inum == kInvalidInode || inum > options_.max_inodes) {
+    return Status::InvalidArgument("inode number out of range");
+  }
+  const ImapEntry& e = imap_.Get(inum);
+  if (e.inode_addr == 0) {
+    return Status::NotFound("inode " + std::to_string(inum) + " not mapped");
+  }
+  char block[kBlockSize];
+  LFSTX_RETURN_IF_ERROR(disk_->Read(e.inode_addr, 1, block));
+  for (uint32_t slot = 0; slot < kInodesPerBlock; slot++) {
+    DiskInode d;
+    DecodeInode(block, slot, &d);
+    if (d.inum == inum && d.file_type() != FileType::kFree) {
+      *out = d;
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("inode " + std::to_string(inum) +
+                            " missing from its mapped block");
+}
+
+Result<InodeNum> Lfs::AllocInodeNum() { return imap_.AllocInum(); }
+
+Status Lfs::ReleaseInodeNum(Inode* ino) {
+  BlockAddr prev = imap_.Free(ino->num());
+  if (prev != 0) {
+    auto it = inode_block_refs_.find(prev);
+    if (it != inode_block_refs_.end() && --it->second == 0) {
+      usage_.DecLive(SegOf(prev), 1);
+      inode_block_refs_.erase(it);
+    }
+  }
+  return Status::OK();
+}
+
+Status Lfs::NoteInodeDirty(Inode* ino) {
+  ino->dirty = true;
+  return Status::OK();
+}
+
+// ----------------------------------------------------------------- blocks --
+
+Result<BlockAddr> Lfs::AllocBlockAddr(Inode* ino) {
+  (void)ino;
+  return kInvalidBlock;  // addresses are assigned by the segment writer
+}
+
+void Lfs::ReleaseBlockAddr(BlockAddr addr) {
+  if (addr >= geo_.seg_start) {
+    usage_.DecLive(SegOf(addr), 1);
+  }
+}
+
+Status Lfs::EnterDataPath(Inode* ino) {
+  while (ino->being_cleaned) {
+    if (ino->clean_wait == nullptr) {
+      ino->clean_wait = std::make_unique<WaitQueue>(env_);
+    }
+    if (ino->clean_wait->Sleep() == WakeReason::kStopped) {
+      return Status::Busy("simulation stopped while file was being cleaned");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace lfstx

@@ -1,0 +1,163 @@
+// The log-structured file system (paper section 2, after Rosenblum &
+// Ousterhout). Disk layout:
+//
+//   block 0                     superblock
+//   blocks 1..C                 checkpoint region A
+//   blocks C+1..2C              checkpoint region B
+//   seg_start..end              segments (default 128 blocks each)
+//
+// All writes append to the current segment as partial segments (summary +
+// payload, one contiguous disk request). Nothing is overwritten in place,
+// so before-images of updated blocks survive until the cleaner reclaims
+// them — the property the embedded transaction manager's abort path and
+// crash recovery rely on (section 2, second characteristic).
+#ifndef LFSTX_LFS_LFS_H_
+#define LFSTX_LFS_LFS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "fs/vfs.h"
+#include "lfs/checkpoint.h"
+#include "lfs/inode_map.h"
+#include "lfs/segment.h"
+#include "lfs/segment_usage.h"
+#include "sim/sync.h"
+
+namespace lfstx {
+
+class Cleaner;
+
+/// \brief Log-structured file system.
+class Lfs : public FsCore {
+ public:
+  static constexpr uint32_t kMagic = 0x4C465331;  // "LFS1"
+
+  struct Options {
+    uint32_t segment_blocks = kDefaultSegmentBlocks;
+    uint32_t max_inodes = 4096;
+    /// Write a checkpoint every N segment activations (and at unmount /
+    /// after every cleaning round).
+    uint32_t checkpoint_every_segments = 8;
+  };
+
+  struct LfsStats {
+    uint64_t partial_segments = 0;   ///< chunks written
+    uint64_t segments_activated = 0;
+    uint64_t blocks_written = 0;     ///< payload blocks through the log
+    uint64_t checkpoints = 0;
+    uint64_t flushes = 0;
+    uint64_t writer_stalls = 0;      ///< waits for the cleaner
+  };
+
+  Lfs(SimEnv* env, SimDisk* disk, BufferCache* cache);
+  Lfs(SimEnv* env, SimDisk* disk, BufferCache* cache, Options options);
+  ~Lfs() override;
+
+  const char* fs_name() const override { return "LFS"; }
+  Status Format() override;
+  Status Mount() override;  ///< includes crash recovery (roll-forward)
+  Status Unmount() override;
+  Status SyncAll() override;
+  Status SyncFile(InodeNum inum) override;
+
+  /// WritebackHandler: an eviction of any dirty buffer triggers a full
+  /// segment write — LFS always writes "a large number of dirty blocks"
+  /// together (section 2).
+  Status WriteBack(Buffer* buf) override;
+
+  /// Flush everything dirty to the log. When `txn` is nonzero the chunks
+  /// are tagged so roll-forward applies them atomically (commit path of
+  /// the embedded transaction manager).
+  Status Flush(TxnId txn = kNoTxn);
+
+  /// Force a checkpoint now.
+  Status Checkpoint();
+
+  const LfsStats& lfs_stats() const { return lfs_stats_; }
+  uint32_t clean_segments() const { return usage_.clean_count(); }
+  uint32_t nsegments() const { return geo_.nsegments; }
+  uint32_t segment_blocks() const { return options_.segment_blocks; }
+  uint64_t seg_start() const { return geo_.seg_start; }
+  const SegmentUsage& usage() const { return usage_; }
+  const InodeMap& imap() const { return imap_; }
+
+  /// Registered by the Cleaner so the writer can wait for free segments.
+  void AttachCleaner(Cleaner* cleaner) { cleaner_ = cleaner; }
+
+  /// Drop the in-core inode table so subsequent reads hit the disk (test
+  /// hook used by the consistency-checker tests).
+  void ClearInodeCacheForTest() { ClearInodeTable(); }
+
+ protected:
+  Status LoadInode(InodeNum inum, DiskInode* out) override;
+  Result<InodeNum> AllocInodeNum() override;
+  Status ReleaseInodeNum(Inode* ino) override;
+  Status NoteInodeDirty(Inode* ino) override;
+  Result<BlockAddr> AllocBlockAddr(Inode* ino) override;
+  void ReleaseBlockAddr(BlockAddr addr) override;
+  Status EnterDataPath(Inode* ino) override;
+
+ private:
+  friend class Cleaner;
+
+  struct LogGeometry {
+    uint64_t seg_start = 0;
+    uint32_t nsegments = 0;
+    uint32_t checkpoint_blocks = 0;
+    BlockAddr checkpoint_a = 0;
+    BlockAddr checkpoint_b = 0;
+  };
+
+  // ---- address helpers ----
+  uint32_t SegOf(BlockAddr addr) const {
+    return static_cast<uint32_t>((addr - geo_.seg_start) /
+                                 options_.segment_blocks);
+  }
+  BlockAddr SegBase(uint32_t seg) const {
+    return geo_.seg_start +
+           static_cast<uint64_t>(seg) * options_.segment_blocks;
+  }
+
+  // ---- segment writer (segment_writer.cc) ----
+  Status FlushLocked(TxnId txn);
+  /// Move the write point to a fresh clean segment, waiting on the cleaner
+  /// if none is available.
+  Status AdvanceSegment();
+  Status MaybePeriodicCheckpoint();
+
+  // ---- checkpoint / recovery (checkpoint.cc, recovery.cc) ----
+  Status WriteCheckpointLocked();
+  Status RecoverFromCheckpointAndRollForward();
+  /// Recompute every segment's live count by walking all inodes' maps.
+  Status RebuildUsage();
+
+  Options options_;
+  LogGeometry geo_;
+  InodeMap imap_;
+  SegmentUsage usage_;
+
+  uint32_t cur_seg_ = 0;
+  uint32_t cur_off_ = 0;   // blocks already used in cur_seg_
+  uint32_t cur_gen_ = 0;   // generation of cur_seg_
+  int64_t next_seg_hint_ = -1;  // chosen early so summaries can chain
+  uint64_t next_write_seq_ = 1;
+  uint64_t checkpoint_seq_ = 0;
+  bool checkpoint_to_a_ = true;
+  uint32_t segments_since_checkpoint_ = 0;
+
+  SimMutex flush_lock_;
+  SimProc* flush_owner_ = nullptr;  // detects re-entrant flushes
+  WaitQueue clean_wait_;   // writer waits here for the cleaner
+  Cleaner* cleaner_ = nullptr;
+  bool cleaning_in_progress_ = false;
+  LfsStats lfs_stats_;
+
+  /// Inodes are packed 16 to a block; a block stays live while any of its
+  /// inodes is current. Rebuilt from the inode map at mount.
+  std::unordered_map<BlockAddr, uint32_t> inode_block_refs_;
+};
+
+}  // namespace lfstx
+
+#endif  // LFSTX_LFS_LFS_H_

@@ -1,0 +1,253 @@
+// Checkpointing and crash recovery: load the newer valid checkpoint, roll
+// the log forward along the summary chain (staging transaction-tagged
+// chunks until their commit marker), then rebuild the usage table exactly
+// and write a fresh checkpoint.
+#include <cstring>
+#include <map>
+
+#include "lfs/lfs.h"
+
+namespace lfstx {
+
+Status Lfs::WriteCheckpointLocked() {
+  CheckpointData cp;
+  cp.seq = ++checkpoint_seq_;
+  cp.timestamp = env_->Now();
+  cp.cur_segment = cur_seg_;
+  cp.cur_offset = cur_off_;
+  cp.cur_generation = cur_gen_;
+  cp.next_write_seq = next_write_seq_;
+  cp.imap_addrs = imap_.block_addrs();
+  cp.usage_bytes.resize(usage_.SerializedBytes());
+  usage_.Serialize(cp.usage_bytes.data());
+
+  std::vector<char> buf(static_cast<size_t>(geo_.checkpoint_blocks) *
+                        kBlockSize);
+  cp.Encode(buf.data(), geo_.checkpoint_blocks);
+  BlockAddr region = checkpoint_to_a_ ? geo_.checkpoint_a : geo_.checkpoint_b;
+  checkpoint_to_a_ = !checkpoint_to_a_;
+  LFSTX_RETURN_IF_ERROR(
+      disk_->Write(region, geo_.checkpoint_blocks, buf.data()));
+  segments_since_checkpoint_ = 0;
+  lfs_stats_.checkpoints++;
+  return Status::OK();
+}
+
+namespace {
+// Decode one inode block and hand each valid inode to `fn`.
+template <typename Fn>
+void ForEachInode(const char* block, Fn fn) {
+  for (uint32_t slot = 0; slot < kInodesPerBlock; slot++) {
+    DiskInode d;
+    DecodeInode(block, slot, &d);
+    if (d.inum != kInvalidInode &&
+        d.file_type() != FileType::kFree) {
+      fn(d);
+    }
+  }
+}
+}  // namespace
+
+Status Lfs::RecoverFromCheckpointAndRollForward() {
+  // ---- 1. pick the newer valid checkpoint ----
+  std::vector<char> buf(static_cast<size_t>(geo_.checkpoint_blocks) *
+                        kBlockSize);
+  CheckpointData best;
+  bool have = false;
+  bool best_is_a = true;
+  for (bool is_a : {true, false}) {
+    disk_->RawRead(is_a ? geo_.checkpoint_a : geo_.checkpoint_b,
+                   geo_.checkpoint_blocks, buf.data());
+    auto r = CheckpointData::Decode(buf.data(), geo_.checkpoint_blocks);
+    if (r.ok() && (!have || r.value().seq > best.seq)) {
+      best = r.take();
+      have = true;
+      best_is_a = is_a;
+    }
+  }
+  if (!have) {
+    return Status::Corruption("no valid checkpoint (disk never formatted?)");
+  }
+  checkpoint_seq_ = best.seq;
+  checkpoint_to_a_ = !best_is_a;  // write the next one to the other region
+
+  // ---- 2. restore checkpointed state ----
+  usage_.Deserialize(best.usage_bytes.data());
+  imap_.block_addrs() = best.imap_addrs;
+  char block[kBlockSize];
+  for (uint32_t idx = 0; idx < imap_.nblocks(); idx++) {
+    if (imap_.block_addrs()[idx] != 0) {
+      disk_->RawRead(imap_.block_addrs()[idx], 1, block);
+      imap_.DecodeBlock(idx, block);
+    }
+  }
+  imap_.ClearDirty();
+  cur_seg_ = best.cur_segment;
+  cur_off_ = best.cur_offset;
+  cur_gen_ = best.cur_generation;
+  next_write_seq_ = best.next_write_seq;
+
+  // ---- 3. roll forward along the summary chain ----
+  struct Update {
+    BlockKind kind;
+    BlockAddr addr;
+    uint64_t lblock;          // imap block index for kImap
+    std::vector<char> bytes;  // block image (inode or imap blocks)
+  };
+  std::map<TxnId, std::vector<Update>> staged;
+
+  auto apply = [&](const Update& u) {
+    if (u.kind == BlockKind::kInode) {
+      ForEachInode(u.bytes.data(), [&](const DiskInode& d) {
+        imap_.Set(d.inum, u.addr, d.version);
+      });
+    } else if (u.kind == BlockKind::kImap) {
+      imap_.DecodeBlock(static_cast<uint32_t>(u.lblock), u.bytes.data());
+      imap_.block_addrs()[u.lblock] = u.addr;
+    }
+  };
+
+  BlockAddr next = SegBase(cur_seg_) + cur_off_;
+  uint64_t expect_seq = next_write_seq_;
+  std::vector<char> seg_buf(
+      static_cast<size_t>(options_.segment_blocks) * kBlockSize);
+  while (next != kInvalidBlock && next >= geo_.seg_start &&
+         next < disk_->num_blocks()) {
+    uint32_t seg = SegOf(next);
+    uint32_t off = static_cast<uint32_t>(next - SegBase(seg));
+    if (off + 1 >= options_.segment_blocks) break;
+    disk_->RawRead(next, 1, seg_buf.data());
+    auto npeek = Summary::PeekNBlocks(seg_buf.data());
+    if (!npeek.ok()) break;
+    uint32_t n = npeek.value();
+    if (off + 1 + n > options_.segment_blocks) break;
+    disk_->RawRead(next + 1, n, seg_buf.data() + kBlockSize);
+    auto sres = Summary::Decode(seg_buf.data(), seg_buf.data() + kBlockSize,
+                                n);
+    if (!sres.ok()) break;                       // torn write: end of log
+    Summary s = sres.take();
+    if (s.write_seq != expect_seq) break;        // stale chunk: end of log
+
+    if (off == 0) {
+      // Entering a segment the chain activated after the checkpoint.
+      usage_.SetRaw(seg, SegState::kDirty, usage_.live(seg), s.generation,
+                    s.timestamp);
+    }
+    for (uint32_t i = 0; i < s.nblocks(); i++) {
+      const SummaryEntry& e = s.entries[i];
+      BlockAddr addr = next + 1 + i;
+      BlockKind kind = static_cast<BlockKind>(e.kind);
+      if (kind != BlockKind::kInode && kind != BlockKind::kImap) continue;
+      Update u;
+      u.kind = kind;
+      u.addr = addr;
+      u.lblock = e.lblock;
+      u.bytes.assign(seg_buf.data() + (1ull + i) * kBlockSize,
+                     seg_buf.data() + (2ull + i) * kBlockSize);
+      if (s.txn != kNoTxn) {
+        staged[s.txn].push_back(std::move(u));
+      } else {
+        apply(u);
+      }
+    }
+    if (s.txn != kNoTxn && s.txn_commit) {
+      for (const Update& u : staged[s.txn]) apply(u);
+      staged.erase(s.txn);
+    }
+    expect_seq++;
+    cur_seg_ = seg;
+    cur_off_ = off + 1 + n;
+    cur_gen_ = s.generation;
+    next = s.next_addr;
+  }
+  next_write_seq_ = expect_seq;
+  // Chunks of transactions whose commit marker never made it to disk are
+  // discarded: the transaction atomically never happened.
+  staged.clear();
+
+  // ---- 4. exact usage + inode-block refcount rebuild ----
+  LFSTX_RETURN_IF_ERROR(RebuildUsage());
+
+  // ---- 5. persist the recovered state ----
+  if (!flush_lock_.Lock()) return Status::Busy("stopped during recovery");
+  flush_owner_ = SimEnv::Current();
+  Status s = Status::OK();
+  if (!imap_.DirtyBlocks().empty()) {
+    // Roll-forward learned inode locations that the on-disk imap blocks
+    // don't reflect yet; push them into the log before checkpointing.
+    s = FlushLocked(kNoTxn);
+  }
+  if (s.ok()) s = WriteCheckpointLocked();
+  flush_owner_ = nullptr;
+  flush_lock_.Unlock();
+  return s;
+}
+
+Status Lfs::RebuildUsage() {
+  std::vector<uint32_t> live(geo_.nsegments, 0);
+  inode_block_refs_.clear();
+  char block[kBlockSize];
+  char child[kBlockSize];
+
+  auto count = [&](BlockAddr addr) {
+    if (addr >= geo_.seg_start && addr < disk_->num_blocks()) {
+      live[SegOf(addr)]++;
+    }
+  };
+
+  for (InodeNum inum = 1; inum <= options_.max_inodes; inum++) {
+    const ImapEntry& e = imap_.Get(inum);
+    if (e.inode_addr == 0) continue;
+    if (inode_block_refs_[e.inode_addr]++ == 0) count(e.inode_addr);
+    disk_->RawRead(e.inode_addr, 1, block);
+    DiskInode d;
+    bool found = false;
+    for (uint32_t slot = 0; slot < kInodesPerBlock && !found; slot++) {
+      DecodeInode(block, slot, &d);
+      if (d.inum == inum && d.file_type() != FileType::kFree) found = true;
+    }
+    if (!found) continue;
+    for (uint32_t i = 0; i < kNumDirect; i++) {
+      if (d.direct[i] != 0) count(d.direct[i]);
+    }
+    auto walk_leaf = [&](BlockAddr leaf_addr) {
+      count(leaf_addr);
+      disk_->RawRead(leaf_addr, 1, child);
+      for (uint32_t i = 0; i < kPtrsPerBlock; i++) {
+        uint64_t a;
+        memcpy(&a, child + i * 8, 8);
+        if (a != 0) count(a);
+      }
+    };
+    if (d.indirect != 0) walk_leaf(d.indirect);
+    if (d.double_indirect != 0) {
+      count(d.double_indirect);
+      char root[kBlockSize];
+      disk_->RawRead(d.double_indirect, 1, root);
+      for (uint32_t i = 0; i < kPtrsPerBlock; i++) {
+        uint64_t a;
+        memcpy(&a, root + i * 8, 8);
+        if (a != 0) walk_leaf(a);
+      }
+    }
+  }
+  for (BlockAddr a : imap_.block_addrs()) {
+    if (a != 0) count(a);
+  }
+
+  for (uint32_t seg = 0; seg < geo_.nsegments; seg++) {
+    SegState state;
+    if (seg == cur_seg_) {
+      state = SegState::kActive;
+    } else if (live[seg] > 0) {
+      state = SegState::kDirty;
+    } else {
+      state = SegState::kClean;
+    }
+    usage_.SetRaw(seg, state, live[seg], usage_.generation(seg),
+                  usage_.write_time(seg));
+  }
+  return Status::OK();
+}
+
+}  // namespace lfstx

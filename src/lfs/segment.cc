@@ -1,0 +1,101 @@
+#include "lfs/segment.h"
+
+#include <cstring>
+
+#include "common/crc32c.h"
+
+namespace lfstx {
+
+namespace {
+// Fixed-size header laid out at the front of the summary block.
+struct RawHeader {
+  uint32_t magic;
+  uint32_t nblocks;
+  uint64_t write_seq;
+  uint64_t timestamp;
+  uint32_t generation;
+  uint32_t flags;  // bit 0: txn_commit
+  uint64_t next_addr;
+  uint64_t txn;
+  uint32_t crc;  // masked CRC32C of header (crc=0) + entries + payload
+  uint32_t pad;
+};
+static_assert(sizeof(RawHeader) == 56);
+constexpr uint32_t kFlagTxnCommit = 0x1;
+}  // namespace
+
+uint32_t Summary::MaxEntries() {
+  return static_cast<uint32_t>((kBlockSize - sizeof(RawHeader)) /
+                               sizeof(SummaryEntry));
+}
+
+void Summary::Encode(char* block, const char* payload) const {
+  memset(block, 0, kBlockSize);
+  RawHeader h{};
+  h.magic = kSummaryMagic;
+  h.nblocks = nblocks();
+  h.write_seq = write_seq;
+  h.timestamp = timestamp;
+  h.generation = generation;
+  h.flags = txn_commit ? kFlagTxnCommit : 0;
+  h.next_addr = next_addr;
+  h.txn = txn;
+  h.crc = 0;
+  memcpy(block, &h, sizeof(h));
+  memcpy(block + sizeof(h), entries.data(),
+         entries.size() * sizeof(SummaryEntry));
+  uint32_t crc = crc32c::Value(block, kBlockSize);
+  crc = crc32c::Extend(crc, payload,
+                       static_cast<size_t>(nblocks()) * kBlockSize);
+  h.crc = crc32c::Mask(crc);
+  memcpy(block, &h, sizeof(h));
+}
+
+Result<uint32_t> Summary::PeekNBlocks(const char* block) {
+  RawHeader h;
+  memcpy(&h, block, sizeof(h));
+  if (h.magic != kSummaryMagic) {
+    return Status::Corruption("not a segment summary");
+  }
+  if (h.nblocks > MaxEntries()) {
+    return Status::Corruption("summary block count out of range");
+  }
+  return h.nblocks;
+}
+
+Result<Summary> Summary::Decode(const char* block, const char* payload,
+                                size_t payload_available_blocks) {
+  RawHeader h;
+  memcpy(&h, block, sizeof(h));
+  if (h.magic != kSummaryMagic) {
+    return Status::Corruption("not a segment summary");
+  }
+  if (h.nblocks > MaxEntries() || h.nblocks > payload_available_blocks) {
+    return Status::Corruption("summary block count out of range");
+  }
+  // Re-CRC with the stored value zeroed.
+  char copy[kBlockSize];
+  memcpy(copy, block, kBlockSize);
+  RawHeader zeroed = h;
+  zeroed.crc = 0;
+  memcpy(copy, &zeroed, sizeof(zeroed));
+  uint32_t crc = crc32c::Value(copy, kBlockSize);
+  crc = crc32c::Extend(crc, payload,
+                       static_cast<size_t>(h.nblocks) * kBlockSize);
+  if (crc32c::Mask(crc) != h.crc) {
+    return Status::Corruption("segment summary CRC mismatch (torn write)");
+  }
+  Summary s;
+  s.write_seq = h.write_seq;
+  s.timestamp = h.timestamp;
+  s.generation = h.generation;
+  s.next_addr = h.next_addr;
+  s.txn = h.txn;
+  s.txn_commit = (h.flags & kFlagTxnCommit) != 0;
+  s.entries.resize(h.nblocks);
+  memcpy(s.entries.data(), block + sizeof(RawHeader),
+         static_cast<size_t>(h.nblocks) * sizeof(SummaryEntry));
+  return s;
+}
+
+}  // namespace lfstx

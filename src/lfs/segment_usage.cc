@@ -1,0 +1,133 @@
+#include "lfs/segment_usage.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace lfstx {
+
+SegmentUsage::SegmentUsage(uint32_t nsegments)
+    : nsegments_(nsegments), clean_count_(nsegments), entries_(nsegments) {}
+
+void SegmentUsage::AddLive(uint32_t seg, uint32_t blocks, SimTime now) {
+  assert(seg < nsegments_);
+  entries_[seg].live += blocks;
+  entries_[seg].write_time = now;
+}
+
+void SegmentUsage::DecLive(uint32_t seg, uint32_t blocks) {
+  assert(seg < nsegments_);
+  // Clamp rather than assert: usage is a cleaning heuristic and recovery
+  // rebuilds it exactly; transient undercounts must not kill the system.
+  entries_[seg].live =
+      entries_[seg].live >= blocks ? entries_[seg].live - blocks : 0;
+}
+
+uint32_t SegmentUsage::Activate(uint32_t seg) {
+  assert(entries_[seg].state == SegState::kClean);
+  entries_[seg].state = SegState::kActive;
+  entries_[seg].generation++;
+  entries_[seg].live = 0;
+  clean_count_--;
+  return entries_[seg].generation;
+}
+
+void SegmentUsage::Retire(uint32_t seg) {
+  assert(entries_[seg].state == SegState::kActive);
+  entries_[seg].state = SegState::kDirty;
+}
+
+void SegmentUsage::MarkClean(uint32_t seg) {
+  assert(entries_[seg].state == SegState::kDirty);
+  assert(entries_[seg].live == 0);
+  entries_[seg].state = SegState::kClean;
+  clean_count_++;
+}
+
+void SegmentUsage::SetRaw(uint32_t seg, SegState state, uint32_t live,
+                          uint32_t gen, SimTime write_time) {
+  if (entries_[seg].state == SegState::kClean &&
+      state != SegState::kClean) {
+    clean_count_--;
+  } else if (entries_[seg].state != SegState::kClean &&
+             state == SegState::kClean) {
+    clean_count_++;
+  }
+  entries_[seg] = Entry{live, state, gen, write_time};
+}
+
+void SegmentUsage::ResetAllLive() {
+  for (auto& e : entries_) e.live = 0;
+}
+
+Result<uint32_t> SegmentUsage::PickClean(uint32_t after) const {
+  for (uint32_t k = 1; k <= nsegments_; k++) {
+    uint32_t seg = (after + k) % nsegments_;
+    if (entries_[seg].state == SegState::kClean) return seg;
+  }
+  return Status::NoSpace("no clean segments (cleaner has fallen behind)");
+}
+
+Result<uint32_t> SegmentUsage::PickVictim(CleanPolicy policy, SimTime now,
+                                          uint32_t segment_blocks) const {
+  bool found = false;
+  uint32_t best = 0;
+  double best_score = 0;
+  for (uint32_t seg = 0; seg < nsegments_; seg++) {
+    const Entry& e = entries_[seg];
+    if (e.state != SegState::kDirty) continue;
+    double u = static_cast<double>(e.live) / segment_blocks;
+    if (u > 1.0) u = 1.0;
+    double score;
+    if (policy == CleanPolicy::kGreedy) {
+      score = 1.0 - u;  // fewer live blocks = better
+    } else {
+      double age = ToSeconds(now - e.write_time) + 1.0;
+      score = (1.0 - u) * age / (1.0 + u);
+    }
+    if (!found || score > best_score) {
+      found = true;
+      best = seg;
+      best_score = score;
+    }
+  }
+  if (!found) return Status::NoSpace("no dirty segment to clean");
+  return best;
+}
+
+void SegmentUsage::Serialize(char* out) const {
+  memset(out, 0, SerializedBytes());
+  for (uint32_t i = 0; i < nsegments_; i++) {
+    const Entry& e = entries_[i];
+    char* p = out + static_cast<size_t>(i) * 16;
+    memcpy(p, &e.live, 4);
+    uint8_t st = static_cast<uint8_t>(e.state);
+    memcpy(p + 4, &st, 1);
+    memcpy(p + 5, &e.generation, 4);
+    // write_time truncated to 56 bits is far beyond any simulation length.
+    uint64_t wt = e.write_time;
+    memcpy(p + 9, &wt, 7);
+  }
+}
+
+void SegmentUsage::Deserialize(const char* in) {
+  clean_count_ = 0;
+  for (uint32_t i = 0; i < nsegments_; i++) {
+    const char* p = in + static_cast<size_t>(i) * 16;
+    Entry e;
+    memcpy(&e.live, p, 4);
+    uint8_t st;
+    memcpy(&st, p + 4, 1);
+    e.state = static_cast<SegState>(st);
+    memcpy(&e.generation, p + 5, 4);
+    uint64_t wt = 0;
+    memcpy(&wt, p + 9, 7);
+    e.write_time = wt;
+    // A crash can leave the previously-active segment marked active; it is
+    // simply dirty now (roll-forward decides how much of it is real).
+    if (e.state == SegState::kActive) e.state = SegState::kDirty;
+    entries_[i] = e;
+    if (e.state == SegState::kClean) clean_count_++;
+  }
+}
+
+}  // namespace lfstx

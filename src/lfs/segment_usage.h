@@ -1,0 +1,81 @@
+// Per-segment usage table: live block counts, state, generation, and the
+// write timestamp used by the cost-benefit cleaning policy. Persisted in
+// the checkpoint; rebuilt exactly (by walking every inode's block map)
+// after crash recovery.
+#ifndef LFSTX_LFS_SEGMENT_USAGE_H_
+#define LFSTX_LFS_SEGMENT_USAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "disk/disk_model.h"
+#include "sim/clock.h"
+
+namespace lfstx {
+
+enum class SegState : uint8_t {
+  kClean = 0,   ///< free for the writer
+  kDirty = 1,   ///< contains (possibly dead) data
+  kActive = 2,  ///< the segment currently being appended to
+};
+
+/// Cleaning policies (Rosenblum; the paper's experiments used greedy).
+enum class CleanPolicy {
+  kGreedy,       ///< lowest live count first
+  kCostBenefit,  ///< max (1-u)*age / (1+u)
+};
+
+/// \brief In-memory segment usage table.
+class SegmentUsage {
+ public:
+  explicit SegmentUsage(uint32_t nsegments);
+
+  uint32_t nsegments() const { return nsegments_; }
+  uint32_t clean_count() const { return clean_count_; }
+
+  SegState state(uint32_t seg) const { return entries_[seg].state; }
+  uint32_t live(uint32_t seg) const { return entries_[seg].live; }
+  uint32_t generation(uint32_t seg) const { return entries_[seg].generation; }
+  SimTime write_time(uint32_t seg) const { return entries_[seg].write_time; }
+
+  void AddLive(uint32_t seg, uint32_t blocks, SimTime now);
+  void DecLive(uint32_t seg, uint32_t blocks);
+
+  /// Transition clean -> active; bumps the generation. Returns new gen.
+  uint32_t Activate(uint32_t seg);
+  /// Active segment filled: becomes dirty.
+  void Retire(uint32_t seg);
+  /// Cleaner finished: dirty -> clean (live must be 0).
+  void MarkClean(uint32_t seg);
+  void SetRaw(uint32_t seg, SegState state, uint32_t live, uint32_t gen,
+              SimTime write_time);
+  void ResetAllLive();
+
+  /// Next clean segment (round-robin from `after`), or error if none.
+  Result<uint32_t> PickClean(uint32_t after) const;
+  /// Best dirty segment to clean under `policy`, excluding `exclude`
+  /// (the active segment). Returns error if no dirty segment exists.
+  Result<uint32_t> PickVictim(CleanPolicy policy, SimTime now,
+                              uint32_t segment_blocks) const;
+
+  /// Checkpoint representation: 16 bytes per segment.
+  size_t SerializedBytes() const { return nsegments_ * 16; }
+  void Serialize(char* out) const;
+  void Deserialize(const char* in);
+
+ private:
+  struct Entry {
+    uint32_t live = 0;
+    SegState state = SegState::kClean;
+    uint32_t generation = 0;
+    SimTime write_time = 0;
+  };
+  uint32_t nsegments_;
+  uint32_t clean_count_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace lfstx
+
+#endif  // LFSTX_LFS_SEGMENT_USAGE_H_

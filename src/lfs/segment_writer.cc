@@ -1,0 +1,289 @@
+// The segment writer: gathers every dirty block, assigns log addresses,
+// updates the metadata chain bottom-up (data -> indirect -> inode -> inode
+// map), and pushes each partial segment to disk as one contiguous write.
+#include <algorithm>
+#include <cstring>
+
+#include "lfs/cleaner.h"
+#include "lfs/lfs.h"
+
+namespace lfstx {
+
+namespace {
+constexpr FileId kMetaFileBit = 1ull << 40;
+
+bool IsFileMeta(FileId f) {
+  return (f & kMetaFileBit) != 0 && f != kMetaFileId && f != kInodeMapFileId;
+}
+}  // namespace
+
+Status Lfs::Flush(TxnId txn) {
+  if (flush_owner_ != nullptr && flush_owner_ == SimEnv::Current()) {
+    return Status::Internal("re-entrant LFS flush");
+  }
+  if (!flush_lock_.Lock()) {
+    return Status::Busy("simulation stopped while waiting for the log");
+  }
+  flush_owner_ = SimEnv::Current();
+  Status s = FlushLocked(txn);
+  flush_owner_ = nullptr;
+  flush_lock_.Unlock();
+  return s;
+}
+
+Status Lfs::FlushLocked(TxnId txn) {
+  lfs_stats_.flushes++;
+
+  // ---- chunk assembly state ----
+  std::vector<char> chunk(
+      (1ull + options_.segment_blocks) * kBlockSize);
+  std::vector<SummaryEntry> entries;
+  uint32_t nplaced = 0;
+  uint32_t chunk_cap = 0;
+  BlockAddr chunk_base = 0;
+  bool chunk_open = false;
+  // Buffers placed in the open chunk stay pinned and dirty until the chunk
+  // is durably on disk, then are released in one batch — this bounds the
+  // number of pinned frames to one chunk regardless of flush size.
+  std::vector<Buffer*> chunk_buffers;
+  cache_->PushNoDirtyEviction();
+  struct EvictionGuard {
+    BufferCache* cache;
+    ~EvictionGuard() { cache->PopNoDirtyEviction(); }
+  } eviction_guard{cache_};
+
+  auto seal = [&](bool final_commit) -> Status {
+    if (!chunk_open || entries.empty()) {
+      chunk_open = false;
+      return Status::OK();
+    }
+    uint32_t after = cur_off_ + 1 + nplaced;
+    BlockAddr next_addr = kInvalidBlock;
+    if (after + 2 <= options_.segment_blocks) {
+      next_addr = SegBase(cur_seg_) + after;
+    } else {
+      // This chunk fills the segment; name the successor now so recovery
+      // can follow the chain across the boundary.
+      if (next_seg_hint_ < 0 ||
+          usage_.state(static_cast<uint32_t>(next_seg_hint_)) !=
+              SegState::kClean) {
+        auto r = usage_.PickClean(cur_seg_);
+        next_seg_hint_ = r.ok() ? static_cast<int64_t>(r.value()) : -1;
+      }
+      if (next_seg_hint_ >= 0) {
+        next_addr = SegBase(static_cast<uint32_t>(next_seg_hint_));
+      }
+    }
+    Summary s;
+    s.write_seq = next_write_seq_++;
+    s.timestamp = env_->Now();
+    s.generation = cur_gen_;
+    s.next_addr = next_addr;
+    s.txn = txn;
+    s.txn_commit = final_commit && txn != kNoTxn;
+    s.entries = entries;
+    s.Encode(chunk.data(), chunk.data() + kBlockSize);
+    env_->Consume(env_->costs().segment_block_cpu_us);
+    LFSTX_RETURN_IF_ERROR(disk_->Write(chunk_base, 1 + nplaced, chunk.data()));
+    cur_off_ = after;
+    lfs_stats_.partial_segments++;
+    lfs_stats_.blocks_written += nplaced;
+    entries.clear();
+    nplaced = 0;
+    chunk_open = false;
+    // The chunk is durable: its buffers may now be evicted and re-read.
+    for (Buffer* b : chunk_buffers) {
+      cache_->MarkClean(b);
+      cache_->Release(b);
+    }
+    chunk_buffers.clear();
+    return Status::OK();
+  };
+
+  auto open_chunk = [&]() -> Status {
+    if (cur_off_ + 2 > options_.segment_blocks) {
+      LFSTX_RETURN_IF_ERROR(AdvanceSegment());
+    }
+    chunk_base = SegBase(cur_seg_) + cur_off_;
+    chunk_cap = std::min<uint32_t>(Summary::MaxEntries(),
+                                   options_.segment_blocks - cur_off_ - 1);
+    chunk_open = true;
+    return Status::OK();
+  };
+
+  auto place = [&](BlockKind kind, InodeNum inum, uint64_t lblock,
+                   const char* src) -> Result<BlockAddr> {
+    if (chunk_open && nplaced >= chunk_cap) {
+      LFSTX_RETURN_IF_ERROR(seal(false));
+    }
+    if (!chunk_open) {
+      LFSTX_RETURN_IF_ERROR(open_chunk());
+    }
+    BlockAddr addr = chunk_base + 1 + nplaced;
+    memcpy(chunk.data() + (1ull + nplaced) * kBlockSize, src, kBlockSize);
+    entries.push_back(SummaryEntry{static_cast<uint32_t>(kind), inum, lblock});
+    nplaced++;
+    env_->Consume(env_->costs().segment_block_cpu_us);
+    usage_.AddLive(SegOf(addr), 1, env_->Now());
+    return addr;
+  };
+
+  // ---- 1. data blocks, sorted by (file, logical block) ----
+  std::vector<Buffer*> data;
+  for (Buffer* b : cache_->CollectDirty()) {
+    if (IsFileMeta(b->key.file) || b->key.file == kMetaFileId ||
+        b->key.file == kInodeMapFileId) {
+      cache_->Release(b);  // handled in later passes
+    } else {
+      data.push_back(b);
+    }
+  }
+  std::sort(data.begin(), data.end(),
+            [](Buffer* a, Buffer* b) { return a->key < b->key; });
+  for (Buffer* b : data) {
+    LFSTX_ASSIGN_OR_RETURN(Inode * ino,
+                           GetInode(static_cast<InodeNum>(b->key.file)));
+    LFSTX_ASSIGN_OR_RETURN(
+        BlockAddr addr, place(BlockKind::kData, ino->num(), b->key.lblock,
+                              b->data));
+    LFSTX_ASSIGN_OR_RETURN(BlockAddr prev,
+                           SetBlockMapping(ino, b->key.lblock, addr));
+    if (prev != kInvalidBlock) ReleaseBlockAddr(prev);
+    b->disk_addr = addr;
+    chunk_buffers.push_back(b);
+  }
+
+  // ---- 2./3. indirect blocks: children first, then roots ----
+  auto collect_meta = [&](bool children) {
+    std::vector<Buffer*> out;
+    for (Buffer* b : cache_->CollectDirty()) {
+      bool want = IsFileMeta(b->key.file) &&
+                  ((children && b->key.lblock >= kMetaDoubleChildBase) ||
+                   (!children && b->key.lblock < kMetaDoubleChildBase));
+      if (want) {
+        out.push_back(b);
+      } else {
+        cache_->Release(b);
+      }
+    }
+    std::sort(out.begin(), out.end(),
+              [](Buffer* a, Buffer* b) { return a->key < b->key; });
+    return out;
+  };
+  for (bool children : {true, false}) {
+    for (Buffer* b : collect_meta(children)) {
+      InodeNum inum = static_cast<InodeNum>(b->key.file & 0xffffffffu);
+      LFSTX_ASSIGN_OR_RETURN(Inode * ino, GetInode(inum));
+      LFSTX_ASSIGN_OR_RETURN(
+          BlockAddr addr,
+          place(BlockKind::kIndirect, inum, b->key.lblock, b->data));
+      LFSTX_ASSIGN_OR_RETURN(
+          BlockAddr prev, SetMetaBlockMapping(ino, b->key.lblock, addr));
+      if (prev != kInvalidBlock) ReleaseBlockAddr(prev);
+      b->disk_addr = addr;
+      chunk_buffers.push_back(b);
+    }
+  }
+
+  // ---- 4. inodes, packed kInodesPerBlock to a block ----
+  std::vector<Inode*> dirty_inodes = DirtyInodes();
+  std::sort(dirty_inodes.begin(), dirty_inodes.end(),
+            [](Inode* a, Inode* b) { return a->num() < b->num(); });
+  for (size_t i = 0; i < dirty_inodes.size(); i += kInodesPerBlock) {
+    char iblock[kBlockSize];
+    memset(iblock, 0, sizeof(iblock));
+    size_t n = std::min<size_t>(kInodesPerBlock, dirty_inodes.size() - i);
+    for (size_t j = 0; j < n; j++) {
+      Inode* ino = dirty_inodes[i + j];
+      // A reused inode number adopts the inode map's bumped version so the
+      // cleaner can tell this incarnation's blocks from the old file's.
+      ino->d.version =
+          std::max(ino->d.version, imap_.Get(ino->num()).version);
+      EncodeInode(ino->d, iblock, static_cast<uint32_t>(j));
+    }
+    LFSTX_ASSIGN_OR_RETURN(
+        BlockAddr addr,
+        place(BlockKind::kInode, dirty_inodes[i]->num(), 0, iblock));
+    inode_block_refs_[addr] = static_cast<uint32_t>(n);
+    for (size_t j = 0; j < n; j++) {
+      Inode* ino = dirty_inodes[i + j];
+      BlockAddr prev = imap_.Set(ino->num(), addr, ino->d.version);
+      if (prev != 0) {
+        auto it = inode_block_refs_.find(prev);
+        if (it != inode_block_refs_.end() && --it->second == 0) {
+          usage_.DecLive(SegOf(prev), 1);
+          inode_block_refs_.erase(it);
+        }
+      }
+      ino->dirty = false;
+    }
+  }
+
+  // ---- 5. inode-map blocks ----
+  for (uint32_t idx : imap_.DirtyBlocks()) {
+    char mblock[kBlockSize];
+    imap_.EncodeBlock(idx, mblock);
+    LFSTX_ASSIGN_OR_RETURN(BlockAddr addr,
+                           place(BlockKind::kImap, kInvalidInode, idx,
+                                 mblock));
+    BlockAddr prev = imap_.block_addrs()[idx];
+    if (prev != 0) usage_.DecLive(SegOf(prev), 1);
+    imap_.block_addrs()[idx] = addr;
+  }
+  imap_.ClearDirty();
+
+  LFSTX_RETURN_IF_ERROR(seal(/*final_commit=*/true));
+  return MaybePeriodicCheckpoint();
+}
+
+Status Lfs::AdvanceSegment() {
+  if (usage_.state(cur_seg_) == SegState::kActive) {
+    usage_.Retire(cur_seg_);
+  }
+  for (;;) {
+    int64_t chosen = -1;
+    if (next_seg_hint_ >= 0 &&
+        usage_.state(static_cast<uint32_t>(next_seg_hint_)) ==
+            SegState::kClean) {
+      chosen = next_seg_hint_;
+    } else {
+      auto r = usage_.PickClean(cur_seg_);
+      if (r.ok()) chosen = r.value();
+    }
+    next_seg_hint_ = -1;
+    // Keep one clean segment in reserve for the cleaner's own writes.
+    bool allowed = chosen >= 0 &&
+                   (cleaning_in_progress_ || usage_.clean_count() > 1 ||
+                    cleaner_ == nullptr);
+    if (allowed) {
+      cur_seg_ = static_cast<uint32_t>(chosen);
+      cur_gen_ = usage_.Activate(cur_seg_);
+      cur_off_ = 0;
+      lfs_stats_.segments_activated++;
+      segments_since_checkpoint_++;
+      return Status::OK();
+    }
+    if (cleaner_ == nullptr) {
+      return Status::NoSpace("log full and no cleaner attached");
+    }
+    // Out of segments: wake the cleaner and wait, releasing the log lock
+    // so the cleaner can work.
+    lfs_stats_.writer_stalls++;
+    cleaner_->Poke();
+    flush_lock_.Unlock();
+    clean_wait_.SleepFor(kSecond);
+    if (!flush_lock_.Lock() || env_->stop_requested()) {
+      return Status::Busy("simulation stopped while waiting for cleaner");
+    }
+    flush_owner_ = SimEnv::Current();
+  }
+}
+
+Status Lfs::MaybePeriodicCheckpoint() {
+  if (segments_since_checkpoint_ >= options_.checkpoint_every_segments) {
+    return WriteCheckpointLocked();
+  }
+  return Status::OK();
+}
+
+}  // namespace lfstx

@@ -1,0 +1,182 @@
+#include "libtp/buffer_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace lfstx {
+
+Lsn DbPage::lsn() const {
+  Lsn v;
+  memcpy(&v, data, sizeof(v));
+  return v;
+}
+
+void DbPage::set_lsn(Lsn v) { memcpy(data, &v, sizeof(v)); }
+
+BufferPool::BufferPool(Kernel* kernel, LogManager* log, size_t capacity_pages)
+    : kernel_(kernel), log_(log), capacity_(capacity_pages) {
+  assert(capacity_ >= 8);
+}
+
+BufferPool::~BufferPool() = default;
+
+Result<uint32_t> BufferPool::RegisterFile(const std::string& path,
+                                          bool create) {
+  FileEntry e;
+  e.path = path;
+  auto r = kernel_->Open(path);
+  if (r.ok()) {
+    e.ino = r.value();
+  } else if (r.status().IsNotFound() && create) {
+    LFSTX_ASSIGN_OR_RETURN(e.ino, kernel_->Create(path));
+  } else {
+    return r.status();
+  }
+  FileStat st;
+  LFSTX_RETURN_IF_ERROR(kernel_->fs()->StatInode(e.ino, &st));
+  e.pages = (st.size + kBlockSize - 1) / kBlockSize;
+  files_.push_back(e);
+  return static_cast<uint32_t>(files_.size() - 1);
+}
+
+Status BufferPool::CloseAll() {
+  LFSTX_RETURN_IF_ERROR(FlushAll());
+  for (auto& f : files_) {
+    if (f.ino != kInvalidInode) {
+      LFSTX_RETURN_IF_ERROR(kernel_->Close(f.ino));
+      f.ino = kInvalidInode;
+    }
+  }
+  pages_.clear();
+  lru_.clear();
+  return Status::OK();
+}
+
+const std::string& BufferPool::file_path(uint32_t file_ref) const {
+  return files_[file_ref].path;
+}
+
+InodeNum BufferPool::file_inode(uint32_t file_ref) const {
+  return files_[file_ref].ino;
+}
+
+void BufferPool::TouchLru(DbPage* page) {
+  if (page->in_lru) lru_.erase(page->lru_pos);
+  lru_.push_back(page);
+  page->lru_pos = std::prev(lru_.end());
+  page->in_lru = true;
+}
+
+Status BufferPool::WriteBackPage(DbPage* page) {
+  // WAL rule: the log must cover the page's last update first.
+  if (page->lsn() != 0) {
+    LFSTX_RETURN_IF_ERROR(log_->FlushTo(page->lsn()));
+  }
+  LFSTX_RETURN_IF_ERROR(
+      kernel_->Write(files_[page->file_ref].ino,
+                     page->pageno * kBlockSize,
+                     Slice(page->data, kBlockSize)));
+  page->dirty = false;
+  stats_.dirty_writebacks++;
+  return Status::OK();
+}
+
+Status BufferPool::EvictOne() {
+  for (DbPage* victim : lru_) {
+    if (victim->pins > 0) continue;
+    if (victim->dirty) {
+      LFSTX_RETURN_IF_ERROR(WriteBackPage(victim));
+    }
+    stats_.evictions++;
+    lru_.erase(victim->lru_pos);
+    pages_.erase(Key{victim->file_ref, victim->pageno});
+    return Status::OK();
+  }
+  return Status::NoSpace("user buffer pool exhausted: all pages pinned");
+}
+
+Result<DbPage*> BufferPool::Get(uint32_t file_ref, uint64_t pageno,
+                                bool write_intent) {
+  SimEnv* env = kernel_->env();
+  env->LatchOp();  // acquire the shared-memory pool latch
+  DbPage* page = nullptr;
+  auto it = pages_.find(Key{file_ref, pageno});
+  if (it != pages_.end()) {
+    page = it->second.get();
+    stats_.hits++;
+  } else {
+    stats_.misses++;
+    while (pages_.size() >= capacity_) {
+      Status s = EvictOne();
+      if (!s.ok()) {
+        env->LatchOp();
+        return s;
+      }
+    }
+    auto owned = std::make_unique<DbPage>();
+    page = owned.get();
+    page->file_ref = file_ref;
+    page->pageno = pageno;
+    memset(page->data, 0, sizeof(page->data));
+    if (pageno < files_[file_ref].pages) {
+      auto n = kernel_->Read(files_[file_ref].ino, pageno * kBlockSize,
+                             kBlockSize, page->data);
+      if (!n.ok()) {
+        env->LatchOp();
+        return n.status();
+      }
+    }
+    pages_[Key{file_ref, pageno}] = std::move(owned);
+  }
+  page->pins++;
+  TouchLru(page);
+  if (write_intent && page->snapshot == nullptr) {
+    page->snapshot =
+        std::make_unique<std::string>(page->data, kBlockSize);
+  }
+  env->LatchOp();  // release the latch
+  return page;
+}
+
+void BufferPool::Release(DbPage* page) {
+  SimEnv* env = kernel_->env();
+  env->LatchOp();
+  assert(page->pins > 0);
+  page->pins--;
+  if (page->pins == 0 && !page->dirty) page->snapshot.reset();
+  env->LatchOp();
+}
+
+void BufferPool::ReleaseDirty(DbPage* page) {
+  SimEnv* env = kernel_->env();
+  env->LatchOp();
+  assert(page->pins > 0);
+  page->pins--;
+  page->dirty = true;
+  env->LatchOp();
+}
+
+Result<uint64_t> BufferPool::FilePages(uint32_t file_ref) {
+  return files_[file_ref].pages;
+}
+
+Result<uint64_t> BufferPool::AllocPage(uint32_t file_ref) {
+  uint64_t pageno = files_[file_ref].pages;
+  files_[file_ref].pages++;
+  // Materialize the page in the pool; it reaches the file at write-back.
+  LFSTX_ASSIGN_OR_RETURN(DbPage * page, Get(file_ref, pageno, false));
+  memset(page->data, 0, kBlockSize);
+  ReleaseDirty(page);
+  return pageno;
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [key, page] : pages_) {
+    if (page->dirty) {
+      LFSTX_RETURN_IF_ERROR(WriteBackPage(page.get()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace lfstx

@@ -1,0 +1,205 @@
+#include "libtp/log_manager.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace lfstx {
+
+namespace {
+// 32-byte header at the front of the log file: LSNs and epochs survive
+// in-place truncation of the preallocated region.
+struct LogFileHeader {
+  uint32_t magic;
+  uint32_t epoch;
+  uint64_t base_lsn;
+  char reserved[16];
+};
+static_assert(sizeof(LogFileHeader) == 32);
+constexpr uint32_t kLogFileMagic = 0x4C474844;  // "LGHD"
+}  // namespace
+
+LogManager::LogManager(Kernel* kernel) : LogManager(kernel, Options{}) {}
+
+LogManager::LogManager(Kernel* kernel, Options options)
+    : kernel_(kernel), options_(options), flushed_(kernel->env()) {}
+
+Status LogManager::Open(const std::string& path) {
+  auto r = kernel_->Open(path);
+  if (r.ok()) {
+    log_ino_ = r.value();
+    LogFileHeader h;
+    auto n = kernel_->Read(log_ino_, 0, sizeof(h),
+                           reinterpret_cast<char*>(&h));
+    LFSTX_RETURN_IF_ERROR(n.status());
+    if (n.value() != sizeof(h) || h.magic != kLogFileMagic) {
+      return Status::Corruption("bad log file header");
+    }
+    base_lsn_ = h.base_lsn;
+    epoch_ = h.epoch;
+    // The file is preallocated, so its size says nothing about the tail:
+    // scan forward from the base until the records stop making sense.
+    Lsn lsn = base_lsn_;
+    char buf[2 * kBlockSize + 256];
+    for (;;) {
+      uint64_t file_off = sizeof(LogFileHeader) + (lsn - base_lsn_);
+      auto nr = kernel_->Read(log_ino_, file_off, sizeof(buf), buf);
+      LFSTX_RETURN_IF_ERROR(nr.status());
+      size_t consumed = 0;
+      auto rec = LogRecord::Decode(buf, nr.value(), &consumed);
+      if (!rec.ok() || rec.value().epoch != epoch_) break;
+      lsn += consumed;
+    }
+    next_lsn_ = durable_lsn_ = tail_base_ = lsn;
+    return Status::OK();
+  }
+  if (!r.status().IsNotFound()) return r.status();
+  LFSTX_ASSIGN_OR_RETURN(log_ino_, kernel_->Create(path));
+  LogFileHeader h{};
+  h.magic = kLogFileMagic;
+  h.base_lsn = 0;
+  h.epoch = 0;
+  LFSTX_RETURN_IF_ERROR(kernel_->Write(
+      log_ino_, 0, Slice(reinterpret_cast<const char*>(&h), sizeof(h))));
+  if (options_.preallocate_bytes > 0) {
+    // Reserve a contiguous region up front ("keep the log on its own
+    // preallocated area"): appends then never grow the file, so the fsync
+    // path writes only the data blocks.
+    std::string zeros(64 * 1024, '\0');
+    for (uint64_t off = sizeof(h); off < options_.preallocate_bytes;
+         off += zeros.size()) {
+      LFSTX_RETURN_IF_ERROR(kernel_->Write(log_ino_, off, zeros));
+    }
+  }
+  LFSTX_RETURN_IF_ERROR(kernel_->Fsync(log_ino_));
+  base_lsn_ = next_lsn_ = durable_lsn_ = tail_base_ = 0;
+  epoch_ = 0;
+  return Status::OK();
+}
+
+Status LogManager::Truncate() {
+  if (!tail_.empty()) {
+    LFSTX_RETURN_IF_ERROR(FlushTo(next_lsn_ - 1));
+  }
+  base_lsn_ = next_lsn_;
+  tail_base_ = next_lsn_;
+  epoch_++;
+  if (options_.preallocate_bytes == 0) {
+    // No reserved region: physically release the old records.
+    LFSTX_RETURN_IF_ERROR(kernel_->Truncate(log_ino_, sizeof(LogFileHeader)));
+  }
+  // Otherwise the region is reused in place; the bumped epoch makes any
+  // stale record bytes beyond the new tail unreplayable.
+  LogFileHeader h{};
+  h.magic = kLogFileMagic;
+  h.base_lsn = base_lsn_;
+  h.epoch = epoch_;
+  LFSTX_RETURN_IF_ERROR(kernel_->Write(
+      log_ino_, 0, Slice(reinterpret_cast<const char*>(&h), sizeof(h))));
+  return kernel_->Fsync(log_ino_);
+}
+
+Status LogManager::Close() {
+  if (log_ino_ == kInvalidInode) return Status::OK();
+  LFSTX_RETURN_IF_ERROR(FlushTo(next_lsn_ == 0 ? 0 : next_lsn_ - 1));
+  Status s = kernel_->Close(log_ino_);
+  log_ino_ = kInvalidInode;
+  return s;
+}
+
+Result<Lsn> LogManager::Append(const LogRecord& rec) {
+  Lsn lsn = next_lsn_;
+  LogRecord stamped = rec;
+  stamped.epoch = epoch_;
+  stamped.AppendTo(&tail_);
+  next_lsn_ = tail_base_ + tail_.size();
+  stats_.records++;
+  stats_.bytes_appended += stamped.EncodedSize();
+  kernel_->env()->Consume(kernel_->env()->costs().log_record_us);
+  return lsn;
+}
+
+Status LogManager::FlushTo(Lsn lsn) {
+  SimEnv* env = kernel_->env();
+  if (next_lsn_ == 0) return Status::OK();  // nothing ever appended
+  lsn = std::min(lsn, next_lsn_ - 1);
+  while (durable_lsn_ < lsn + 1) {
+    if (flusher_active_) {
+      // Piggyback on the in-flight flush.
+      pending_commits_++;
+      WakeReason r = flushed_.Sleep();
+      pending_commits_--;
+      if (r == WakeReason::kStopped) {
+        return Status::Busy("simulation stopped during log flush");
+      }
+      continue;
+    }
+    flusher_active_ = true;
+    if (options_.group_commit_wait > 0) {
+      // Hold the flush briefly so concurrent commits share the fsync.
+      stats_.group_commit_waits++;
+      SimTime deadline = env->Now() + options_.group_commit_wait;
+      while (env->Now() < deadline &&
+             pending_commits_ + 1 < options_.group_commit_batch &&
+             !env->stop_requested()) {
+        env->SleepUntil(deadline);
+      }
+    }
+    std::string batch;
+    batch.swap(tail_);
+    Lsn base = tail_base_;
+    tail_base_ += batch.size();
+    Status s = Status::OK();
+    if (!batch.empty()) {
+      uint64_t file_off = sizeof(LogFileHeader) + (base - base_lsn_);
+      s = kernel_->Write(log_ino_, file_off, batch);
+      if (s.ok()) s = kernel_->Fsync(log_ino_);
+      stats_.flushes++;
+    }
+    if (s.ok()) durable_lsn_ = tail_base_;
+    flusher_active_ = false;
+    flushed_.WakeAll();
+    LFSTX_RETURN_IF_ERROR(s);
+  }
+  return Status::OK();
+}
+
+Result<LogRecord> LogManager::ReadRecord(Lsn lsn) {
+  size_t consumed = 0;
+  if (lsn >= tail_base_) {
+    size_t off = lsn - tail_base_;
+    if (off >= tail_.size()) return Status::InvalidArgument("LSN beyond log");
+    return LogRecord::Decode(tail_.data() + off, tail_.size() - off,
+                             &consumed);
+  }
+  if (lsn < base_lsn_) {
+    return Status::InvalidArgument("LSN precedes the truncation point");
+  }
+  // Records are bounded by two page images plus the header.
+  char buf[2 * kBlockSize + 256];
+  uint64_t file_off = sizeof(LogFileHeader) + (lsn - base_lsn_);
+  auto n = kernel_->Read(log_ino_, file_off, sizeof(buf), buf);
+  LFSTX_RETURN_IF_ERROR(n.status());
+  auto rec = LogRecord::Decode(buf, n.value(), &consumed);
+  if (rec.ok() && rec.value().epoch != epoch_) {
+    return Status::Corruption("log record from a previous epoch");
+  }
+  return rec;
+}
+
+Status LogManager::ScanAll(
+    const std::function<Status(Lsn, const LogRecord&)>& fn) {
+  Lsn lsn = base_lsn_;
+  Lsn end = tail_base_ + tail_.size();
+  while (lsn < end) {
+    auto r = ReadRecord(lsn);
+    if (!r.ok()) {
+      if (r.status().IsCorruption()) break;  // torn tail: normal end
+      return r.status();
+    }
+    LFSTX_RETURN_IF_ERROR(fn(lsn, r.value()));
+    lsn += r.value().EncodedSize();
+  }
+  return Status::OK();
+}
+
+}  // namespace lfstx

@@ -1,0 +1,87 @@
+#include "libtp/log_record.h"
+
+#include <cstring>
+
+#include "common/crc32c.h"
+
+namespace lfstx {
+
+namespace {
+struct RawLogHeader {
+  uint32_t magic;
+  uint32_t type;
+  uint64_t txn;
+  uint64_t prev_lsn;
+  uint32_t file_ref;
+  uint32_t epoch;
+  uint64_t page;
+  uint32_t offset;
+  uint32_t before_len;
+  uint32_t after_len;
+  uint32_t crc;  // of header (crc=0) + payloads
+};
+static_assert(sizeof(RawLogHeader) == 56);
+constexpr uint32_t kLogMagic = 0x4C4F4731;  // "LOG1"
+}  // namespace
+
+size_t LogRecord::EncodedSize() const {
+  return sizeof(RawLogHeader) + before.size() + after.size();
+}
+
+void LogRecord::AppendTo(std::string* out) const {
+  RawLogHeader h{};
+  h.magic = kLogMagic;
+  h.type = static_cast<uint32_t>(type);
+  h.txn = txn;
+  h.prev_lsn = prev_lsn;
+  h.file_ref = file_ref;
+  h.page = page;
+  h.offset = offset;
+  h.before_len = static_cast<uint32_t>(before.size());
+  h.after_len = static_cast<uint32_t>(after.size());
+  h.epoch = epoch;
+  h.crc = 0;
+  uint32_t crc = crc32c::Value(reinterpret_cast<const char*>(&h), sizeof(h));
+  crc = crc32c::Extend(crc, before.data(), before.size());
+  crc = crc32c::Extend(crc, after.data(), after.size());
+  h.crc = crc32c::Mask(crc);
+  out->append(reinterpret_cast<const char*>(&h), sizeof(h));
+  out->append(before);
+  out->append(after);
+}
+
+Result<LogRecord> LogRecord::Decode(const char* data, size_t available,
+                                    size_t* consumed) {
+  if (available < sizeof(RawLogHeader)) {
+    return Status::Corruption("log truncated in record header");
+  }
+  RawLogHeader h;
+  memcpy(&h, data, sizeof(h));
+  if (h.magic != kLogMagic) return Status::Corruption("bad log record magic");
+  size_t total = sizeof(h) + h.before_len + h.after_len;
+  if (total > available) {
+    return Status::Corruption("log truncated in record payload");
+  }
+  RawLogHeader zeroed = h;
+  zeroed.crc = 0;
+  uint32_t crc = crc32c::Value(reinterpret_cast<const char*>(&zeroed),
+                               sizeof(zeroed));
+  crc = crc32c::Extend(crc, data + sizeof(h), h.before_len + h.after_len);
+  if (crc32c::Mask(crc) != h.crc) {
+    return Status::Corruption("log record CRC mismatch (torn write)");
+  }
+  LogRecord r;
+  r.type = static_cast<LogRecType>(h.type);
+  r.txn = h.txn;
+  r.prev_lsn = h.prev_lsn;
+  r.file_ref = h.file_ref;
+  r.page = h.page;
+  r.offset = h.offset;
+  r.epoch = h.epoch;
+  r.before.assign(data + sizeof(h), h.before_len);
+  r.after.assign(data + sizeof(h) + h.before_len, h.after_len);
+  *consumed = total;
+  return r;
+}
+
+}  // namespace lfstx

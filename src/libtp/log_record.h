@@ -1,0 +1,63 @@
+// Write-ahead log record format for the user-level transaction system
+// (paper section 3: "before-image and after-image logging to support both
+// redo and undo recovery").
+//
+// Update records carry the byte range of a page that changed plus its
+// before and after images — "logging schemes where only the updated bytes
+// need be written" (section 4.3), the contrast to the embedded manager's
+// whole-page force.
+#ifndef LFSTX_LIBTP_LOG_RECORD_H_
+#define LFSTX_LIBTP_LOG_RECORD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "fs/fs_types.h"
+
+namespace lfstx {
+
+/// Log sequence number: byte offset of a record in the log file.
+using Lsn = uint64_t;
+constexpr Lsn kNullLsn = ~0ull;
+
+enum class LogRecType : uint32_t {
+  kUpdate = 1,
+  kCommit = 2,
+  kAbort = 3,
+  kCheckpoint = 4,
+  /// Compensation: undo of an update during abort (so crash-during-abort
+  /// recovery is idempotent).
+  kClr = 5,
+};
+
+/// \brief One WAL record.
+struct LogRecord {
+  LogRecType type = LogRecType::kUpdate;
+  TxnId txn = kNoTxn;
+  Lsn prev_lsn = kNullLsn;  ///< previous record of the same transaction
+  /// Truncation epoch: the log file is preallocated and reused in place,
+  /// so records from an earlier epoch surviving beyond the current tail
+  /// must not be replayed.
+  uint32_t epoch = 0;
+
+  // kUpdate / kClr payload:
+  uint32_t file_ref = 0;  ///< registered database file
+  uint64_t page = 0;
+  uint32_t offset = 0;    ///< byte range within the page
+  std::string before;
+  std::string after;
+
+  /// Serialized byte size (for LSN arithmetic before appending).
+  size_t EncodedSize() const;
+  void AppendTo(std::string* out) const;
+
+  /// Decode the record at `data`; sets *consumed to its size. Returns
+  /// kCorruption at a torn/invalid record (end of log).
+  static Result<LogRecord> Decode(const char* data, size_t available,
+                                  size_t* consumed);
+};
+
+}  // namespace lfstx
+
+#endif  // LFSTX_LIBTP_LOG_RECORD_H_

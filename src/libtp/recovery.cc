@@ -1,0 +1,86 @@
+// LIBTP restart recovery: one forward redo pass (applying every update /
+// CLR whose effect is missing from the page, judged by the page LSN), then
+// a backward undo pass for transactions with no commit or abort record.
+#include <map>
+#include <set>
+
+#include "libtp/txn_manager.h"
+
+namespace lfstx {
+
+Status LibTp::Recover() {
+  struct TxnInfo {
+    Lsn last_lsn = kNullLsn;
+    bool finished = false;  // saw commit or abort
+  };
+  std::map<TxnId, TxnInfo> seen;
+
+  // ---- pass 1: redo (and analysis) ----
+  Status scan = log_.ScanAll([&](Lsn lsn, const LogRecord& rec) -> Status {
+    switch (rec.type) {
+      case LogRecType::kUpdate:
+      case LogRecType::kClr: {
+        seen[rec.txn].last_lsn = lsn;
+        if (rec.file_ref >= pool_.file_count()) {
+          return Status::Corruption(
+              "log references a database file that was not re-registered "
+              "before recovery (RegisterFile order must match)");
+        }
+        LFSTX_ASSIGN_OR_RETURN(DbPage * page,
+                               pool_.Get(rec.file_ref, rec.page, false));
+        const std::string& image = rec.after;
+        if (page->lsn() <= lsn) {  // stored LSN = applied-record + 1
+          memcpy(page->data + rec.offset, image.data(), image.size());
+          page->set_lsn(lsn + 1);
+          pool_.ReleaseDirty(page);
+        } else {
+          pool_.Release(page);
+        }
+        break;
+      }
+      case LogRecType::kCommit:
+      case LogRecType::kAbort:
+        seen[rec.txn].finished = true;
+        break;
+      case LogRecType::kCheckpoint:
+        break;
+    }
+    return Status::OK();
+  });
+  LFSTX_RETURN_IF_ERROR(scan);
+
+  // ---- pass 2: undo losers ----
+  for (auto& [txn, info] : seen) {
+    if (info.finished) continue;
+    Lsn cursor = info.last_lsn;
+    Lsn chain = info.last_lsn;
+    while (cursor != kNullLsn) {
+      LFSTX_ASSIGN_OR_RETURN(LogRecord rec, log_.ReadRecord(cursor));
+      if (rec.type == LogRecType::kUpdate) {
+        LogRecord clr;
+        clr.type = LogRecType::kClr;
+        clr.txn = txn;
+        clr.prev_lsn = chain;
+        clr.file_ref = rec.file_ref;
+        clr.page = rec.page;
+        clr.offset = rec.offset;
+        clr.after = rec.before;
+        LFSTX_ASSIGN_OR_RETURN(Lsn clr_lsn, log_.Append(clr));
+        chain = clr_lsn;
+        LFSTX_RETURN_IF_ERROR(ApplyImage(rec.file_ref, rec.page, rec.offset,
+                                         rec.before, clr_lsn));
+      }
+      cursor = rec.prev_lsn;
+    }
+    LogRecord done;
+    done.type = LogRecType::kAbort;
+    done.txn = txn;
+    done.prev_lsn = chain;
+    LFSTX_RETURN_IF_ERROR(log_.Append(done).status());
+  }
+
+  // Durably finish: flush pages, then note the clean point in the log.
+  return Checkpoint();
+}
+
+}  // namespace lfstx

@@ -1,0 +1,232 @@
+#include "libtp/txn_manager.h"
+
+#include <cstring>
+
+namespace lfstx {
+
+LibTp::LibTp(Kernel* kernel) : LibTp(kernel, Options{}) {}
+
+LibTp::LibTp(Kernel* kernel, Options options)
+    : kernel_(kernel),
+      options_(options),
+      log_(kernel, options.log),
+      pool_(kernel, &log_, options.pool_pages),
+      locks_(kernel->env()) {}
+
+Status LibTp::Open(const std::string& log_path) {
+  LFSTX_RETURN_IF_ERROR(log_.Open(log_path));
+  return Recover();
+}
+
+Status LibTp::Close() {
+  LFSTX_RETURN_IF_ERROR(Checkpoint());
+  LFSTX_RETURN_IF_ERROR(pool_.CloseAll());
+  return log_.Close();
+}
+
+// ------------------------------------------------------------ txn control --
+
+Result<TxnId> LibTp::Begin() {
+  kernel_->env()->Consume(kernel_->env()->costs().txn_bookkeeping_us);
+  TxnId id = ids_.Next();
+  txns_[id] = TxnState{TxnStatus::kRunning, kNullLsn};
+  active_++;
+  stats_.begun++;
+  return id;
+}
+
+Status LibTp::Commit(TxnId txn) {
+  SimEnv* env = kernel_->env();
+  env->Consume(env->costs().txn_bookkeeping_us);
+  auto it = txns_.find(txn);
+  if (it == txns_.end() || it->second.status != TxnStatus::kRunning) {
+    return Status::InvalidArgument("commit of unknown transaction");
+  }
+  it->second.status = TxnStatus::kCommitting;
+  LogRecord rec;
+  rec.type = LogRecType::kCommit;
+  rec.txn = txn;
+  rec.prev_lsn = it->second.last_lsn;
+  env->LatchOp();  // log latch
+  LFSTX_ASSIGN_OR_RETURN(Lsn lsn, log_.Append(rec));
+  env->LatchOp();
+  LFSTX_RETURN_IF_ERROR(log_.FlushTo(lsn));
+  env->LatchOp();  // lock-manager latch for the release pass
+  locks_.UnlockAll(txn);
+  env->LatchOp();
+  it->second.status = TxnStatus::kCommitted;
+  active_--;
+  stats_.committed++;
+  txns_.erase(it);
+  if (active_ == 0 &&
+      log_.next_lsn() - last_checkpoint_lsn_ >=
+          options_.checkpoint_log_bytes) {
+    LFSTX_RETURN_IF_ERROR(Checkpoint());
+  }
+  return Status::OK();
+}
+
+Status LibTp::Abort(TxnId txn) {
+  SimEnv* env = kernel_->env();
+  env->Consume(env->costs().txn_bookkeeping_us);
+  auto it = txns_.find(txn);
+  if (it == txns_.end() || it->second.status != TxnStatus::kRunning) {
+    return Status::InvalidArgument("abort of unknown transaction");
+  }
+  it->second.status = TxnStatus::kAborting;
+  // Walk the transaction's record chain backwards applying before-images,
+  // writing compensation records as we go.
+  Lsn cursor = it->second.last_lsn;
+  while (cursor != kNullLsn) {
+    LFSTX_ASSIGN_OR_RETURN(LogRecord rec, log_.ReadRecord(cursor));
+    if (rec.type == LogRecType::kUpdate) {
+      LogRecord clr;
+      clr.type = LogRecType::kClr;
+      clr.txn = txn;
+      clr.prev_lsn = it->second.last_lsn;
+      clr.file_ref = rec.file_ref;
+      clr.page = rec.page;
+      clr.offset = rec.offset;
+      clr.after = rec.before;  // redo-only undo
+      env->LatchOp();
+      LFSTX_ASSIGN_OR_RETURN(Lsn clr_lsn, log_.Append(clr));
+      env->LatchOp();
+      it->second.last_lsn = clr_lsn;
+      LFSTX_RETURN_IF_ERROR(
+          ApplyImage(rec.file_ref, rec.page, rec.offset, rec.before,
+                     clr_lsn));
+    }
+    cursor = rec.prev_lsn;
+  }
+  LogRecord done;
+  done.type = LogRecType::kAbort;
+  done.txn = txn;
+  done.prev_lsn = it->second.last_lsn;
+  env->LatchOp();
+  LFSTX_RETURN_IF_ERROR(log_.Append(done).status());
+  env->LatchOp();
+  env->LatchOp();
+  locks_.UnlockAll(txn);
+  env->LatchOp();
+  it->second.status = TxnStatus::kAborted;
+  active_--;
+  stats_.aborted++;
+  return Status::OK();
+}
+
+// ------------------------------------------------------------ page access --
+
+Result<DbPage*> LibTp::GetPage(TxnId txn, uint32_t file_ref, uint64_t pageno,
+                               LockMode mode) {
+  SimEnv* env = kernel_->env();
+  env->LatchOp();  // lock-manager latch
+  Status s = locks_.Lock(txn, LockId{file_ref, pageno}, mode);
+  env->LatchOp();
+  if (s.IsDeadlock()) stats_.deadlocks++;
+  LFSTX_RETURN_IF_ERROR(s);
+  return pool_.Get(file_ref, pageno, mode == LockMode::kExclusive);
+}
+
+void LibTp::PutPage(DbPage* page) { pool_.Release(page); }
+
+Status LibTp::PutPageDirty(TxnId txn, DbPage* page) {
+  SimEnv* env = kernel_->env();
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return Status::InvalidArgument("unknown txn");
+  if (page->snapshot == nullptr) {
+    return Status::Internal("dirty release without write intent");
+  }
+  // Diff the page against its pre-image; only the changed bytes are
+  // logged ("only the updated bytes need be written", section 4.3). The
+  // LSN field itself (first 8 bytes) is excluded. Slotted pages mutate at
+  // both ends (slot directory up front, cells packed from the back), so
+  // the [first-change, last-change) span is split at its largest unchanged
+  // gap when that saves real log space.
+  const char* before = page->snapshot->data();
+  const char* after = page->data;
+  uint32_t lo = sizeof(Lsn), hi = kBlockSize;
+  while (lo < kBlockSize && before[lo] == after[lo]) lo++;
+  while (hi > lo && before[hi - 1] == after[hi - 1]) hi--;
+  if (lo < hi) {
+    // Largest interior run of unchanged bytes.
+    uint32_t best_start = hi, best_len = 0, run_start = 0, run_len = 0;
+    for (uint32_t i = lo; i < hi; i++) {
+      if (before[i] == after[i]) {
+        if (run_len == 0) run_start = i;
+        if (++run_len > best_len) {
+          best_len = run_len;
+          best_start = run_start;
+        }
+      } else {
+        run_len = 0;
+      }
+    }
+    struct Range {
+      uint32_t lo, hi;
+    } ranges[2];
+    int nranges = 1;
+    constexpr uint32_t kMinGap = 128;  // below this, one record is cheaper
+    if (best_len >= kMinGap) {
+      ranges[0] = {lo, best_start};
+      ranges[1] = {best_start + best_len, hi};
+      nranges = 2;
+    } else {
+      ranges[0] = {lo, hi};
+    }
+    for (int r = 0; r < nranges; r++) {
+      LogRecord rec;
+      rec.type = LogRecType::kUpdate;
+      rec.txn = txn;
+      rec.prev_lsn = it->second.last_lsn;
+      rec.file_ref = page->file_ref;
+      rec.page = page->pageno;
+      rec.offset = ranges[r].lo;
+      rec.before.assign(before + ranges[r].lo, ranges[r].hi - ranges[r].lo);
+      rec.after.assign(after + ranges[r].lo, ranges[r].hi - ranges[r].lo);
+      env->LatchOp();
+      LFSTX_ASSIGN_OR_RETURN(Lsn lsn, log_.Append(rec));
+      env->LatchOp();
+      it->second.last_lsn = lsn;
+      page->set_lsn(lsn + 1);  // stored LSN is rec+1 so 0 means "never"
+      stats_.update_records++;
+    }
+    // Refresh the snapshot for subsequent updates under the same pin.
+    page->snapshot->assign(page->data, kBlockSize);
+  }
+  pool_.ReleaseDirty(page);
+  return Status::OK();
+}
+
+void LibTp::UnlockPage(TxnId txn, uint32_t file_ref, uint64_t pageno) {
+  SimEnv* env = kernel_->env();
+  env->LatchOp();
+  locks_.Unlock(txn, LockId{file_ref, pageno});
+  env->LatchOp();
+}
+
+Status LibTp::ApplyImage(uint32_t file_ref, uint64_t pageno, uint32_t offset,
+                         const std::string& image, Lsn stamp_lsn) {
+  LFSTX_ASSIGN_OR_RETURN(DbPage * page, pool_.Get(file_ref, pageno, false));
+  memcpy(page->data + offset, image.data(), image.size());
+  page->set_lsn(stamp_lsn + 1);
+  pool_.ReleaseDirty(page);
+  return Status::OK();
+}
+
+Status LibTp::Checkpoint() {
+  LFSTX_RETURN_IF_ERROR(pool_.FlushAll());
+  if (active_ == 0) {
+    // Every update is reflected in a durable page and nothing is in
+    // flight: the old log is dead weight — reclaim it.
+    LFSTX_RETURN_IF_ERROR(log_.Truncate());
+  } else {
+    LogRecord rec;
+    rec.type = LogRecType::kCheckpoint;
+    LFSTX_ASSIGN_OR_RETURN(Lsn lsn, log_.Append(rec));
+    LFSTX_RETURN_IF_ERROR(log_.FlushTo(lsn));
+  }
+  last_checkpoint_lsn_ = log_.next_lsn();
+  return Status::OK();
+}
+
+}  // namespace lfstx

@@ -1,0 +1,27 @@
+#include "sim/clock.h"
+
+#include <cstdio>
+
+namespace lfstx {
+
+std::string FormatDuration(SimTime us) {
+  char buf[64];
+  if (us < kMillisecond) {
+    snprintf(buf, sizeof(buf), "%lluus", static_cast<unsigned long long>(us));
+  } else if (us < kSecond) {
+    snprintf(buf, sizeof(buf), "%.1fms", static_cast<double>(us) / 1e3);
+  } else if (us < kMinute) {
+    snprintf(buf, sizeof(buf), "%.1fs", ToSeconds(us));
+  } else if (us < kHour) {
+    unsigned long long m = us / kMinute;
+    double s = ToSeconds(us % kMinute);
+    snprintf(buf, sizeof(buf), "%llum%02.0fs", m, s);
+  } else {
+    unsigned long long h = us / kHour;
+    unsigned long long m = (us % kHour) / kMinute;
+    snprintf(buf, sizeof(buf), "%lluh%02llum", h, m);
+  }
+  return buf;
+}
+
+}  // namespace lfstx

@@ -1,0 +1,28 @@
+// Virtual time helpers. SimEnv owns the actual clock; this header provides
+// unit constants and duration formatting shared by the harness and benches.
+#ifndef LFSTX_SIM_CLOCK_H_
+#define LFSTX_SIM_CLOCK_H_
+
+#include <cstdint>
+#include <string>
+
+namespace lfstx {
+
+/// Virtual time is an unsigned microsecond count since simulation start.
+using SimTime = uint64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000;
+constexpr SimTime kSecond = 1000 * 1000;
+constexpr SimTime kMinute = 60 * kSecond;
+constexpr SimTime kHour = 60 * kMinute;
+
+/// Convert microseconds to floating-point seconds.
+inline double ToSeconds(SimTime us) { return static_cast<double>(us) / 1e6; }
+
+/// Human-readable duration, e.g. "2h40m", "93.4s", "512us".
+std::string FormatDuration(SimTime us);
+
+}  // namespace lfstx
+
+#endif  // LFSTX_SIM_CLOCK_H_

@@ -1,0 +1,242 @@
+#include "sim/sim_env.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lfstx {
+
+namespace {
+thread_local SimProc* tls_current = nullptr;
+}  // namespace
+
+SimEnv::SimEnv(CostModel costs) : costs_(costs) {}
+
+SimEnv::~SimEnv() {
+  // Drain any processes that were spawned but never run (or daemons still
+  // parked after a completed Run()). Run() is idempotent once finished.
+  if (live_total_ > 0 || !ran_) {
+    Run();
+  }
+  for (auto& p : procs_) {
+    if (p->thread_.joinable()) p->thread_.join();
+  }
+}
+
+SimProc* SimEnv::Current() { return tls_current; }
+
+SimProc* SimEnv::Spawn(std::string name, std::function<void()> fn,
+                       bool daemon) {
+  auto proc = std::make_unique<SimProc>();
+  SimProc* p = proc.get();
+  p->name_ = std::move(name);
+  p->daemon_ = daemon;
+  p->fn_ = std::move(fn);
+  p->env_ = this;
+  p->state_ = SimProc::State::kRunnable;
+  procs_.push_back(std::move(proc));
+  live_total_++;
+  if (!daemon) live_nondaemon_++;
+  stats_.processes_spawned++;
+  runnable_.push_back(p);
+
+  p->thread_ = std::thread([this, p] {
+    p->resume_.acquire();
+    tls_current = p;
+    if (p->state_ != SimProc::State::kDone) {  // destructor may cancel
+      p->fn_();
+    }
+    tls_current = nullptr;
+    p->state_ = SimProc::State::kDone;
+    live_total_--;
+    if (!p->daemon_) live_nondaemon_--;
+    sched_sem_.release();
+  });
+  return p;
+}
+
+void SimEnv::Dispatch(SimProc* p) {
+  p->state_ = SimProc::State::kRunning;
+  if (last_dispatched_ != nullptr && last_dispatched_ != p) {
+    now_ += costs_.context_switch_us;
+    stats_.context_switches++;
+  }
+  last_dispatched_ = p;
+  p->resume_.release();
+  sched_sem_.acquire();  // until p blocks, yields, or exits
+}
+
+SimTime SimEnv::Run() {
+  ran_ = true;
+  for (;;) {
+    if (!runnable_.empty()) {
+      SimProc* p = runnable_.front();
+      runnable_.pop_front();
+      Dispatch(p);
+      continue;
+    }
+    if (live_nondaemon_ == 0 && !stopping_) {
+      stopping_ = true;
+      ForceWakeAll();
+      continue;
+    }
+    if (live_total_ == 0) break;
+    if (!timers_.empty()) {
+      Timer t = timers_.top();
+      timers_.pop();
+      now_ = std::max(now_, t.time);
+      t.cb();
+      continue;
+    }
+    if (stopping_) {
+      // Daemons were force-woken and should have exited; anything still
+      // live without a timer is a bug.
+      FatalDeadlock();
+    }
+    FatalDeadlock();
+  }
+  // Discard timers whose effects can no longer be observed.
+  while (!timers_.empty()) timers_.pop();
+  return now_;
+}
+
+void SimEnv::FatalDeadlock() {
+  fprintf(stderr,
+          "lfstx: simulation deadlock at t=%s — no runnable process and no "
+          "pending timer. Live processes:\n",
+          FormatDuration(now_).c_str());
+  for (const auto& p : procs_) {
+    if (p->state_ != SimProc::State::kDone) {
+      const char* st = "?";
+      switch (p->state_) {
+        case SimProc::State::kRunnable: st = "runnable"; break;
+        case SimProc::State::kRunning: st = "running"; break;
+        case SimProc::State::kBlocked: st = "blocked"; break;
+        case SimProc::State::kSleeping: st = "sleeping"; break;
+        case SimProc::State::kDone: st = "done"; break;
+      }
+      fprintf(stderr, "  %-24s %s%s\n", p->name_.c_str(), st,
+              p->daemon_ ? " (daemon)" : "");
+    }
+  }
+  abort();
+}
+
+void SimEnv::SwitchToScheduler(SimProc* p) {
+  sched_sem_.release();
+  p->resume_.acquire();
+}
+
+void SimEnv::MakeRunnable(SimProc* p, WakeReason reason) {
+  p->wake_reason_ = reason;
+  p->state_ = SimProc::State::kRunnable;
+  p->waiting_on_ = nullptr;
+  p->block_seq_++;  // cancel any pending timeout timer for this block
+  runnable_.push_back(p);
+}
+
+void SimEnv::ForceWakeAll() {
+  for (auto& up : procs_) {
+    SimProc* p = up.get();
+    if (p->state_ == SimProc::State::kBlocked) {
+      if (p->waiting_on_ != nullptr) p->waiting_on_->Remove(p);
+      MakeRunnable(p, WakeReason::kStopped);
+    } else if (p->state_ == SimProc::State::kSleeping) {
+      MakeRunnable(p, WakeReason::kStopped);
+    }
+  }
+}
+
+void SimEnv::Consume(uint64_t us) {
+  now_ += us;
+  stats_.cpu_busy_us += us;
+}
+
+void SimEnv::Syscall(uint64_t extra_us) {
+  stats_.syscalls++;
+  Consume(costs_.syscall_us + extra_us);
+}
+
+void SimEnv::LatchOp() {
+  if (costs_.hardware_test_and_set) {
+    Consume(costs_.latch_us);
+  } else {
+    stats_.syscalls++;
+    Consume(costs_.semaphore_syscall_us);
+  }
+}
+
+void SimEnv::SleepUntil(SimTime t) {
+  SimProc* p = Current();
+  if (t <= now_ || p == nullptr) return;
+  p->state_ = SimProc::State::kSleeping;
+  uint64_t seq = p->block_seq_;
+  At(t, [this, p, seq] {
+    if (p->state_ == SimProc::State::kSleeping && p->block_seq_ == seq) {
+      MakeRunnable(p, WakeReason::kTimeout);
+    }
+  });
+  SwitchToScheduler(p);
+}
+
+void SimEnv::SleepFor(SimTime d) { SleepUntil(now_ + d); }
+
+void SimEnv::Yield() {
+  SimProc* p = Current();
+  if (p == nullptr) return;
+  p->state_ = SimProc::State::kRunnable;
+  runnable_.push_back(p);
+  SwitchToScheduler(p);
+}
+
+void SimEnv::At(SimTime t, std::function<void()> cb) {
+  timers_.push(Timer{std::max(t, now_), timer_seq_++, std::move(cb)});
+}
+
+WakeReason WaitQueue::Sleep() {
+  SimProc* p = SimEnv::Current();
+  if (p == nullptr) return WakeReason::kStopped;
+  if (env_->stop_requested()) return WakeReason::kStopped;
+  p->state_ = SimProc::State::kBlocked;
+  p->waiting_on_ = this;
+  waiters_.push_back(p);
+  env_->SwitchToScheduler(p);
+  return p->wake_reason_;
+}
+
+WakeReason WaitQueue::SleepFor(SimTime timeout) {
+  SimProc* p = SimEnv::Current();
+  if (p == nullptr) return WakeReason::kStopped;
+  if (env_->stop_requested()) return WakeReason::kStopped;
+  p->state_ = SimProc::State::kBlocked;
+  p->waiting_on_ = this;
+  waiters_.push_back(p);
+  uint64_t seq = p->block_seq_;
+  env_->At(env_->Now() + timeout, [this, p, seq] {
+    if (p->state_ == SimProc::State::kBlocked && p->block_seq_ == seq &&
+        p->waiting_on_ == this) {
+      Remove(p);
+      env_->MakeRunnable(p, WakeReason::kTimeout);
+    }
+  });
+  env_->SwitchToScheduler(p);
+  return p->wake_reason_;
+}
+
+void WaitQueue::WakeOne() {
+  if (waiters_.empty()) return;
+  SimProc* p = waiters_.front();
+  waiters_.pop_front();
+  env_->MakeRunnable(p, WakeReason::kWoken);
+}
+
+void WaitQueue::WakeAll() {
+  while (!waiters_.empty()) WakeOne();
+}
+
+void WaitQueue::Remove(SimProc* p) {
+  auto it = std::find(waiters_.begin(), waiters_.end(), p);
+  if (it != waiters_.end()) waiters_.erase(it);
+}
+
+}  // namespace lfstx

@@ -1,0 +1,31 @@
+#include "sim/sync.h"
+
+namespace lfstx {
+
+bool SimMutex::Lock() {
+  while (held_) {
+    if (q_.Sleep() == WakeReason::kStopped && held_) return false;
+  }
+  held_ = true;
+  return true;
+}
+
+void SimMutex::Unlock() {
+  held_ = false;
+  q_.WakeOne();
+}
+
+bool SimSemaphore::Acquire() {
+  while (count_ == 0) {
+    if (q_.Sleep() == WakeReason::kStopped && count_ == 0) return false;
+  }
+  count_--;
+  return true;
+}
+
+void SimSemaphore::Release() {
+  count_++;
+  q_.WakeOne();
+}
+
+}  // namespace lfstx

@@ -1,0 +1,85 @@
+// Blocking primitives built on WaitQueue: mutex, counting semaphore, and a
+// one-shot I/O completion event. All obey the single-running-process
+// invariant, so their state needs no internal locking.
+#ifndef LFSTX_SIM_SYNC_H_
+#define LFSTX_SIM_SYNC_H_
+
+#include <cstdint>
+
+#include "sim/sim_env.h"
+
+namespace lfstx {
+
+/// \brief FIFO blocking mutex for simulated processes.
+class SimMutex {
+ public:
+  explicit SimMutex(SimEnv* env) : q_(env) {}
+  /// Block until the mutex is acquired. Returns false if the environment
+  /// shut down while waiting (callers must then back out).
+  bool Lock();
+  void Unlock();
+  bool held() const { return held_; }
+
+ private:
+  WaitQueue q_;
+  bool held_ = false;
+};
+
+/// RAII guard for SimMutex.
+class SimMutexGuard {
+ public:
+  explicit SimMutexGuard(SimMutex* m) : m_(m), locked_(m->Lock()) {}
+  ~SimMutexGuard() {
+    if (locked_) m_->Unlock();
+  }
+  SimMutexGuard(const SimMutexGuard&) = delete;
+  SimMutexGuard& operator=(const SimMutexGuard&) = delete;
+
+ private:
+  SimMutex* m_;
+  bool locked_;
+};
+
+/// \brief Counting semaphore for simulated processes.
+class SimSemaphore {
+ public:
+  SimSemaphore(SimEnv* env, int64_t initial) : q_(env), count_(initial) {}
+  /// P(): decrement, blocking while the count is zero. False on shutdown.
+  bool Acquire();
+  /// V(): increment and wake one waiter.
+  void Release();
+  int64_t count() const { return count_; }
+
+ private:
+  WaitQueue q_;
+  int64_t count_;
+};
+
+/// \brief One-shot completion event (used for disk I/O).
+///
+/// The completing side calls Fire() (from scheduler/timer context or a
+/// process); waiters call Wait(). Safe to Fire before anyone waits.
+class IoEvent {
+ public:
+  explicit IoEvent(SimEnv* env) : q_(env) {}
+  void Fire() {
+    done_ = true;
+    q_.WakeAll();
+  }
+  /// Returns true if the event fired; false if the simulation stopped first.
+  bool Wait() {
+    while (!done_) {
+      if (q_.Sleep() == WakeReason::kStopped) return done_;
+    }
+    return true;
+  }
+  bool done() const { return done_; }
+
+ private:
+  WaitQueue q_;
+  bool done_ = false;
+};
+
+}  // namespace lfstx
+
+#endif  // LFSTX_SIM_SYNC_H_

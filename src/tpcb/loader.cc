@@ -1,0 +1,81 @@
+#include "tpcb/loader.h"
+
+namespace lfstx {
+
+namespace {
+constexpr int64_t kInitialBalance = 1000;
+
+Status LoadBtree(DbBackend* backend, Db* db, uint64_t count,
+                 uint32_t record_len, uint64_t batch) {
+  TxnId txn = kNoTxn;
+  uint64_t in_batch = 0;
+  for (uint64_t id = 0; id < count; id++) {
+    if (id % 50000 == 0 && count > 100000) {
+      fprintf(stderr, "[load] %llu/%llu\n", (unsigned long long)id,
+              (unsigned long long)count);
+    }
+    if (in_batch == 0) {
+      LFSTX_ASSIGN_OR_RETURN(txn, backend->Begin());
+    }
+    LFSTX_RETURN_IF_ERROR(db->Put(
+        txn, EncodeKey(id), MakeBalanceRecord(kInitialBalance, record_len)));
+    if (++in_batch >= batch) {
+      LFSTX_RETURN_IF_ERROR(backend->Commit(txn));
+      in_batch = 0;
+    }
+  }
+  if (in_batch > 0) LFSTX_RETURN_IF_ERROR(backend->Commit(txn));
+  return Status::OK();
+}
+}  // namespace
+
+Result<TpcbDatabase> LoadTpcb(DbBackend* backend, Kernel* kernel,
+                              const TpcbConfig& config, uint64_t batch) {
+  Status mk = kernel->Mkdir(config.dir);
+  if (!mk.ok() && mk.code() != Code::kAlreadyExists) return mk;
+
+  TpcbDatabase db;
+  Db::Options bt;
+  bt.type = DbType::kBtree;
+  LFSTX_ASSIGN_OR_RETURN(db.accounts,
+                         Db::Open(backend, config.AccountPath(), bt));
+  LFSTX_ASSIGN_OR_RETURN(db.tellers,
+                         Db::Open(backend, config.TellerPath(), bt));
+  LFSTX_ASSIGN_OR_RETURN(db.branches,
+                         Db::Open(backend, config.BranchPath(), bt));
+  Db::Options rn;
+  rn.type = DbType::kRecno;
+  rn.record_size = config.history_record_len;
+  LFSTX_ASSIGN_OR_RETURN(db.history,
+                         Db::Open(backend, config.HistoryPath(), rn));
+
+  LFSTX_RETURN_IF_ERROR(LoadBtree(backend, db.accounts.get(), config.accounts,
+                                  config.account_record_len, batch));
+  LFSTX_RETURN_IF_ERROR(LoadBtree(backend, db.tellers.get(), config.tellers,
+                                  config.teller_record_len, batch));
+  LFSTX_RETURN_IF_ERROR(LoadBtree(backend, db.branches.get(), config.branches,
+                                  config.branch_record_len, batch));
+  return db;
+}
+
+Result<TpcbDatabase> OpenTpcb(DbBackend* backend, const TpcbConfig& config) {
+  TpcbDatabase db;
+  Db::Options bt;
+  bt.type = DbType::kBtree;
+  bt.create = false;
+  LFSTX_ASSIGN_OR_RETURN(db.accounts,
+                         Db::Open(backend, config.AccountPath(), bt));
+  LFSTX_ASSIGN_OR_RETURN(db.tellers,
+                         Db::Open(backend, config.TellerPath(), bt));
+  LFSTX_ASSIGN_OR_RETURN(db.branches,
+                         Db::Open(backend, config.BranchPath(), bt));
+  Db::Options rn;
+  rn.type = DbType::kRecno;
+  rn.create = false;
+  rn.record_size = config.history_record_len;
+  LFSTX_ASSIGN_OR_RETURN(db.history,
+                         Db::Open(backend, config.HistoryPath(), rn));
+  return db;
+}
+
+}  // namespace lfstx

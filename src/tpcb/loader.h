@@ -1,0 +1,31 @@
+// TPC-B database loader: creates the four relations per the scaling rules
+// and fills them with initial balances.
+#ifndef LFSTX_TPCB_LOADER_H_
+#define LFSTX_TPCB_LOADER_H_
+
+#include <memory>
+
+#include "db/db.h"
+#include "tpcb/schema.h"
+
+namespace lfstx {
+
+/// \brief Open handles to the four TPC-B relations.
+struct TpcbDatabase {
+  std::unique_ptr<Db> accounts;  // B-tree
+  std::unique_ptr<Db> tellers;   // B-tree
+  std::unique_ptr<Db> branches;  // B-tree
+  std::unique_ptr<Db> history;   // recno
+};
+
+/// Create the /db directory, the relations, and load initial records
+/// (commits every `batch` inserts to bound lock-table growth).
+Result<TpcbDatabase> LoadTpcb(DbBackend* backend, Kernel* kernel,
+                              const TpcbConfig& config, uint64_t batch = 1000);
+
+/// Open previously loaded relations.
+Result<TpcbDatabase> OpenTpcb(DbBackend* backend, const TpcbConfig& config);
+
+}  // namespace lfstx
+
+#endif  // LFSTX_TPCB_LOADER_H_

@@ -1,0 +1,67 @@
+#include "tpcb/schema.h"
+
+#include <cstring>
+
+namespace lfstx {
+
+std::string EncodeKey(uint64_t id) {
+  std::string key(8, '\0');
+  for (int i = 7; i >= 0; i--) {
+    key[static_cast<size_t>(i)] = static_cast<char>(id & 0xff);
+    id >>= 8;
+  }
+  return key;
+}
+
+uint64_t DecodeKey(Slice key) {
+  uint64_t id = 0;
+  for (size_t i = 0; i < key.size() && i < 8; i++) {
+    id = (id << 8) | static_cast<unsigned char>(key[i]);
+  }
+  return id;
+}
+
+std::string MakeBalanceRecord(int64_t balance, uint32_t len) {
+  std::string rec(len, 'f');  // filler
+  memcpy(rec.data(), &balance, sizeof(balance));
+  return rec;
+}
+
+int64_t RecordBalance(Slice record) {
+  int64_t balance;
+  memcpy(&balance, record.data(), sizeof(balance));
+  return balance;
+}
+
+void SetRecordBalance(std::string* record, int64_t balance) {
+  memcpy(record->data(), &balance, sizeof(balance));
+}
+
+std::string MakeHistoryRecord(uint64_t account, uint32_t teller,
+                              uint32_t branch, int64_t delta,
+                              uint64_t timestamp, uint32_t len) {
+  std::string rec(len, 'h');
+  char* p = rec.data();
+  memcpy(p, &account, 8);
+  memcpy(p + 8, &teller, 4);
+  memcpy(p + 12, &branch, 4);
+  memcpy(p + 16, &delta, 8);
+  memcpy(p + 24, &timestamp, 8);
+  return rec;
+}
+
+Result<HistoryRow> ParseHistoryRecord(Slice record) {
+  if (record.size() < 32) {
+    return Status::InvalidArgument("history record too short");
+  }
+  HistoryRow row;
+  const char* p = record.data();
+  memcpy(&row.account, p, 8);
+  memcpy(&row.teller, p + 8, 4);
+  memcpy(&row.branch, p + 12, 4);
+  memcpy(&row.delta, p + 16, 8);
+  memcpy(&row.timestamp, p + 24, 8);
+  return row;
+}
+
+}  // namespace lfstx

@@ -1,0 +1,75 @@
+// Modified TPC-B schema (paper section 5.1): account, branch and teller
+// relations as primary B-trees (the data lives in the tree), history as a
+// fixed-size record file. Scaled for a 10 TPS system: 1,000,000 accounts,
+// 100 tellers, 10 branches.
+//
+// The account record is padded so the loaded account relation is about
+// 160 MB / 40,000 4 KiB pages, matching section 5.3.
+#ifndef LFSTX_TPCB_SCHEMA_H_
+#define LFSTX_TPCB_SCHEMA_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace lfstx {
+
+/// \brief TPC-B scaling and layout parameters.
+struct TpcbConfig {
+  uint64_t accounts = 1000000;
+  uint32_t tellers = 100;
+  uint32_t branches = 10;
+
+  uint32_t account_record_len = 140;
+  uint32_t teller_record_len = 100;
+  uint32_t branch_record_len = 100;
+  uint32_t history_record_len = 50;
+
+  std::string dir = "/db";  ///< directory holding the four relations
+
+  std::string AccountPath() const { return dir + "/account"; }
+  std::string TellerPath() const { return dir + "/teller"; }
+  std::string BranchPath() const { return dir + "/branch"; }
+  std::string HistoryPath() const { return dir + "/history"; }
+
+  /// A configuration scaled down by `factor` (for fast tests; the access
+  /// skew and record sizes are unchanged).
+  TpcbConfig Scaled(uint64_t factor) const {
+    TpcbConfig c = *this;
+    c.accounts = accounts / factor;
+    c.tellers = static_cast<uint32_t>(
+        std::max<uint64_t>(2, tellers / factor));
+    c.branches = static_cast<uint32_t>(
+        std::max<uint64_t>(1, branches / factor));
+    return c;
+  }
+};
+
+/// Big-endian u64 key so byte-wise B-tree ordering equals numeric order.
+std::string EncodeKey(uint64_t id);
+uint64_t DecodeKey(Slice key);
+
+/// Balance-carrying record: 8-byte balance then filler to `len`.
+std::string MakeBalanceRecord(int64_t balance, uint32_t len);
+int64_t RecordBalance(Slice record);
+void SetRecordBalance(std::string* record, int64_t balance);
+
+/// History row: account, teller, branch, delta, timestamp (+ filler).
+std::string MakeHistoryRecord(uint64_t account, uint32_t teller,
+                              uint32_t branch, int64_t delta,
+                              uint64_t timestamp, uint32_t len);
+struct HistoryRow {
+  uint64_t account;
+  uint32_t teller;
+  uint32_t branch;
+  int64_t delta;
+  uint64_t timestamp;
+};
+Result<HistoryRow> ParseHistoryRecord(Slice record);
+
+}  // namespace lfstx
+
+#endif  // LFSTX_TPCB_SCHEMA_H_

@@ -1,0 +1,48 @@
+#include "txn/deadlock.h"
+
+namespace lfstx {
+
+bool WaitsForGraph::Reaches(TxnId from, TxnId target,
+                            std::set<TxnId>* seen) const {
+  if (from == target) return true;
+  if (!seen->insert(from).second) return false;
+  auto it = waits_.find(from);
+  if (it == waits_.end()) return false;
+  for (TxnId next : it->second) {
+    if (Reaches(next, target, seen)) return true;
+  }
+  return false;
+}
+
+bool WaitsForGraph::WouldDeadlock(TxnId waiter,
+                                  const std::vector<TxnId>& holders) const {
+  for (TxnId holder : holders) {
+    if (holder == waiter) continue;
+    std::set<TxnId> seen;
+    if (Reaches(holder, waiter, &seen)) return true;
+  }
+  return false;
+}
+
+void WaitsForGraph::AddWaits(TxnId waiter, const std::vector<TxnId>& holders) {
+  for (TxnId holder : holders) {
+    if (holder != waiter) waits_[waiter].insert(holder);
+  }
+}
+
+void WaitsForGraph::RemoveWaiter(TxnId waiter) { waits_.erase(waiter); }
+
+void WaitsForGraph::RemoveTxn(TxnId txn) {
+  waits_.erase(txn);
+  for (auto& [waiter, targets] : waits_) {
+    targets.erase(txn);
+  }
+}
+
+size_t WaitsForGraph::edge_count() const {
+  size_t n = 0;
+  for (const auto& [waiter, targets] : waits_) n += targets.size();
+  return n;
+}
+
+}  // namespace lfstx

@@ -1,0 +1,37 @@
+// Waits-for graph for deadlock detection. A transaction about to block
+// asks whether waiting on a set of holders would close a cycle; if so the
+// requester is chosen as the victim and receives kDeadlock.
+#ifndef LFSTX_TXN_DEADLOCK_H_
+#define LFSTX_TXN_DEADLOCK_H_
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "fs/fs_types.h"
+
+namespace lfstx {
+
+/// \brief Waits-for graph.
+class WaitsForGraph {
+ public:
+  /// Would adding edges waiter -> each holder create a cycle?
+  bool WouldDeadlock(TxnId waiter, const std::vector<TxnId>& holders) const;
+
+  void AddWaits(TxnId waiter, const std::vector<TxnId>& holders);
+  void RemoveWaiter(TxnId waiter);
+  /// Drop a transaction entirely (committed/aborted): removes its outgoing
+  /// edges and any edges pointing at it.
+  void RemoveTxn(TxnId txn);
+
+  size_t edge_count() const;
+
+ private:
+  bool Reaches(TxnId from, TxnId target, std::set<TxnId>* seen) const;
+
+  std::unordered_map<TxnId, std::set<TxnId>> waits_;
+};
+
+}  // namespace lfstx
+
+#endif  // LFSTX_TXN_DEADLOCK_H_

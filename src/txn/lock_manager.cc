@@ -1,0 +1,105 @@
+#include "txn/lock_manager.h"
+
+#include <cassert>
+
+namespace lfstx {
+
+LockManager::LockManager(SimEnv* env) : env_(env) {}
+
+bool LockManager::Compatible(const Entry& e, TxnId txn, LockMode mode) {
+  for (const auto& [holder, held_mode] : e.holders) {
+    if (holder == txn) continue;
+    if (mode == LockMode::kExclusive || held_mode == LockMode::kExclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<TxnId> LockManager::ConflictingHolders(const Entry& e, TxnId txn,
+                                                   LockMode mode) const {
+  std::vector<TxnId> out;
+  for (const auto& [holder, held_mode] : e.holders) {
+    if (holder == txn) continue;
+    if (mode == LockMode::kExclusive || held_mode == LockMode::kExclusive) {
+      out.push_back(holder);
+    }
+  }
+  return out;
+}
+
+Status LockManager::Lock(TxnId txn, LockId id, LockMode mode) {
+  assert(txn != kNoTxn);
+  env_->Consume(env_->costs().lock_op_us);
+  Entry& e = table_[id];
+
+  auto held = e.holders.find(txn);
+  if (held != e.holders.end()) {
+    if (held->second == LockMode::kExclusive || mode == LockMode::kShared) {
+      return Status::OK();  // already strong enough
+    }
+    stats_.upgrades++;
+  }
+
+  while (!Compatible(e, txn, mode)) {
+    std::vector<TxnId> conflicts = ConflictingHolders(e, txn, mode);
+    if (waits_for_.WouldDeadlock(txn, conflicts)) {
+      stats_.deadlocks++;
+      return Status::Deadlock("lock wait would deadlock");
+    }
+    waits_for_.AddWaits(txn, conflicts);
+    stats_.waits++;
+    if (e.waiters == nullptr) e.waiters = std::make_unique<WaitQueue>(env_);
+    e.waiter_count++;
+    WakeReason r = e.waiters->Sleep();
+    e.waiter_count--;
+    waits_for_.RemoveWaiter(txn);
+    if (r == WakeReason::kStopped) {
+      return Status::Busy("simulation stopped during lock wait");
+    }
+  }
+
+  e.holders[txn] = mode;  // grants fresh locks and applies upgrades
+  by_txn_[txn].insert(id);
+  stats_.acquisitions++;
+  return Status::OK();
+}
+
+void LockManager::Unlock(TxnId txn, LockId id) {
+  env_->Consume(env_->costs().lock_op_us);
+  auto it = table_.find(id);
+  if (it == table_.end()) return;
+  it->second.holders.erase(txn);
+  by_txn_[txn].erase(id);
+  if (it->second.waiters != nullptr) it->second.waiters->WakeAll();
+  if (it->second.holders.empty() && it->second.waiter_count == 0) {
+    table_.erase(it);
+  }
+}
+
+void LockManager::UnlockAll(TxnId txn) {
+  auto it = by_txn_.find(txn);
+  if (it == by_txn_.end()) return;
+  // Copy: Unlock edits the set.
+  std::vector<LockId> ids(it->second.begin(), it->second.end());
+  for (const LockId& id : ids) Unlock(txn, id);
+  by_txn_.erase(txn);
+  waits_for_.RemoveTxn(txn);
+}
+
+std::vector<LockId> LockManager::Held(TxnId txn) const {
+  auto it = by_txn_.find(txn);
+  if (it == by_txn_.end()) return {};
+  return std::vector<LockId>(it->second.begin(), it->second.end());
+}
+
+bool LockManager::HoldsLock(TxnId txn, LockId id, LockMode* mode) const {
+  auto it = table_.find(id);
+  if (it == table_.end()) return false;
+  auto h = it->second.holders.find(txn);
+  if (h == it->second.holders.end()) return false;
+  if (mode != nullptr) *mode = h->second;
+  return true;
+}
+
+}  // namespace lfstx

@@ -1,0 +1,92 @@
+// General-purpose lock manager (paper section 3: "single writer, multiple
+// readers ... two-phase, page-level locking"; section 4.1: "the lock table
+// maintains a hash table of currently locked objects which are identified
+// by file and block number. Locks are chained both by object and by
+// transaction").
+//
+// Used by both architectures: LIBTP instantiates it in "shared memory"
+// (latch costs charged by the caller), the embedded manager instantiates it
+// in the kernel (syscall costs charged by the caller).
+#ifndef LFSTX_TXN_LOCK_MANAGER_H_
+#define LFSTX_TXN_LOCK_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "fs/fs_types.h"
+#include "sim/sim_env.h"
+#include "txn/deadlock.h"
+
+namespace lfstx {
+
+enum class LockMode { kShared, kExclusive };
+
+struct LockId {
+  FileId file = 0;
+  uint64_t page = 0;
+  bool operator==(const LockId&) const = default;
+  bool operator<(const LockId& o) const {
+    return file != o.file ? file < o.file : page < o.page;
+  }
+};
+
+/// \brief Two-phase, page-granularity lock manager with deadlock detection.
+class LockManager {
+ public:
+  struct Stats {
+    uint64_t acquisitions = 0;
+    uint64_t waits = 0;       ///< requests that had to block
+    uint64_t deadlocks = 0;   ///< requests refused as deadlock victims
+    uint64_t upgrades = 0;    ///< shared -> exclusive
+  };
+
+  explicit LockManager(SimEnv* env);
+
+  /// Acquire (or re-acquire / upgrade) a lock. Blocks while incompatible
+  /// locks are held; returns kDeadlock if waiting would deadlock — the
+  /// caller must abort the transaction.
+  Status Lock(TxnId txn, LockId id, LockMode mode);
+
+  /// Release every lock held by `txn` (commit / abort; strict two-phase
+  /// locking releases nothing earlier). Traverses the per-transaction
+  /// chain, as the paper's commit path describes.
+  void UnlockAll(TxnId txn);
+
+  /// Early single-lock release (used by the B-tree's high-concurrency
+  /// descent on interior pages, after Lehman-Yao).
+  void Unlock(TxnId txn, LockId id);
+
+  /// Locks currently held by `txn` (per-transaction chain).
+  std::vector<LockId> Held(TxnId txn) const;
+  /// Mode held by txn on id, if any.
+  bool HoldsLock(TxnId txn, LockId id, LockMode* mode = nullptr) const;
+
+  size_t locked_objects() const { return table_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::map<TxnId, LockMode> holders;
+    std::unique_ptr<WaitQueue> waiters;
+    int waiter_count = 0;
+  };
+
+  /// Can `txn` be granted `mode` given current holders?
+  static bool Compatible(const Entry& e, TxnId txn, LockMode mode);
+  std::vector<TxnId> ConflictingHolders(const Entry& e, TxnId txn,
+                                        LockMode mode) const;
+
+  SimEnv* env_;
+  std::map<LockId, Entry> table_;                       // chained by object
+  std::unordered_map<TxnId, std::set<LockId>> by_txn_;  // chained by txn
+  WaitsForGraph waits_for_;
+  Stats stats_;
+};
+
+}  // namespace lfstx
+
+#endif  // LFSTX_TXN_LOCK_MANAGER_H_

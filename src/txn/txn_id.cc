@@ -1,0 +1,17 @@
+#include "txn/txn_id.h"
+
+namespace lfstx {
+
+const char* TxnStatusName(TxnStatus status) {
+  switch (status) {
+    case TxnStatus::kIdle: return "idle";
+    case TxnStatus::kRunning: return "running";
+    case TxnStatus::kCommitting: return "committing";
+    case TxnStatus::kAborting: return "aborting";
+    case TxnStatus::kCommitted: return "committed";
+    case TxnStatus::kAborted: return "aborted";
+  }
+  return "unknown";
+}
+
+}  // namespace lfstx

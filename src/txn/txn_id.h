@@ -1,0 +1,38 @@
+// Transaction identifiers and state (paper section 4.1: "the transaction
+// state is a per-transaction structure ... status of the transaction (idle,
+// running, aborting, committing), a pointer to the chain of locks currently
+// held, a transaction identifier").
+#ifndef LFSTX_TXN_TXN_ID_H_
+#define LFSTX_TXN_TXN_ID_H_
+
+#include <cstdint>
+
+#include "fs/fs_types.h"
+
+namespace lfstx {
+
+enum class TxnStatus {
+  kIdle = 0,
+  kRunning,
+  kCommitting,
+  kAborting,
+  kCommitted,
+  kAborted,
+};
+
+const char* TxnStatusName(TxnStatus status);
+
+/// \brief Monotonic transaction-id source ("the next available transaction
+/// identifier, maintained by the operating system").
+class TxnIdAllocator {
+ public:
+  TxnId Next() { return next_++; }
+  TxnId last() const { return next_ - 1; }
+
+ private:
+  TxnId next_ = 1;
+};
+
+}  // namespace lfstx
+
+#endif  // LFSTX_TXN_TXN_ID_H_

@@ -1,0 +1,100 @@
+#include "workloads/andrew.h"
+
+namespace lfstx {
+
+lfstx::Result<AndrewBenchmark::Result> AndrewBenchmark::Run(
+    const std::string& root) {
+  SimEnv* env = kernel_->env();
+  Random rng(options_.seed);
+  Result result;
+
+  Status mk = kernel_->Mkdir(root);
+  if (!mk.ok() && mk.code() != Code::kAlreadyExists) return mk;
+
+  // ---- phase 1: MakeDir ----
+  SimTime t0 = env->Now();
+  std::vector<std::string> dirs;
+  for (uint32_t d = 0; d < options_.dirs; d++) {
+    std::string path = root + "/dir" + std::to_string(d);
+    LFSTX_RETURN_IF_ERROR(kernel_->Mkdir(path));
+    dirs.push_back(path);
+  }
+  result.mkdir_us = env->Now() - t0;
+
+  // ---- phase 2: Copy (create the source files) ----
+  t0 = env->Now();
+  std::vector<std::string> files;
+  std::vector<size_t> sizes;
+  for (uint32_t f = 0; f < options_.files; f++) {
+    std::string path =
+        dirs[f % dirs.size()] + "/src" + std::to_string(f) + ".c";
+    size_t size = rng.Range(options_.min_file_bytes, options_.max_file_bytes);
+    LFSTX_ASSIGN_OR_RETURN(InodeNum ino, kernel_->Create(path));
+    std::string contents = rng.Bytes(size);
+    LFSTX_RETURN_IF_ERROR(kernel_->Write(ino, 0, contents));
+    LFSTX_RETURN_IF_ERROR(kernel_->Close(ino));
+    files.push_back(path);
+    sizes.push_back(size);
+  }
+  result.copy_us = env->Now() - t0;
+
+  // ---- phase 3: ScanDir (recursive stat traversal) ----
+  t0 = env->Now();
+  for (uint32_t pass = 0; pass < options_.traversals; pass++) {
+    std::vector<DirEntry> entries;
+    LFSTX_RETURN_IF_ERROR(kernel_->ReadDir(root, &entries));
+    for (const auto& dir : dirs) {
+      LFSTX_RETURN_IF_ERROR(kernel_->ReadDir(dir, &entries));
+      for (const auto& e : entries) {
+        FileStat st;
+        LFSTX_RETURN_IF_ERROR(kernel_->Stat(dir + "/" + e.name, &st));
+      }
+    }
+  }
+  result.scan_us = env->Now() - t0;
+
+  // ---- phase 4: ReadAll ----
+  t0 = env->Now();
+  std::vector<char> buf(options_.max_file_bytes);
+  for (size_t f = 0; f < files.size(); f++) {
+    LFSTX_ASSIGN_OR_RETURN(InodeNum ino, kernel_->Open(files[f]));
+    LFSTX_RETURN_IF_ERROR(
+        kernel_->Read(ino, 0, sizes[f], buf.data()).status());
+    LFSTX_RETURN_IF_ERROR(kernel_->Close(ino));
+  }
+  result.read_us = env->Now() - t0;
+
+  // ---- phase 5: Make (compile + link) ----
+  t0 = env->Now();
+  Random objrng(options_.seed ^ 0xc0ffee);
+  for (size_t f = 0; f < files.size(); f++) {
+    LFSTX_ASSIGN_OR_RETURN(InodeNum src, kernel_->Open(files[f]));
+    LFSTX_RETURN_IF_ERROR(
+        kernel_->Read(src, 0, sizes[f], buf.data()).status());
+    LFSTX_RETURN_IF_ERROR(kernel_->Close(src));
+    env->Consume(options_.compile_cpu_per_file);
+    std::string obj = files[f] + ".o";
+    LFSTX_ASSIGN_OR_RETURN(InodeNum out, kernel_->Create(obj));
+    LFSTX_RETURN_IF_ERROR(kernel_->Write(out, 0, objrng.Bytes(sizes[f] / 2)));
+    LFSTX_RETURN_IF_ERROR(kernel_->Close(out));
+  }
+  // Link: read every object, write one binary.
+  LFSTX_ASSIGN_OR_RETURN(InodeNum bin, kernel_->Create(root + "/a.out"));
+  uint64_t off = 0;
+  for (size_t f = 0; f < files.size(); f++) {
+    LFSTX_ASSIGN_OR_RETURN(InodeNum obj, kernel_->Open(files[f] + ".o"));
+    auto n = kernel_->Read(obj, 0, sizes[f] / 2, buf.data());
+    LFSTX_RETURN_IF_ERROR(n.status());
+    LFSTX_RETURN_IF_ERROR(kernel_->Close(obj));
+    LFSTX_RETURN_IF_ERROR(
+        kernel_->Write(bin, off, Slice(buf.data(), n.value())));
+    off += n.value();
+  }
+  LFSTX_RETURN_IF_ERROR(kernel_->Close(bin));
+  LFSTX_RETURN_IF_ERROR(kernel_->Sync());
+  result.make_us = env->Now() - t0;
+
+  return result;
+}
+
+}  // namespace lfstx

@@ -1,0 +1,51 @@
+// Synthetic Andrew benchmark (Howard et al. [6]; paper section 5.2): an
+// engineering-workstation file system test — create a directory tree, copy
+// a set of small source files into it, traverse the hierarchy stat()ing
+// everything, read every file, and "compile" (read sources, burn CPU,
+// write objects, link).
+#ifndef LFSTX_WORKLOADS_ANDREW_H_
+#define LFSTX_WORKLOADS_ANDREW_H_
+
+#include "common/random.h"
+#include "harness/machine.h"
+
+namespace lfstx {
+
+/// \brief Andrew benchmark driver.
+class AndrewBenchmark {
+ public:
+  struct Options {
+    uint32_t dirs = 20;
+    uint32_t files = 70;
+    uint32_t min_file_bytes = 1 * 1024;
+    uint32_t max_file_bytes = 8 * 1024;
+    uint32_t traversals = 2;
+    /// CPU per "compilation" of one source file (25 MHz-era compiler).
+    SimTime compile_cpu_per_file = 600 * kMillisecond;
+    uint64_t seed = 42;
+  };
+
+  struct Result {
+    SimTime mkdir_us = 0;
+    SimTime copy_us = 0;
+    SimTime scan_us = 0;
+    SimTime read_us = 0;
+    SimTime make_us = 0;
+    SimTime total() const {
+      return mkdir_us + copy_us + scan_us + read_us + make_us;
+    }
+  };
+
+  AndrewBenchmark(Kernel* kernel, Options options)
+      : kernel_(kernel), options_(options) {}
+
+  lfstx::Result<Result> Run(const std::string& root);
+
+ private:
+  Kernel* kernel_;
+  Options options_;
+};
+
+}  // namespace lfstx
+
+#endif  // LFSTX_WORKLOADS_ANDREW_H_

@@ -1,0 +1,61 @@
+#include "workloads/bigfile.h"
+
+#include "common/random.h"
+
+namespace lfstx {
+
+BigfileBenchmark::BigfileBenchmark(Kernel* kernel)
+    : BigfileBenchmark(kernel, Options{}) {}
+
+lfstx::Result<BigfileBenchmark::Result> BigfileBenchmark::Run(
+    const std::string& root) {
+  SimEnv* env = kernel_->env();
+  Result result;
+  Status mk = kernel_->Mkdir(root);
+  if (!mk.ok() && mk.code() != Code::kAlreadyExists) return mk;
+
+  Random rng(7);
+  std::string chunk = rng.Bytes(options_.io_chunk);
+  std::vector<char> buf(options_.io_chunk);
+
+  for (size_t mb : options_.sizes_mb) {
+    size_t bytes = mb * 1024 * 1024;
+    std::string a = root + "/big" + std::to_string(mb) + "a";
+    std::string b = root + "/big" + std::to_string(mb) + "b";
+
+    // Create.
+    SimTime t0 = env->Now();
+    LFSTX_ASSIGN_OR_RETURN(InodeNum fa, kernel_->Create(a));
+    for (uint64_t off = 0; off < bytes; off += chunk.size()) {
+      LFSTX_RETURN_IF_ERROR(kernel_->Write(fa, off, chunk));
+    }
+    LFSTX_RETURN_IF_ERROR(kernel_->Fsync(fa));
+    LFSTX_RETURN_IF_ERROR(kernel_->Close(fa));
+    result.create_us += env->Now() - t0;
+
+    // Copy.
+    t0 = env->Now();
+    LFSTX_ASSIGN_OR_RETURN(fa, kernel_->Open(a));
+    LFSTX_ASSIGN_OR_RETURN(InodeNum fb, kernel_->Create(b));
+    for (uint64_t off = 0; off < bytes; off += buf.size()) {
+      auto n = kernel_->Read(fa, off, buf.size(), buf.data());
+      LFSTX_RETURN_IF_ERROR(n.status());
+      LFSTX_RETURN_IF_ERROR(
+          kernel_->Write(fb, off, Slice(buf.data(), n.value())));
+    }
+    LFSTX_RETURN_IF_ERROR(kernel_->Fsync(fb));
+    LFSTX_RETURN_IF_ERROR(kernel_->Close(fa));
+    LFSTX_RETURN_IF_ERROR(kernel_->Close(fb));
+    result.copy_us += env->Now() - t0;
+
+    // Remove.
+    t0 = env->Now();
+    LFSTX_RETURN_IF_ERROR(kernel_->Remove(a));
+    LFSTX_RETURN_IF_ERROR(kernel_->Remove(b));
+    LFSTX_RETURN_IF_ERROR(kernel_->Sync());
+    result.remove_us += env->Now() - t0;
+  }
+  return result;
+}
+
+}  // namespace lfstx

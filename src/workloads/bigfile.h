@@ -1,0 +1,41 @@
+// Bigfile benchmark (paper section 5.2): throughput of large file
+// transfers — create, copy, and remove files of 1, 5 and 10 MB on the
+// 300 MB file system.
+#ifndef LFSTX_WORKLOADS_BIGFILE_H_
+#define LFSTX_WORKLOADS_BIGFILE_H_
+
+#include <vector>
+
+#include "harness/machine.h"
+
+namespace lfstx {
+
+/// \brief Bigfile benchmark driver.
+class BigfileBenchmark {
+ public:
+  struct Options {
+    std::vector<size_t> sizes_mb = {1, 5, 10};
+    size_t io_chunk = 64 * 1024;  ///< application write() size
+  };
+
+  struct Result {
+    SimTime create_us = 0;
+    SimTime copy_us = 0;
+    SimTime remove_us = 0;
+    SimTime total() const { return create_us + copy_us + remove_us; }
+  };
+
+  explicit BigfileBenchmark(Kernel* kernel);
+  BigfileBenchmark(Kernel* kernel, Options options)
+      : kernel_(kernel), options_(options) {}
+
+  lfstx::Result<Result> Run(const std::string& root);
+
+ private:
+  Kernel* kernel_;
+  Options options_;
+};
+
+}  // namespace lfstx
+
+#endif  // LFSTX_WORKLOADS_BIGFILE_H_

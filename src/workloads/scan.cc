@@ -1,0 +1,32 @@
+#include "workloads/scan.h"
+
+namespace lfstx {
+
+Result<ScanResult> RunScan(DbBackend* backend, Db* accounts,
+                           uint32_t record_len) {
+  SimEnv* env = backend->env();
+  ScanResult result;
+  LFSTX_ASSIGN_OR_RETURN(TxnId txn, backend->Begin());
+  SimTime t0 = env->Now();
+  uint64_t records = 0;
+  Status s = accounts->Scan(txn, [&](Slice key, Slice val) {
+    (void)key;
+    (void)val;
+    records++;
+    return true;
+  });
+  if (!s.ok()) {
+    Status aborted = backend->Abort(txn);
+    (void)aborted;
+    return s;
+  }
+  LFSTX_RETURN_IF_ERROR(backend->Commit(txn));
+  result.records = records;
+  result.elapsed = env->Now() - t0;
+  double mb = static_cast<double>(records) * record_len / (1024.0 * 1024.0);
+  result.mb_per_sec =
+      result.elapsed == 0 ? 0 : mb / ToSeconds(result.elapsed);
+  return result;
+}
+
+}  // namespace lfstx

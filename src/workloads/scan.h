@@ -1,0 +1,23 @@
+// SCAN test (paper section 5.3): sequentially read the account relation in
+// key order after a period of random transaction updates, quantifying the
+// sequential-read penalty LFS pays for its write-optimized layout.
+#ifndef LFSTX_WORKLOADS_SCAN_H_
+#define LFSTX_WORKLOADS_SCAN_H_
+
+#include "tpcb/loader.h"
+
+namespace lfstx {
+
+/// \brief Key-order scan of the account B-tree.
+struct ScanResult {
+  uint64_t records = 0;
+  SimTime elapsed = 0;
+  double mb_per_sec = 0;
+};
+
+Result<ScanResult> RunScan(DbBackend* backend, Db* accounts,
+                           uint32_t record_len);
+
+}  // namespace lfstx
+
+#endif  // LFSTX_WORKLOADS_SCAN_H_

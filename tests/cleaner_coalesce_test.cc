@@ -1,0 +1,78 @@
+// The section 5.4 coalescing cleaner: after random updates fragment a
+// file through the log, CoalesceFile restores near-sequential layout and
+// read performance, without changing contents.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "lfs/cleaner.h"
+#include "lfs/fsck.h"
+#include "lfs/lfs.h"
+
+namespace lfstx {
+namespace {
+
+TEST(CoalesceTest, RestoresSequentialLayoutAndPreservesContents) {
+  SimEnv env;
+  SimDisk disk(&env, SimDisk::Options{});
+  BufferCache cache(&env, 1024);
+  Lfs fs(&env, &disk, &cache);
+  cache.set_writeback(&fs);
+  Cleaner cleaner(&env, &fs, Cleaner::Options{});
+  env.Spawn("main", [&] {
+    ASSERT_TRUE(fs.Format().ok());
+    // Lay down a 600-block file, then fragment it with random updates.
+    InodeNum ino = fs.Create("/frag").value();
+    const uint64_t kBlocks = 600;
+    std::string page(kBlockSize, 0);
+    for (uint64_t b = 0; b < kBlocks; b++) {
+      memset(page.data(), static_cast<int>('a' + b % 26), kBlockSize);
+      ASSERT_TRUE(fs.Write(ino, b * kBlockSize, page).ok());
+    }
+    ASSERT_TRUE(fs.SyncAll().ok());
+    Random rng(4);
+    for (int i = 0; i < 400; i++) {
+      uint64_t b = rng.Uniform(kBlocks);
+      memset(page.data(), static_cast<int>('a' + b % 26), kBlockSize);
+      ASSERT_TRUE(fs.Write(ino, b * kBlockSize, page).ok());
+      if (i % 16 == 15) {
+        ASSERT_TRUE(fs.SyncAll().ok());
+      }
+    }
+    ASSERT_TRUE(fs.SyncAll().ok());
+
+    auto measure_scan = [&]() -> SimTime {
+      cache.Clear();  // cold-cache sequential read
+      char out[kBlockSize];
+      SimTime t0 = env.Now();
+      for (uint64_t b = 0; b < kBlocks; b++) {
+        EXPECT_EQ(fs.Read(ino, b * kBlockSize, kBlockSize, out).value(),
+                  kBlockSize);
+      }
+      return env.Now() - t0;
+    };
+
+    // Sync everything (so Clear() is legal), then measure the fragmented
+    // scan, coalesce, and re-measure.
+    SimTime fragmented = measure_scan();
+    ASSERT_TRUE(cleaner.CoalesceFile(ino).ok());
+    SimTime coalesced = measure_scan();
+    EXPECT_LT(coalesced * 3, fragmented * 2)  // at least 1.5x faster
+        << "fragmented=" << FormatDuration(fragmented)
+        << " coalesced=" << FormatDuration(coalesced);
+
+    // Contents intact, file system consistent.
+    char out[kBlockSize];
+    for (uint64_t b : {0ull, 13ull, 299ull, 599ull}) {
+      ASSERT_EQ(fs.Read(ino, b * kBlockSize, kBlockSize, out).value(),
+                kBlockSize);
+      EXPECT_EQ(out[0], static_cast<char>('a' + b % 26)) << b;
+    }
+    auto report = CheckLfs(&fs);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report.value().clean) << report.value().ToString();
+  });
+  env.Run();
+}
+
+}  // namespace
+}  // namespace lfstx

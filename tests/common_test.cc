@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/crc32c.h"
+#include "common/random.h"
+#include "common/slice.h"
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace lfstx {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), Code::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(Code::kInternal); c++) {
+    EXPECT_STRNE(CodeName(static_cast<Code>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::IOError("disk on fire"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Code::kIOError);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  auto p = r.take();
+  EXPECT_EQ(*p, 7);
+}
+
+Status Helper(bool fail) {
+  if (fail) return Status::Busy("nope");
+  return Status::OK();
+}
+Status Caller(bool fail) {
+  LFSTX_RETURN_IF_ERROR(Helper(fail));
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(Caller(false).ok());
+  EXPECT_EQ(Caller(true).code(), Code::kBusy);
+}
+
+TEST(SliceTest, CompareAndEquality) {
+  Slice a("abc"), b("abd"), c("abc"), d("ab");
+  EXPECT_LT(a.compare(b), 0);
+  EXPECT_GT(b.compare(a), 0);
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_GT(a.compare(d), 0);
+  EXPECT_TRUE(a.starts_with(d));
+  EXPECT_FALSE(d.starts_with(a));
+}
+
+TEST(SliceTest, RemovePrefix) {
+  Slice s("hello");
+  s.remove_prefix(2);
+  EXPECT_EQ(s.ToString(), "llo");
+}
+
+TEST(Crc32cTest, KnownVectors) {
+  // Standard CRC32C test vector: "123456789" -> 0xe3069283.
+  EXPECT_EQ(crc32c::Value("123456789", 9), 0xe3069283u);
+  // Empty input.
+  EXPECT_EQ(crc32c::Value("", 0), 0u);
+}
+
+TEST(Crc32cTest, ExtendMatchesWhole) {
+  const char* msg = "log structured file system";
+  size_t n = strlen(msg);
+  uint32_t whole = crc32c::Value(msg, n);
+  uint32_t part = crc32c::Extend(crc32c::Value(msg, 10), msg + 10, n - 10);
+  EXPECT_EQ(whole, part);
+}
+
+TEST(Crc32cTest, MaskRoundTrip) {
+  uint32_t crc = crc32c::Value("abc", 3);
+  EXPECT_NE(crc32c::Mask(crc), crc);
+  EXPECT_EQ(crc32c::Unmask(crc32c::Mask(crc)), crc);
+}
+
+TEST(RandomTest, Deterministic) {
+  Random a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random r(7);
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_LT(r.Uniform(10), 10u);
+    uint64_t v = r.Range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RandomTest, UniformCoversRange) {
+  Random r(42);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 200; i++) seen.insert(r.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random r(1);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_FALSE(r.Bernoulli(0.0));
+    EXPECT_TRUE(r.Bernoulli(1.0));
+  }
+}
+
+TEST(RandomTest, SkewedIsHot) {
+  Random r(99);
+  const uint64_t n = 10000;
+  int hot = 0;
+  const int trials = 5000;
+  for (int i = 0; i < trials; i++) {
+    if (r.Skewed(n) < n / 5) hot++;
+  }
+  // 80% should land in the first 20%.
+  EXPECT_GT(hot, trials * 7 / 10);
+}
+
+TEST(RandomTest, ExponentialMean) {
+  Random r(5);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; i++) sum += r.Exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.5);
+}
+
+TEST(StatsTest, RunningStatMoments) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.01);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(StatsTest, HistogramPercentiles) {
+  Histogram h;
+  for (uint64_t i = 1; i <= 1000; i++) h.Add(i);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_NEAR(h.mean(), 500.5, 0.1);
+  // Bucketed percentile is coarse; check it is in the right ballpark.
+  EXPECT_GT(h.Percentile(99), 500.0);
+  EXPECT_LT(h.Percentile(10), 300.0);
+}
+
+}  // namespace
+}  // namespace lfstx

@@ -1,0 +1,154 @@
+// Property-based file system testing: a random workload of creates,
+// writes, reads, truncates and removes runs against both file systems
+// while a plain in-memory model mirrors every operation; contents must
+// match at every read, after a sync, and after unmount/remount.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "ffs/ffs.h"
+#include "harness/table.h"
+#include "lfs/cleaner.h"
+#include "harness/machine.h"
+#include "lfs/lfs.h"
+
+namespace lfstx {
+namespace {
+
+struct ModelFile {
+  std::string contents;
+};
+
+struct PropertyParams {
+  FsKind kind;
+  uint64_t seed;
+};
+
+class FsPropertyTest : public ::testing::TestWithParam<PropertyParams> {};
+
+TEST_P(FsPropertyTest, RandomOpsMatchModel) {
+  const PropertyParams param = GetParam();
+  SimEnv env;
+  SimDisk disk(&env, SimDisk::Options{});
+  BufferCache cache(&env, 768);
+  std::unique_ptr<FileSystem> fs;
+  std::unique_ptr<Cleaner> cleaner;
+  if (param.kind == FsKind::kLfs) {
+    auto lfs = std::make_unique<Lfs>(&env, &disk, &cache);
+    cleaner = std::make_unique<Cleaner>(&env, lfs.get(), Cleaner::Options{});
+    fs = std::move(lfs);
+  } else {
+    fs = std::make_unique<Ffs>(&env, &disk, &cache);
+  }
+  cache.set_writeback(fs.get());
+
+  env.Spawn("main", [&] {
+    ASSERT_TRUE(fs->Format().ok());
+    Random rng(param.seed);
+    std::map<std::string, ModelFile> model;
+    std::map<std::string, InodeNum> open_files;
+
+    auto path_of = [&](int i) { return "/f" + std::to_string(i); };
+    auto ensure_open = [&](const std::string& path) -> InodeNum {
+      auto it = open_files.find(path);
+      if (it != open_files.end()) return it->second;
+      InodeNum ino = fs->Open(path).value();
+      open_files[path] = ino;
+      return ino;
+    };
+
+    const int kRounds = 400;
+    for (int round = 0; round < kRounds; round++) {
+      std::string path = path_of(static_cast<int>(rng.Uniform(12)));
+      int op = static_cast<int>(rng.Uniform(100));
+      bool exists = model.count(path) > 0;
+
+      if (op < 20 && !exists) {  // create
+        auto r = fs->Create(path);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        open_files[path] = r.value();
+        model[path] = ModelFile{};
+      } else if (op < 55 && exists) {  // write at random offset
+        InodeNum ino = ensure_open(path);
+        uint64_t off = rng.Uniform(96 * 1024);
+        size_t len = 1 + rng.Uniform(24 * 1024);
+        std::string data = rng.Bytes(len);
+        ASSERT_TRUE(fs->Write(ino, off, data).ok());
+        ModelFile& m = model[path];
+        if (m.contents.size() < off + len) m.contents.resize(off + len, '\0');
+        memcpy(m.contents.data() + off, data.data(), len);
+      } else if (op < 80 && exists) {  // read at random offset
+        InodeNum ino = ensure_open(path);
+        uint64_t off = rng.Uniform(110 * 1024);
+        size_t len = 1 + rng.Uniform(16 * 1024);
+        std::vector<char> buf(len);
+        auto n = fs->Read(ino, off, len, buf.data());
+        ASSERT_TRUE(n.ok());
+        const ModelFile& m = model[path];
+        size_t expect = off >= m.contents.size()
+                            ? 0
+                            : std::min<size_t>(len, m.contents.size() - off);
+        ASSERT_EQ(n.value(), expect) << path << " round " << round;
+        ASSERT_EQ(memcmp(buf.data(), m.contents.data() + off, expect), 0)
+            << path << " round " << round;
+      } else if (op < 88 && exists) {  // truncate
+        InodeNum ino = ensure_open(path);
+        uint64_t new_size = rng.Uniform(64 * 1024);
+        ASSERT_TRUE(fs->Truncate(ino, new_size).ok());
+        ModelFile& m = model[path];
+        m.contents.resize(new_size, '\0');
+      } else if (op < 94 && exists) {  // remove
+        auto it = open_files.find(path);
+        if (it != open_files.end()) {
+          ASSERT_TRUE(fs->Close(it->second).ok());
+          open_files.erase(it);
+        }
+        ASSERT_TRUE(fs->Remove(path).ok());
+        model.erase(path);
+      } else if (op < 97) {  // sync everything
+        ASSERT_TRUE(fs->SyncAll().ok());
+      }
+
+      if (round % 97 == 96) {
+        // Full durability check: unmount, remount, and re-verify every
+        // file byte-for-byte through a cold cache.
+        for (auto& [p, ino] : open_files) {
+          ASSERT_TRUE(fs->Close(ino).ok());
+        }
+        open_files.clear();
+        ASSERT_TRUE(fs->Unmount().ok());
+        cache.Clear();
+        ASSERT_TRUE(fs->Mount().ok());
+        for (const auto& [p, m] : model) {
+          auto r = fs->Open(p);
+          ASSERT_TRUE(r.ok()) << p;
+          std::vector<char> buf(m.contents.size() + 1);
+          auto n = fs->Read(r.value(), 0, buf.size(), buf.data());
+          ASSERT_TRUE(n.ok());
+          ASSERT_EQ(n.value(), m.contents.size()) << p;
+          ASSERT_EQ(memcmp(buf.data(), m.contents.data(), m.contents.size()),
+                    0)
+              << p;
+          ASSERT_TRUE(fs->Close(r.value()).ok());
+        }
+      }
+    }
+  });
+  env.Run();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothFileSystems, FsPropertyTest,
+    ::testing::Values(PropertyParams{FsKind::kReadOptimized, 101},
+                      PropertyParams{FsKind::kReadOptimized, 202},
+                      PropertyParams{FsKind::kLfs, 101},
+                      PropertyParams{FsKind::kLfs, 202},
+                      PropertyParams{FsKind::kLfs, 303}),
+    [](const ::testing::TestParamInfo<PropertyParams>& info) {
+      return std::string(info.param.kind == FsKind::kLfs ? "Lfs" : "Ffs") +
+             "Seed" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace lfstx

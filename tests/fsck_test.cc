@@ -1,0 +1,133 @@
+// LFS consistency-checker tests: a healthy file system is clean after
+// arbitrary workloads, cleaning, and crash recovery; deliberately corrupted
+// state is detected.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "lfs/cleaner.h"
+#include "lfs/fsck.h"
+
+namespace lfstx {
+namespace {
+
+TEST(FsckTest, FreshFileSystemIsClean) {
+  SimEnv env;
+  SimDisk disk(&env, SimDisk::Options{});
+  BufferCache cache(&env, 1024);
+  Lfs fs(&env, &disk, &cache);
+  cache.set_writeback(&fs);
+  env.Spawn("main", [&] {
+    ASSERT_TRUE(fs.Format().ok());
+    auto report = CheckLfs(&fs);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report.value().clean) << report.value().ToString();
+    EXPECT_EQ(report.value().directories, 1u);  // just the root
+  });
+  env.Run();
+}
+
+TEST(FsckTest, CleanAfterWorkloadAndCleaning) {
+  SimEnv env;
+  SimDisk disk(&env, SimDisk::Options{});
+  BufferCache cache(&env, 1024);
+  Lfs fs(&env, &disk, &cache);
+  cache.set_writeback(&fs);
+  Cleaner cleaner(&env, &fs, Cleaner::Options{});
+  env.Spawn("main", [&] {
+    ASSERT_TRUE(fs.Format().ok());
+    Random rng(77);
+    ASSERT_TRUE(fs.Mkdir("/dir").ok());
+    for (int round = 0; round < 30; round++) {
+      std::string path = "/dir/f" + std::to_string(rng.Uniform(8));
+      InodeNum ino;
+      auto open = fs.Open(path);
+      if (open.ok()) {
+        ino = open.value();
+      } else {
+        ino = fs.Create(path).value();
+      }
+      ASSERT_TRUE(
+          fs.Write(ino, rng.Uniform(40) * kBlockSize,
+                   rng.Bytes(1 + rng.Uniform(3 * kBlockSize))).ok());
+      ASSERT_TRUE(fs.Close(ino).ok());
+      if (round % 7 == 6) ASSERT_TRUE(fs.SyncAll().ok());
+      if (round % 11 == 10) {
+        std::string victim = "/dir/f" + std::to_string(rng.Uniform(8));
+        Status s = fs.Remove(victim);
+        ASSERT_TRUE(s.ok() || s.IsNotFound()) << s.ToString();
+      }
+    }
+    ASSERT_TRUE(fs.SyncAll().ok());
+    // Force a cleaning pass over whatever is reclaimable.
+    Status cleaned = cleaner.CleanOne();
+    ASSERT_TRUE(cleaned.ok() || cleaned.IsNoSpace()) << cleaned.ToString();
+    ASSERT_TRUE(fs.SyncAll().ok());
+    auto report = CheckLfs(&fs);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report.value().clean) << report.value().ToString();
+    EXPECT_GT(report.value().files, 0u);
+  });
+  env.Run();
+}
+
+TEST(FsckTest, CleanAfterCrashRecovery) {
+  SimEnv env;
+  SimDisk disk(&env, SimDisk::Options{});
+  env.Spawn("main", [&] {
+    {
+      BufferCache cache(&env, 1024);
+      Lfs::Options lo;
+      lo.checkpoint_every_segments = 1000;
+      Lfs fs(&env, &disk, &cache, lo);
+      cache.set_writeback(&fs);
+      ASSERT_TRUE(fs.Format().ok());
+      InodeNum ino = fs.Create("/survivor").value();
+      ASSERT_TRUE(fs.Write(ino, 0, std::string(8 * kBlockSize, 's')).ok());
+      ASSERT_TRUE(fs.SyncAll().ok());
+      InodeNum torn = fs.Create("/torn").value();
+      ASSERT_TRUE(fs.Write(torn, 0, std::string(8 * kBlockSize, 't')).ok());
+      disk.CrashAfterBlocks(3);
+      Status s = fs.SyncAll();
+      (void)s;
+    }
+    disk.ClearCrash();
+    {
+      BufferCache cache(&env, 1024);
+      Lfs fs(&env, &disk, &cache);
+      cache.set_writeback(&fs);
+      ASSERT_TRUE(fs.Mount().ok());
+      auto report = CheckLfs(&fs);
+      ASSERT_TRUE(report.ok());
+      EXPECT_TRUE(report.value().clean) << report.value().ToString();
+    }
+  });
+  env.Run();
+}
+
+TEST(FsckTest, DetectsCorruptedImapEntry) {
+  SimEnv env;
+  SimDisk disk(&env, SimDisk::Options{});
+  BufferCache cache(&env, 1024);
+  Lfs fs(&env, &disk, &cache);
+  cache.set_writeback(&fs);
+  env.Spawn("main", [&] {
+    ASSERT_TRUE(fs.Format().ok());
+    InodeNum ino = fs.Create("/x").value();
+    ASSERT_TRUE(fs.Write(ino, 0, Slice("data")).ok());
+    ASSERT_TRUE(fs.Close(ino).ok());
+    ASSERT_TRUE(fs.SyncAll().ok());
+    // Scribble over the block holding the file's inode.
+    BlockAddr inode_block = fs.imap().Get(ino).inode_addr;
+    char garbage[kBlockSize];
+    memset(garbage, 0xde, sizeof(garbage));
+    disk.RawWrite(inode_block, 1, garbage);
+    fs.ClearInodeCacheForTest();
+    auto report = CheckLfs(&fs);
+    ASSERT_TRUE(report.ok());
+    EXPECT_FALSE(report.value().clean);
+  });
+  env.Run();
+}
+
+}  // namespace
+}  // namespace lfstx

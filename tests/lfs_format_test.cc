@@ -1,0 +1,279 @@
+// Unit tests for the LFS on-disk format pieces: segment summaries, the
+// inode map, the segment usage table, and checkpoints.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "lfs/checkpoint.h"
+#include "lfs/inode_map.h"
+#include "lfs/segment.h"
+#include "lfs/segment_usage.h"
+
+namespace lfstx {
+namespace {
+
+// ---------------------------------------------------------------- summary --
+
+Summary MakeSummary(uint32_t nblocks) {
+  Summary s;
+  s.write_seq = 42;
+  s.timestamp = 123456;
+  s.generation = 7;
+  s.next_addr = 9999;
+  s.txn = 5;
+  s.txn_commit = true;
+  for (uint32_t i = 0; i < nblocks; i++) {
+    s.entries.push_back(SummaryEntry{
+        static_cast<uint32_t>(BlockKind::kData), 17, 100 + i});
+  }
+  return s;
+}
+
+TEST(SummaryTest, EncodeDecodeRoundTrip) {
+  Summary s = MakeSummary(5);
+  std::string payload(5 * kBlockSize, 'p');
+  char block[kBlockSize];
+  s.Encode(block, payload.data());
+  auto r = Summary::Decode(block, payload.data(), 5);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().write_seq, 42u);
+  EXPECT_EQ(r.value().generation, 7u);
+  EXPECT_EQ(r.value().next_addr, 9999u);
+  EXPECT_EQ(r.value().txn, 5u);
+  EXPECT_TRUE(r.value().txn_commit);
+  ASSERT_EQ(r.value().nblocks(), 5u);
+  EXPECT_EQ(r.value().entries[3].lblock, 103u);
+  EXPECT_EQ(Summary::PeekNBlocks(block).value(), 5u);
+}
+
+TEST(SummaryTest, PayloadCorruptionDetected) {
+  Summary s = MakeSummary(3);
+  std::string payload(3 * kBlockSize, 'p');
+  char block[kBlockSize];
+  s.Encode(block, payload.data());
+  payload[2 * kBlockSize + 17] ^= 0x1;  // torn payload block
+  EXPECT_TRUE(
+      Summary::Decode(block, payload.data(), 3).status().IsCorruption());
+}
+
+TEST(SummaryTest, HeaderCorruptionDetected) {
+  Summary s = MakeSummary(3);
+  std::string payload(3 * kBlockSize, 'p');
+  char block[kBlockSize];
+  s.Encode(block, payload.data());
+  block[20] ^= 0x1;
+  EXPECT_TRUE(
+      Summary::Decode(block, payload.data(), 3).status().IsCorruption());
+}
+
+TEST(SummaryTest, GarbageIsNotASummary) {
+  char block[kBlockSize];
+  memset(block, 0, sizeof(block));
+  EXPECT_TRUE(Summary::PeekNBlocks(block).status().IsCorruption());
+  memset(block, 0xff, sizeof(block));
+  EXPECT_TRUE(Summary::PeekNBlocks(block).status().IsCorruption());
+}
+
+TEST(SummaryTest, MaxEntriesFitsInOneBlock) {
+  uint32_t max = Summary::MaxEntries();
+  EXPECT_GT(max, 128u);  // must describe a whole default segment
+  Summary s = MakeSummary(max);
+  std::string payload(static_cast<size_t>(max) * kBlockSize, 'x');
+  char block[kBlockSize];
+  s.Encode(block, payload.data());
+  auto r = Summary::Decode(block, payload.data(), max);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().nblocks(), max);
+}
+
+// --------------------------------------------------------------- inode map --
+
+TEST(InodeMapTest, SetGetFreeAndVersioning) {
+  InodeMap imap(100);
+  EXPECT_FALSE(imap.InUse(5));
+  EXPECT_EQ(imap.Set(5, 777, 0), 0u);
+  EXPECT_TRUE(imap.InUse(5));
+  EXPECT_EQ(imap.Get(5).inode_addr, 777u);
+  EXPECT_EQ(imap.Set(5, 888, 0), 777u);  // returns previous address
+  EXPECT_EQ(imap.Free(5), 888u);
+  EXPECT_FALSE(imap.InUse(5));
+  EXPECT_EQ(imap.Get(5).version, 1u);  // bumped for reuse detection
+}
+
+TEST(InodeMapTest, AllocReservesUntilFlushOrFree) {
+  InodeMap imap(100);
+  InodeNum a = imap.AllocInum().value();
+  InodeNum b = imap.AllocInum().value();
+  EXPECT_NE(a, b);  // reservation prevents double allocation
+  imap.Set(a, 123, 0);
+  imap.Free(b);
+  InodeNum c = imap.AllocInum().value();
+  EXPECT_EQ(c, b);  // freed number is reusable
+}
+
+TEST(InodeMapTest, AllocExhaustion) {
+  InodeMap imap(3);
+  EXPECT_TRUE(imap.AllocInum().ok());
+  EXPECT_TRUE(imap.AllocInum().ok());
+  EXPECT_TRUE(imap.AllocInum().ok());
+  EXPECT_TRUE(imap.AllocInum().status().IsNoSpace());
+}
+
+TEST(InodeMapTest, BlockSerializationRoundTrip) {
+  InodeMap imap(1000);
+  imap.Set(1, 111, 0);
+  imap.Set(300, 333, 2);
+  char block0[kBlockSize], block1[kBlockSize];
+  imap.EncodeBlock(0, block0);
+  imap.EncodeBlock(1, block1);
+
+  InodeMap fresh(1000);
+  fresh.DecodeBlock(0, block0);
+  fresh.DecodeBlock(1, block1);
+  EXPECT_EQ(fresh.Get(1).inode_addr, 111u);
+  EXPECT_EQ(fresh.Get(300).inode_addr, 333u);
+  EXPECT_EQ(fresh.Get(300).version, 2u);
+  EXPECT_EQ(fresh.Get(2).inode_addr, 0u);
+}
+
+TEST(InodeMapTest, DirtyBlockTracking) {
+  InodeMap imap(1000);
+  EXPECT_TRUE(imap.DirtyBlocks().empty());
+  imap.Set(300, 1, 0);  // entry 300 lives in block 1 (256 per block)
+  auto dirty = imap.DirtyBlocks();
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0], 1u);
+  imap.ClearDirty();
+  EXPECT_TRUE(imap.DirtyBlocks().empty());
+}
+
+// ------------------------------------------------------------ usage table --
+
+TEST(SegmentUsageTest, LifecycleAndCounts) {
+  SegmentUsage usage(10);
+  EXPECT_EQ(usage.clean_count(), 10u);
+  uint32_t gen = usage.Activate(3);
+  EXPECT_EQ(gen, 1u);
+  EXPECT_EQ(usage.clean_count(), 9u);
+  usage.AddLive(3, 50, 1000);
+  usage.DecLive(3, 20);
+  EXPECT_EQ(usage.live(3), 30u);
+  usage.Retire(3);
+  EXPECT_EQ(usage.state(3), SegState::kDirty);
+  usage.DecLive(3, 30);
+  usage.MarkClean(3);
+  EXPECT_EQ(usage.clean_count(), 10u);
+  EXPECT_EQ(usage.Activate(3), 2u);  // generation advances on reuse
+}
+
+TEST(SegmentUsageTest, DecLiveClampsAtZero) {
+  SegmentUsage usage(4);
+  usage.Activate(0);
+  usage.AddLive(0, 5, 0);
+  usage.DecLive(0, 50);
+  EXPECT_EQ(usage.live(0), 0u);
+}
+
+TEST(SegmentUsageTest, GreedyPicksEmptiest) {
+  SegmentUsage usage(4);
+  for (uint32_t s : {0u, 1u, 2u}) {
+    usage.Activate(s);
+    usage.AddLive(s, 10 * (s + 1), 0);
+    usage.Retire(s);
+  }
+  EXPECT_EQ(usage.PickVictim(CleanPolicy::kGreedy, kSecond, 128).value(),
+            0u);
+}
+
+TEST(SegmentUsageTest, CostBenefitPrefersOldWhenEquallyLive) {
+  SegmentUsage usage(4);
+  usage.Activate(0);
+  usage.AddLive(0, 10, 0);  // old
+  usage.Retire(0);
+  usage.Activate(1);
+  usage.AddLive(1, 10, 100 * kSecond);  // young
+  usage.Retire(1);
+  EXPECT_EQ(usage.PickVictim(CleanPolicy::kCostBenefit, 200 * kSecond, 128)
+                .value(),
+            0u);
+}
+
+TEST(SegmentUsageTest, PickCleanRoundRobinAndExhaustion) {
+  SegmentUsage usage(3);
+  EXPECT_EQ(usage.PickClean(0).value(), 1u);
+  usage.Activate(0);
+  usage.Activate(1);
+  usage.Activate(2);
+  EXPECT_TRUE(usage.PickClean(0).status().IsNoSpace());
+}
+
+TEST(SegmentUsageTest, SerializationRoundTrip) {
+  SegmentUsage usage(8);
+  usage.Activate(2);
+  usage.AddLive(2, 99, 5 * kSecond);
+  usage.Retire(2);
+  usage.Activate(5);
+  std::vector<char> buf(usage.SerializedBytes());
+  usage.Serialize(buf.data());
+
+  SegmentUsage fresh(8);
+  fresh.Deserialize(buf.data());
+  EXPECT_EQ(fresh.live(2), 99u);
+  EXPECT_EQ(fresh.state(2), SegState::kDirty);
+  EXPECT_EQ(fresh.generation(2), 1u);
+  EXPECT_EQ(fresh.write_time(2), 5 * kSecond);
+  // The active segment deserializes as dirty (crash semantics).
+  EXPECT_EQ(fresh.state(5), SegState::kDirty);
+  EXPECT_EQ(fresh.state(0), SegState::kClean);
+}
+
+// -------------------------------------------------------------- checkpoint --
+
+TEST(CheckpointTest, EncodeDecodeRoundTrip) {
+  CheckpointData cp;
+  cp.seq = 9;
+  cp.timestamp = 777;
+  cp.cur_segment = 3;
+  cp.cur_offset = 55;
+  cp.cur_generation = 2;
+  cp.next_write_seq = 1234;
+  cp.imap_addrs = {0, 100, 200};
+  SegmentUsage usage(16);
+  usage.Activate(3);
+  cp.usage_bytes.resize(usage.SerializedBytes());
+  usage.Serialize(cp.usage_bytes.data());
+
+  uint32_t nblocks = CheckpointData::BlocksNeeded(3, 16);
+  std::vector<char> buf(static_cast<size_t>(nblocks) * kBlockSize);
+  cp.Encode(buf.data(), nblocks);
+  auto r = CheckpointData::Decode(buf.data(), nblocks);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().seq, 9u);
+  EXPECT_EQ(r.value().cur_segment, 3u);
+  EXPECT_EQ(r.value().cur_offset, 55u);
+  EXPECT_EQ(r.value().next_write_seq, 1234u);
+  EXPECT_EQ(r.value().imap_addrs, (std::vector<BlockAddr>{0, 100, 200}));
+  EXPECT_EQ(r.value().usage_bytes, cp.usage_bytes);
+}
+
+TEST(CheckpointTest, CorruptionDetected) {
+  CheckpointData cp;
+  cp.seq = 1;
+  cp.imap_addrs = {1};
+  cp.usage_bytes.assign(16, 'u');
+  uint32_t nblocks = CheckpointData::BlocksNeeded(1, 1);
+  std::vector<char> buf(static_cast<size_t>(nblocks) * kBlockSize);
+  cp.Encode(buf.data(), nblocks);
+  buf[100] ^= 0x1;
+  EXPECT_TRUE(
+      CheckpointData::Decode(buf.data(), nblocks).status().IsCorruption());
+}
+
+TEST(CheckpointTest, FullScaleFitsInRegion) {
+  // The default geometry: 16 imap blocks, ~600 segments.
+  uint32_t nblocks = CheckpointData::BlocksNeeded(16, 600);
+  EXPECT_LE(nblocks, 4u);  // a handful of blocks, written in one request
+}
+
+}  // namespace
+}  // namespace lfstx

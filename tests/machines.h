@@ -1,0 +1,30 @@
+// Test alias for the library's architecture rig, with gtest assertions on
+// boot failures.
+#ifndef LFSTX_TESTS_MACHINES_H_
+#define LFSTX_TESTS_MACHINES_H_
+
+#include <gtest/gtest.h>
+
+#include "harness/rig.h"
+
+namespace lfstx {
+
+/// \brief Test wrapper asserting that boot succeeds.
+struct TestRig : ArchRig {
+  static std::unique_ptr<TestRig> Create(
+      Arch arch, Machine::Options options = Machine::Options()) {
+    auto base = ArchRig::Create(arch, options);
+    auto rig = std::make_unique<TestRig>();
+    static_cast<ArchRig&>(*rig) = std::move(*base);
+    return rig;
+  }
+
+  void Run(std::function<void()> fn) {
+    Status s = ArchRig::Run(std::move(fn));
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+};
+
+}  // namespace lfstx
+
+#endif  // LFSTX_TESTS_MACHINES_H_

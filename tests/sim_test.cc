@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.h"
+#include "sim/sim_env.h"
+#include "sim/sync.h"
+
+namespace lfstx {
+namespace {
+
+TEST(SimEnvTest, ConsumeAdvancesClock) {
+  SimEnv env;
+  env.Spawn("p", [&] { env.Consume(1234); });
+  EXPECT_EQ(env.Run(), 1234u);
+}
+
+TEST(SimEnvTest, SleepAdvancesClock) {
+  SimEnv env;
+  env.Spawn("p", [&] {
+    env.SleepFor(5 * kSecond);
+    env.Consume(1);
+  });
+  EXPECT_EQ(env.Run(), 5 * kSecond + 1);
+}
+
+TEST(SimEnvTest, TwoProcessesInterleaveDeterministically) {
+  SimEnv env;
+  std::vector<int> order;
+  env.Spawn("a", [&] {
+    order.push_back(1);
+    env.Yield();
+    order.push_back(3);
+  });
+  env.Spawn("b", [&] {
+    order.push_back(2);
+    env.Yield();
+    order.push_back(4);
+  });
+  env.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(SimEnvTest, ContextSwitchesAreCharged) {
+  CostModel costs;
+  costs.context_switch_us = 100;
+  SimEnv env(costs);
+  env.Spawn("a", [&] { env.Yield(); });
+  env.Spawn("b", [&] { env.Yield(); });
+  env.Run();
+  EXPECT_GE(env.stats().context_switches, 2u);
+}
+
+TEST(SimEnvTest, SyscallChargesAndCounts) {
+  SimEnv env;
+  env.Spawn("p", [&] {
+    env.Syscall();
+    env.Syscall(10);
+  });
+  SimTime end = env.Run();
+  EXPECT_EQ(env.stats().syscalls, 2u);
+  EXPECT_EQ(end, 2 * env.costs().syscall_us + 10);
+}
+
+TEST(SimEnvTest, LatchCostDependsOnTestAndSet) {
+  {
+    CostModel costs;
+    costs.hardware_test_and_set = false;
+    SimEnv env(costs);
+    env.Spawn("p", [&] { env.LatchOp(); });
+    EXPECT_EQ(env.Run(), costs.semaphore_syscall_us);
+    EXPECT_EQ(env.stats().syscalls, 1u);
+  }
+  {
+    CostModel costs;
+    costs.hardware_test_and_set = true;
+    SimEnv env(costs);
+    env.Spawn("p", [&] { env.LatchOp(); });
+    EXPECT_EQ(env.Run(), costs.latch_us);
+    EXPECT_EQ(env.stats().syscalls, 0u);
+  }
+}
+
+TEST(SimEnvTest, TimersFireInOrder) {
+  SimEnv env;
+  std::vector<int> fired;
+  env.Spawn("p", [&] {
+    env.At(300, [&] { fired.push_back(3); });
+    env.At(100, [&] { fired.push_back(1); });
+    env.At(200, [&] { fired.push_back(2); });
+    env.SleepFor(1000);
+  });
+  env.Run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimEnvTest, WaitQueueWakeOne) {
+  SimEnv env;
+  WaitQueue q(&env);
+  std::vector<int> order;
+  env.Spawn("sleeper", [&] {
+    WakeReason r = q.Sleep();
+    EXPECT_EQ(r, WakeReason::kWoken);
+    order.push_back(2);
+  });
+  env.Spawn("waker", [&] {
+    env.Consume(50);
+    order.push_back(1);
+    q.WakeOne();
+  });
+  env.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimEnvTest, WaitQueueTimeout) {
+  SimEnv env;
+  WaitQueue q(&env);
+  WakeReason got = WakeReason::kWoken;
+  env.Spawn("sleeper", [&] { got = q.SleepFor(500); });
+  SimTime end = env.Run();
+  EXPECT_EQ(got, WakeReason::kTimeout);
+  EXPECT_GE(end, 500u);
+}
+
+TEST(SimEnvTest, DaemonsAreStoppedAtShutdown) {
+  CostModel costs;
+  costs.context_switch_us = 0;  // keep the tick arithmetic exact
+  SimEnv env(costs);
+  int rounds = 0;
+  env.Spawn(
+      "daemon",
+      [&] {
+        while (!env.stop_requested()) {
+          env.SleepFor(10);
+          rounds++;
+          if (rounds > 1000000) break;
+        }
+      },
+      /*daemon=*/true);
+  env.Spawn("main", [&] { env.SleepFor(105); });
+  env.Run();
+  // The daemon ticked while main was alive, then got stopped.
+  EXPECT_GE(rounds, 5);
+  EXPECT_LE(rounds, 20);
+}
+
+TEST(SimEnvTest, BlockedDaemonIsForceWokenAtShutdown) {
+  SimEnv env;
+  WaitQueue q(&env);
+  WakeReason reason = WakeReason::kWoken;
+  env.Spawn("daemon", [&] { reason = q.Sleep(); }, /*daemon=*/true);
+  env.Spawn("main", [&] { env.Consume(10); });
+  env.Run();
+  EXPECT_EQ(reason, WakeReason::kStopped);
+}
+
+TEST(SimMutexTest, MutualExclusionFifo) {
+  SimEnv env;
+  SimMutex m(&env);
+  std::vector<int> order;
+  for (int i = 0; i < 3; i++) {
+    env.Spawn("p" + std::to_string(i), [&, i] {
+      SimMutexGuard g(&m);
+      order.push_back(i);
+      env.SleepFor(100);  // hold across a block point
+    });
+  }
+  env.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SimSemaphoreTest, CountsAndBlocks) {
+  SimEnv env;
+  SimSemaphore sem(&env, 2);
+  int concurrent = 0, max_concurrent = 0;
+  for (int i = 0; i < 5; i++) {
+    env.Spawn("w" + std::to_string(i), [&] {
+      ASSERT_TRUE(sem.Acquire());
+      concurrent++;
+      max_concurrent = std::max(max_concurrent, concurrent);
+      env.SleepFor(100);
+      concurrent--;
+      sem.Release();
+    });
+  }
+  env.Run();
+  EXPECT_EQ(max_concurrent, 2);
+}
+
+TEST(IoEventTest, FireBeforeWait) {
+  SimEnv env;
+  IoEvent ev(&env);
+  env.Spawn("p", [&] {
+    ev.Fire();
+    EXPECT_TRUE(ev.Wait());
+  });
+  env.Run();
+}
+
+TEST(IoEventTest, WaitThenFire) {
+  SimEnv env;
+  IoEvent ev(&env);
+  bool waited = false;
+  env.Spawn("waiter", [&] {
+    EXPECT_TRUE(ev.Wait());
+    waited = true;
+  });
+  env.Spawn("firer", [&] {
+    env.SleepFor(200);
+    ev.Fire();
+  });
+  env.Run();
+  EXPECT_TRUE(waited);
+}
+
+TEST(ClockTest, FormatDuration) {
+  EXPECT_EQ(FormatDuration(512), "512us");
+  EXPECT_EQ(FormatDuration(9300), "9.3ms");
+  EXPECT_EQ(FormatDuration(2 * kSecond + 500 * kMillisecond), "2.5s");
+  EXPECT_EQ(FormatDuration(2 * kHour + 40 * kMinute), "2h40m");
+}
+
+TEST(SimEnvTest, SpawnFromWithinProcess) {
+  SimEnv env;
+  bool child_ran = false;
+  env.Spawn("parent", [&] {
+    env.Consume(10);
+    env.Spawn("child", [&] { child_ran = true; });
+    env.SleepFor(100);
+  });
+  env.Run();
+  EXPECT_TRUE(child_ran);
+}
+
+}  // namespace
+}  // namespace lfstx

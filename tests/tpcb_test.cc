@@ -1,0 +1,123 @@
+// TPC-B integration tests at a small scale, on all three architectures.
+// The core check is the TPC-B consistency condition: after any number of
+// transactions, the account, teller and branch relations have each
+// absorbed exactly the sum of the history deltas.
+#include <gtest/gtest.h>
+
+#include "machines.h"
+#include "tpcb/driver.h"
+#include "workloads/scan.h"
+
+namespace lfstx {
+namespace {
+
+TpcbConfig TinyConfig() {
+  TpcbConfig c;
+  c.accounts = 2000;
+  c.tellers = 20;
+  c.branches = 4;
+  return c;
+}
+
+class TpcbArchTest : public ::testing::TestWithParam<Arch> {};
+
+TEST_P(TpcbArchTest, BalancesStayConsistent) {
+  auto rig = TestRig::Create(GetParam());
+  rig->Run([&] {
+    TpcbConfig cfg = TinyConfig();
+    auto db = LoadTpcb(rig->backend.get(), rig->machine->kernel.get(), cfg,
+                       /*batch=*/200);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    TpcbDriver driver(rig->backend.get(), &db.value(), cfg, /*seed=*/5);
+    auto run = driver.Run(200);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(run.value().transactions, 200u);
+    EXPECT_GT(run.value().elapsed, 0u);
+
+    // Consistency condition.
+    TxnId txn = rig->backend->Begin().value();
+    auto sum_balances = [&](Db* rel) {
+      int64_t sum = 0;
+      Status s = rel->Scan(txn, [&](Slice, Slice val) {
+        sum += RecordBalance(val);
+        return true;
+      });
+      EXPECT_TRUE(s.ok()) << s.ToString();
+      return sum;
+    };
+    int64_t accounts = sum_balances(db.value().accounts.get());
+    int64_t tellers = sum_balances(db.value().tellers.get());
+    int64_t branches = sum_balances(db.value().branches.get());
+
+    int64_t history_sum = 0;
+    uint64_t history_count =
+        db.value().history->RecordCount(txn).value();
+    std::string rec;
+    for (uint64_t r = 0; r < history_count; r++) {
+      ASSERT_TRUE(db.value().history->GetRecord(txn, r, &rec).ok());
+      history_sum += ParseHistoryRecord(rec).value().delta;
+    }
+    ASSERT_TRUE(rig->backend->Commit(txn).ok());
+
+    EXPECT_EQ(history_count, 200u);
+    int64_t base_accounts = 1000 * static_cast<int64_t>(cfg.accounts);
+    int64_t base_tellers = 1000 * static_cast<int64_t>(cfg.tellers);
+    int64_t base_branches = 1000 * static_cast<int64_t>(cfg.branches);
+    EXPECT_EQ(accounts - base_accounts, history_sum);
+    EXPECT_EQ(tellers - base_tellers, history_sum);
+    EXPECT_EQ(branches - base_branches, history_sum);
+  });
+}
+
+TEST_P(TpcbArchTest, ScanVisitsEveryAccountInOrder) {
+  auto rig = TestRig::Create(GetParam());
+  rig->Run([&] {
+    TpcbConfig cfg = TinyConfig();
+    auto db = LoadTpcb(rig->backend.get(), rig->machine->kernel.get(), cfg,
+                       200);
+    ASSERT_TRUE(db.ok());
+    auto scan = RunScan(rig->backend.get(), db.value().accounts.get(),
+                        cfg.account_record_len);
+    ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+    EXPECT_EQ(scan.value().records, cfg.accounts);
+    EXPECT_GT(scan.value().elapsed, 0u);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchitectures, TpcbArchTest,
+                         ::testing::Values(Arch::kUserFfs, Arch::kUserLfs,
+                                           Arch::kEmbedded),
+                         [](const ::testing::TestParamInfo<Arch>& info) {
+                           switch (info.param) {
+                             case Arch::kUserFfs: return "UserFfs";
+                             case Arch::kUserLfs: return "UserLfs";
+                             case Arch::kEmbedded: return "Embedded";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(TpcbTest, SchemaEncodingRoundTrips) {
+  EXPECT_EQ(DecodeKey(EncodeKey(0)), 0u);
+  EXPECT_EQ(DecodeKey(EncodeKey(123456789)), 123456789u);
+  // Big-endian keys preserve numeric order under byte comparison.
+  EXPECT_LT(Slice(EncodeKey(2)).compare(EncodeKey(10)), 0);
+  EXPECT_LT(Slice(EncodeKey(255)).compare(EncodeKey(256)), 0);
+
+  std::string rec = MakeBalanceRecord(-5000, 100);
+  EXPECT_EQ(rec.size(), 100u);
+  EXPECT_EQ(RecordBalance(rec), -5000);
+  SetRecordBalance(&rec, 777);
+  EXPECT_EQ(RecordBalance(rec), 777);
+
+  std::string h = MakeHistoryRecord(42, 7, 3, -999, 123456, 50);
+  auto row = ParseHistoryRecord(h);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row.value().account, 42u);
+  EXPECT_EQ(row.value().teller, 7u);
+  EXPECT_EQ(row.value().branch, 3u);
+  EXPECT_EQ(row.value().delta, -999);
+  EXPECT_EQ(row.value().timestamp, 123456u);
+}
+
+}  // namespace
+}  // namespace lfstx

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sim/sim_env.h"
+#include "txn/deadlock.h"
+#include "txn/lock_manager.h"
+#include "txn/txn_id.h"
+
+namespace lfstx {
+namespace {
+
+TEST(TxnIdTest, MonotonicAllocation) {
+  TxnIdAllocator ids;
+  TxnId a = ids.Next();
+  TxnId b = ids.Next();
+  EXPECT_LT(a, b);
+  EXPECT_EQ(ids.last(), b);
+}
+
+TEST(TxnIdTest, StatusNames) {
+  EXPECT_STREQ(TxnStatusName(TxnStatus::kRunning), "running");
+  EXPECT_STREQ(TxnStatusName(TxnStatus::kCommitted), "committed");
+}
+
+TEST(WaitsForGraphTest, DetectsDirectCycle) {
+  WaitsForGraph g;
+  g.AddWaits(1, {2});
+  EXPECT_TRUE(g.WouldDeadlock(2, {1}));
+  EXPECT_FALSE(g.WouldDeadlock(3, {1}));
+}
+
+TEST(WaitsForGraphTest, DetectsTransitiveCycle) {
+  WaitsForGraph g;
+  g.AddWaits(1, {2});
+  g.AddWaits(2, {3});
+  EXPECT_TRUE(g.WouldDeadlock(3, {1}));
+  g.RemoveWaiter(2);
+  EXPECT_FALSE(g.WouldDeadlock(3, {1}));
+}
+
+TEST(WaitsForGraphTest, RemoveTxnClearsBothDirections) {
+  WaitsForGraph g;
+  g.AddWaits(1, {2});
+  g.AddWaits(3, {1});
+  EXPECT_EQ(g.edge_count(), 2u);
+  g.RemoveTxn(1);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  SimEnv env;
+  LockManager lm(&env);
+  env.Spawn("p", [&] {
+    EXPECT_TRUE(lm.Lock(1, {5, 0}, LockMode::kShared).ok());
+    EXPECT_TRUE(lm.Lock(2, {5, 0}, LockMode::kShared).ok());
+    EXPECT_EQ(lm.stats().waits, 0u);
+    lm.UnlockAll(1);
+    lm.UnlockAll(2);
+    EXPECT_EQ(lm.locked_objects(), 0u);
+  });
+  env.Run();
+}
+
+TEST(LockManagerTest, ExclusiveBlocksUntilRelease) {
+  SimEnv env;
+  LockManager lm(&env);
+  std::vector<int> order;
+  env.Spawn("holder", [&] {
+    ASSERT_TRUE(lm.Lock(1, {5, 0}, LockMode::kExclusive).ok());
+    order.push_back(1);
+    env.SleepFor(500);
+    lm.UnlockAll(1);
+  });
+  env.Spawn("waiter", [&] {
+    env.SleepFor(10);
+    ASSERT_TRUE(lm.Lock(2, {5, 0}, LockMode::kExclusive).ok());
+    order.push_back(2);
+    lm.UnlockAll(2);
+  });
+  env.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(LockManagerTest, ReacquireIsIdempotent) {
+  SimEnv env;
+  LockManager lm(&env);
+  env.Spawn("p", [&] {
+    EXPECT_TRUE(lm.Lock(1, {5, 0}, LockMode::kExclusive).ok());
+    EXPECT_TRUE(lm.Lock(1, {5, 0}, LockMode::kExclusive).ok());
+    EXPECT_TRUE(lm.Lock(1, {5, 0}, LockMode::kShared).ok());  // weaker: ok
+    LockMode mode;
+    EXPECT_TRUE(lm.HoldsLock(1, {5, 0}, &mode));
+    EXPECT_EQ(mode, LockMode::kExclusive);
+    lm.UnlockAll(1);
+  });
+  env.Run();
+}
+
+TEST(LockManagerTest, UpgradeSoleHolder) {
+  SimEnv env;
+  LockManager lm(&env);
+  env.Spawn("p", [&] {
+    EXPECT_TRUE(lm.Lock(1, {5, 0}, LockMode::kShared).ok());
+    EXPECT_TRUE(lm.Lock(1, {5, 0}, LockMode::kExclusive).ok());
+    LockMode mode;
+    EXPECT_TRUE(lm.HoldsLock(1, {5, 0}, &mode));
+    EXPECT_EQ(mode, LockMode::kExclusive);
+    EXPECT_EQ(lm.stats().upgrades, 1u);
+    lm.UnlockAll(1);
+  });
+  env.Run();
+}
+
+TEST(LockManagerTest, DeadlockVictimGetsError) {
+  SimEnv env;
+  LockManager lm(&env);
+  Status second_status;
+  env.Spawn("t1", [&] {
+    ASSERT_TRUE(lm.Lock(1, {9, 1}, LockMode::kExclusive).ok());
+    env.SleepFor(100);
+    // t1 now waits for page 2 held by t2.
+    Status s = lm.Lock(1, {9, 2}, LockMode::kExclusive);
+    EXPECT_TRUE(s.ok());  // granted after t2 aborts
+    lm.UnlockAll(1);
+  });
+  env.Spawn("t2", [&] {
+    ASSERT_TRUE(lm.Lock(2, {9, 2}, LockMode::kExclusive).ok());
+    env.SleepFor(200);
+    // t2 -> page 1 (held by t1) while t1 -> page 2 (held by t2): cycle.
+    second_status = lm.Lock(2, {9, 1}, LockMode::kExclusive);
+    lm.UnlockAll(2);  // abort: releases page 2, unblocking t1
+  });
+  env.Run();
+  EXPECT_TRUE(second_status.IsDeadlock());
+  EXPECT_EQ(lm.stats().deadlocks, 1u);
+}
+
+TEST(LockManagerTest, UnlockAllReleasesEverything) {
+  SimEnv env;
+  LockManager lm(&env);
+  env.Spawn("p", [&] {
+    for (uint64_t pg = 0; pg < 10; pg++) {
+      ASSERT_TRUE(lm.Lock(1, {3, pg}, LockMode::kShared).ok());
+    }
+    EXPECT_EQ(lm.Held(1).size(), 10u);
+    lm.UnlockAll(1);
+    EXPECT_EQ(lm.Held(1).size(), 0u);
+    EXPECT_EQ(lm.locked_objects(), 0u);
+  });
+  env.Run();
+}
+
+TEST(LockManagerTest, EarlySingleUnlock) {
+  SimEnv env;
+  LockManager lm(&env);
+  env.Spawn("p", [&] {
+    ASSERT_TRUE(lm.Lock(1, {3, 0}, LockMode::kShared).ok());
+    ASSERT_TRUE(lm.Lock(1, {3, 1}, LockMode::kShared).ok());
+    lm.Unlock(1, {3, 0});
+    EXPECT_FALSE(lm.HoldsLock(1, {3, 0}));
+    EXPECT_TRUE(lm.HoldsLock(1, {3, 1}));
+    lm.UnlockAll(1);
+  });
+  env.Run();
+}
+
+// Property-style sweep: N transactions locking random pages with random
+// modes never corrupt the table; after releasing everything it is empty.
+class LockManagerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LockManagerSweep, RandomWorkloadLeavesCleanTable) {
+  SimEnv env;
+  LockManager lm(&env);
+  const int nprocs = GetParam();
+  int deadlocks = 0;
+  for (int p = 0; p < nprocs; p++) {
+    env.Spawn("t" + std::to_string(p), [&, p] {
+      Random rng(static_cast<uint64_t>(p) * 77 + 13);
+      TxnId txn = static_cast<TxnId>(p + 1);
+      for (int round = 0; round < 30; round++) {
+        LockId id{1, rng.Uniform(8)};
+        LockMode mode =
+            rng.Bernoulli(0.3) ? LockMode::kExclusive : LockMode::kShared;
+        Status s = lm.Lock(txn, id, mode);
+        if (s.IsDeadlock()) {
+          deadlocks++;
+          lm.UnlockAll(txn);  // abort
+          continue;
+        }
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        env.SleepFor(rng.Uniform(50));
+        if (rng.Bernoulli(0.2)) lm.UnlockAll(txn);
+      }
+      lm.UnlockAll(txn);
+    });
+  }
+  env.Run();
+  EXPECT_EQ(lm.locked_objects(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Concurrency, LockManagerSweep,
+                         ::testing::Values(2, 4, 8, 16));
+
+}  // namespace
+}  // namespace lfstx

@@ -1,0 +1,186 @@
+// VFS-layer edge cases: path parsing, name limits, deep nesting, stat
+// fields, inode/directory formats.
+#include <gtest/gtest.h>
+
+#include "ffs/ffs.h"
+#include "fs/directory.h"
+#include "fs/inode.h"
+#include "fs/path.h"
+
+namespace lfstx {
+namespace {
+
+TEST(PathTest, SplitBasics) {
+  std::vector<std::string> parts;
+  ASSERT_TRUE(SplitPath("/a/b/c", &parts).ok());
+  EXPECT_EQ(parts, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_TRUE(SplitPath("/", &parts).ok());
+  EXPECT_TRUE(parts.empty());
+  ASSERT_TRUE(SplitPath("/trailing/", &parts).ok());
+  EXPECT_EQ(parts, (std::vector<std::string>{"trailing"}));
+}
+
+TEST(PathTest, RejectsBadPaths) {
+  std::vector<std::string> parts;
+  EXPECT_FALSE(SplitPath("relative/path", &parts).ok());
+  EXPECT_FALSE(SplitPath("", &parts).ok());
+  EXPECT_FALSE(SplitPath("//double", &parts).ok());
+  EXPECT_FALSE(SplitPath("/" + std::string(kMaxNameLen + 1, 'x'), &parts).ok());
+  ASSERT_TRUE(SplitPath("/" + std::string(kMaxNameLen, 'x'), &parts).ok());
+}
+
+TEST(PathTest, SplitParent) {
+  std::vector<std::string> parent;
+  std::string name;
+  ASSERT_TRUE(SplitParent("/a/b/c", &parent, &name).ok());
+  EXPECT_EQ(parent, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(name, "c");
+  EXPECT_FALSE(SplitParent("/", &parent, &name).ok());
+}
+
+TEST(InodeFormatTest, ExactSizeAndRoundTrip) {
+  DiskInode a;
+  a.inum = 42;
+  a.type = static_cast<uint16_t>(FileType::kRegular);
+  a.flags = kInodeFlagTxnProtected;
+  a.size = 0x123456789;
+  a.version = 7;
+  a.direct[0] = 1000;
+  a.direct[11] = 1011;
+  a.indirect = 2000;
+  a.double_indirect = 3000;
+  char block[kBlockSize] = {0};
+  EncodeInode(a, block, 5);
+  DiskInode b;
+  DecodeInode(block, 5, &b);
+  EXPECT_EQ(b.inum, 42u);
+  EXPECT_TRUE(b.txn_protected());
+  EXPECT_EQ(b.size, 0x123456789u);
+  EXPECT_EQ(b.version, 7u);
+  EXPECT_EQ(b.direct[11], 1011u);
+  EXPECT_EQ(b.double_indirect, 3000u);
+  // Slot independence.
+  DiskInode c;
+  DecodeInode(block, 4, &c);
+  EXPECT_EQ(c.inum, kInvalidInode);
+}
+
+TEST(InodeFormatTest, SizeBlocksRounding) {
+  DiskInode d;
+  d.size = 0;
+  EXPECT_EQ(d.size_blocks(), 0u);
+  d.size = 1;
+  EXPECT_EQ(d.size_blocks(), 1u);
+  d.size = kBlockSize;
+  EXPECT_EQ(d.size_blocks(), 1u);
+  d.size = kBlockSize + 1;
+  EXPECT_EQ(d.size_blocks(), 2u);
+}
+
+TEST(DirectoryFormatTest, EncodeDecodeAndScan) {
+  char block[kBlockSize] = {0};
+  EncodeDirEntry(block, 0, 10, "alpha");
+  EncodeDirEntry(block, 3, 20, "beta");
+  DirEntry e;
+  EXPECT_TRUE(DecodeDirEntry(block, 0, &e));
+  EXPECT_EQ(e.inum, 10u);
+  EXPECT_EQ(e.name, "alpha");
+  EXPECT_FALSE(DecodeDirEntry(block, 1, &e));
+  EXPECT_EQ(FindDirEntry(block, "beta"), 3);
+  EXPECT_EQ(FindDirEntry(block, "gamma"), -1);
+  EXPECT_EQ(FindFreeDirSlot(block), 1);
+  EncodeDirEntry(block, 0, kInvalidInode, "");  // clear
+  EXPECT_EQ(FindDirEntry(block, "alpha"), -1);
+  EXPECT_EQ(FindFreeDirSlot(block), 0);
+}
+
+struct VfsFixture {
+  VfsFixture()
+      : disk(&env, SimDisk::Options{}),
+        cache(&env, 512),
+        fs(&env, &disk, &cache) {
+    cache.set_writeback(&fs);
+  }
+  SimEnv env;
+  SimDisk disk;
+  BufferCache cache;
+  Ffs fs;
+};
+
+TEST(VfsTest, DeeplyNestedDirectories) {
+  VfsFixture f;
+  f.env.Spawn("main", [&] {
+    ASSERT_TRUE(f.fs.Format().ok());
+    std::string path;
+    for (int depth = 0; depth < 12; depth++) {
+      path += "/d" + std::to_string(depth);
+      ASSERT_TRUE(f.fs.Mkdir(path).ok()) << path;
+    }
+    InodeNum ino = f.fs.Create(path + "/leaf").value();
+    ASSERT_TRUE(f.fs.Write(ino, 0, Slice("deep")).ok());
+    ASSERT_TRUE(f.fs.Close(ino).ok());
+    FileStat st;
+    ASSERT_TRUE(f.fs.Stat(path + "/leaf", &st).ok());
+    EXPECT_EQ(st.size, 4u);
+    EXPECT_EQ(st.type, FileType::kRegular);
+    EXPECT_EQ(st.nlink, 1u);
+  });
+  f.env.Run();
+}
+
+TEST(VfsTest, StatFieldsAndErrors) {
+  VfsFixture f;
+  f.env.Spawn("main", [&] {
+    ASSERT_TRUE(f.fs.Format().ok());
+    FileStat st;
+    EXPECT_TRUE(f.fs.Stat("/nothing", &st).IsNotFound());
+    InodeNum ino = f.fs.Create("/file").value();
+    ASSERT_TRUE(f.fs.Write(ino, 0, Slice("12345")).ok());
+    ASSERT_TRUE(f.fs.Stat("/file", &st).ok());
+    EXPECT_EQ(st.size, 5u);
+    EXPECT_FALSE(st.txn_protected);
+    EXPECT_GE(st.mtime, 0u);
+    // Close twice is an error; data ops on directories are errors.
+    ASSERT_TRUE(f.fs.Close(ino).ok());
+    EXPECT_FALSE(f.fs.Close(ino).ok());
+    char buf[8];
+    EXPECT_FALSE(f.fs.Read(kRootInode, 0, 8, buf).ok());
+    EXPECT_FALSE(f.fs.Write(kRootInode, 0, Slice("x")).ok());
+  });
+  f.env.Run();
+}
+
+TEST(VfsTest, CreateInsideFileFails) {
+  VfsFixture f;
+  f.env.Spawn("main", [&] {
+    ASSERT_TRUE(f.fs.Format().ok());
+    InodeNum ino = f.fs.Create("/file").value();
+    ASSERT_TRUE(f.fs.Close(ino).ok());
+    EXPECT_FALSE(f.fs.Create("/file/child").ok());
+    EXPECT_FALSE(f.fs.Mkdir("/file/dir").ok());
+    EXPECT_FALSE(f.fs.LookupPath("/file/x").ok());
+  });
+  f.env.Run();
+}
+
+TEST(VfsTest, TruncatePartialBlockZeroesTail) {
+  VfsFixture f;
+  f.env.Spawn("main", [&] {
+    ASSERT_TRUE(f.fs.Format().ok());
+    InodeNum ino = f.fs.Create("/t").value();
+    ASSERT_TRUE(f.fs.Write(ino, 0, std::string(3000, 'X')).ok());
+    ASSERT_TRUE(f.fs.Truncate(ino, 100).ok());
+    // Re-extend: the bytes between 100 and 3000 must be zero, not 'X'.
+    ASSERT_TRUE(f.fs.Write(ino, 2999, Slice("Z")).ok());
+    char buf[3000];
+    ASSERT_EQ(f.fs.Read(ino, 0, sizeof(buf), buf).value(), 3000u);
+    EXPECT_EQ(buf[99], 'X');
+    EXPECT_EQ(buf[100], 0);
+    EXPECT_EQ(buf[1500], 0);
+    EXPECT_EQ(buf[2999], 'Z');
+  });
+  f.env.Run();
+}
+
+}  // namespace
+}  // namespace lfstx
