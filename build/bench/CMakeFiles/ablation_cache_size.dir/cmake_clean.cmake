@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cache_size.dir/ablation_cache_size.cc.o"
+  "CMakeFiles/ablation_cache_size.dir/ablation_cache_size.cc.o.d"
+  "ablation_cache_size"
+  "ablation_cache_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cache_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cleaner.dir/ablation_cleaner.cc.o"
+  "CMakeFiles/ablation_cleaner.dir/ablation_cleaner.cc.o.d"
+  "ablation_cleaner"
+  "ablation_cleaner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cleaner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

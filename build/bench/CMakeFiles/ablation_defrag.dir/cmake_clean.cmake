@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_defrag.dir/ablation_defrag.cc.o"
+  "CMakeFiles/ablation_defrag.dir/ablation_defrag.cc.o.d"
+  "ablation_defrag"
+  "ablation_defrag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_defrag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

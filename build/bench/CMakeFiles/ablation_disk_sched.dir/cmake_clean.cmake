@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_disk_sched.dir/ablation_disk_sched.cc.o"
+  "CMakeFiles/ablation_disk_sched.dir/ablation_disk_sched.cc.o.d"
+  "ablation_disk_sched"
+  "ablation_disk_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_disk_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_tps.dir/fig4_tps.cc.o"
+  "CMakeFiles/fig4_tps.dir/fig4_tps.cc.o.d"
+  "fig4_tps"
+  "fig4_tps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_tps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

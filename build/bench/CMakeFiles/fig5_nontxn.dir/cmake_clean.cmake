@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_nontxn.dir/fig5_nontxn.cc.o"
+  "CMakeFiles/fig5_nontxn.dir/fig5_nontxn.cc.o.d"
+  "fig5_nontxn"
+  "fig5_nontxn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_nontxn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_scan.dir/fig6_scan.cc.o"
+  "CMakeFiles/fig6_scan.dir/fig6_scan.cc.o.d"
+  "fig6_scan"
+  "fig6_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filetool.dir/filetool.cpp.o"
+  "CMakeFiles/filetool.dir/filetool.cpp.o.d"
+  "filetool"
+  "filetool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filetool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/buffer_cache.cc" "src/CMakeFiles/lfstx.dir/cache/buffer_cache.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/cache/buffer_cache.cc.o.d"
+  "/root/repo/src/common/crc32c.cc" "src/CMakeFiles/lfstx.dir/common/crc32c.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/common/crc32c.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/lfstx.dir/common/random.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/common/random.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/lfstx.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/lfstx.dir/common/status.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/common/status.cc.o.d"
+  "/root/repo/src/db/btree.cc" "src/CMakeFiles/lfstx.dir/db/btree.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/db/btree.cc.o.d"
+  "/root/repo/src/db/db.cc" "src/CMakeFiles/lfstx.dir/db/db.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/db/db.cc.o.d"
+  "/root/repo/src/db/hash.cc" "src/CMakeFiles/lfstx.dir/db/hash.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/db/hash.cc.o.d"
+  "/root/repo/src/db/page.cc" "src/CMakeFiles/lfstx.dir/db/page.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/db/page.cc.o.d"
+  "/root/repo/src/db/recno.cc" "src/CMakeFiles/lfstx.dir/db/recno.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/db/recno.cc.o.d"
+  "/root/repo/src/disk/disk_model.cc" "src/CMakeFiles/lfstx.dir/disk/disk_model.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/disk/disk_model.cc.o.d"
+  "/root/repo/src/disk/disk_queue.cc" "src/CMakeFiles/lfstx.dir/disk/disk_queue.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/disk/disk_queue.cc.o.d"
+  "/root/repo/src/disk/sim_disk.cc" "src/CMakeFiles/lfstx.dir/disk/sim_disk.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/disk/sim_disk.cc.o.d"
+  "/root/repo/src/embedded/group_commit.cc" "src/CMakeFiles/lfstx.dir/embedded/group_commit.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/embedded/group_commit.cc.o.d"
+  "/root/repo/src/embedded/kernel_txn.cc" "src/CMakeFiles/lfstx.dir/embedded/kernel_txn.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/embedded/kernel_txn.cc.o.d"
+  "/root/repo/src/embedded/lock_table.cc" "src/CMakeFiles/lfstx.dir/embedded/lock_table.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/embedded/lock_table.cc.o.d"
+  "/root/repo/src/ffs/allocator.cc" "src/CMakeFiles/lfstx.dir/ffs/allocator.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/ffs/allocator.cc.o.d"
+  "/root/repo/src/ffs/ffs.cc" "src/CMakeFiles/lfstx.dir/ffs/ffs.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/ffs/ffs.cc.o.d"
+  "/root/repo/src/ffs/syncer.cc" "src/CMakeFiles/lfstx.dir/ffs/syncer.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/ffs/syncer.cc.o.d"
+  "/root/repo/src/fs/directory.cc" "src/CMakeFiles/lfstx.dir/fs/directory.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/fs/directory.cc.o.d"
+  "/root/repo/src/fs/inode.cc" "src/CMakeFiles/lfstx.dir/fs/inode.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/fs/inode.cc.o.d"
+  "/root/repo/src/fs/path.cc" "src/CMakeFiles/lfstx.dir/fs/path.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/fs/path.cc.o.d"
+  "/root/repo/src/fs/vfs.cc" "src/CMakeFiles/lfstx.dir/fs/vfs.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/fs/vfs.cc.o.d"
+  "/root/repo/src/harness/machine.cc" "src/CMakeFiles/lfstx.dir/harness/machine.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/harness/machine.cc.o.d"
+  "/root/repo/src/harness/table.cc" "src/CMakeFiles/lfstx.dir/harness/table.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/harness/table.cc.o.d"
+  "/root/repo/src/lfs/checkpoint.cc" "src/CMakeFiles/lfstx.dir/lfs/checkpoint.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/lfs/checkpoint.cc.o.d"
+  "/root/repo/src/lfs/cleaner.cc" "src/CMakeFiles/lfstx.dir/lfs/cleaner.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/lfs/cleaner.cc.o.d"
+  "/root/repo/src/lfs/fsck.cc" "src/CMakeFiles/lfstx.dir/lfs/fsck.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/lfs/fsck.cc.o.d"
+  "/root/repo/src/lfs/inode_map.cc" "src/CMakeFiles/lfstx.dir/lfs/inode_map.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/lfs/inode_map.cc.o.d"
+  "/root/repo/src/lfs/lfs.cc" "src/CMakeFiles/lfstx.dir/lfs/lfs.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/lfs/lfs.cc.o.d"
+  "/root/repo/src/lfs/recovery.cc" "src/CMakeFiles/lfstx.dir/lfs/recovery.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/lfs/recovery.cc.o.d"
+  "/root/repo/src/lfs/segment.cc" "src/CMakeFiles/lfstx.dir/lfs/segment.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/lfs/segment.cc.o.d"
+  "/root/repo/src/lfs/segment_usage.cc" "src/CMakeFiles/lfstx.dir/lfs/segment_usage.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/lfs/segment_usage.cc.o.d"
+  "/root/repo/src/lfs/segment_writer.cc" "src/CMakeFiles/lfstx.dir/lfs/segment_writer.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/lfs/segment_writer.cc.o.d"
+  "/root/repo/src/libtp/buffer_pool.cc" "src/CMakeFiles/lfstx.dir/libtp/buffer_pool.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/libtp/buffer_pool.cc.o.d"
+  "/root/repo/src/libtp/log_manager.cc" "src/CMakeFiles/lfstx.dir/libtp/log_manager.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/libtp/log_manager.cc.o.d"
+  "/root/repo/src/libtp/log_record.cc" "src/CMakeFiles/lfstx.dir/libtp/log_record.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/libtp/log_record.cc.o.d"
+  "/root/repo/src/libtp/recovery.cc" "src/CMakeFiles/lfstx.dir/libtp/recovery.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/libtp/recovery.cc.o.d"
+  "/root/repo/src/libtp/txn_manager.cc" "src/CMakeFiles/lfstx.dir/libtp/txn_manager.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/libtp/txn_manager.cc.o.d"
+  "/root/repo/src/sim/clock.cc" "src/CMakeFiles/lfstx.dir/sim/clock.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/sim/clock.cc.o.d"
+  "/root/repo/src/sim/sim_env.cc" "src/CMakeFiles/lfstx.dir/sim/sim_env.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/sim/sim_env.cc.o.d"
+  "/root/repo/src/sim/sync.cc" "src/CMakeFiles/lfstx.dir/sim/sync.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/sim/sync.cc.o.d"
+  "/root/repo/src/tpcb/driver.cc" "src/CMakeFiles/lfstx.dir/tpcb/driver.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/tpcb/driver.cc.o.d"
+  "/root/repo/src/tpcb/loader.cc" "src/CMakeFiles/lfstx.dir/tpcb/loader.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/tpcb/loader.cc.o.d"
+  "/root/repo/src/tpcb/schema.cc" "src/CMakeFiles/lfstx.dir/tpcb/schema.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/tpcb/schema.cc.o.d"
+  "/root/repo/src/txn/deadlock.cc" "src/CMakeFiles/lfstx.dir/txn/deadlock.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/txn/deadlock.cc.o.d"
+  "/root/repo/src/txn/lock_manager.cc" "src/CMakeFiles/lfstx.dir/txn/lock_manager.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/txn/lock_manager.cc.o.d"
+  "/root/repo/src/txn/txn_id.cc" "src/CMakeFiles/lfstx.dir/txn/txn_id.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/txn/txn_id.cc.o.d"
+  "/root/repo/src/workloads/andrew.cc" "src/CMakeFiles/lfstx.dir/workloads/andrew.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/workloads/andrew.cc.o.d"
+  "/root/repo/src/workloads/bigfile.cc" "src/CMakeFiles/lfstx.dir/workloads/bigfile.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/workloads/bigfile.cc.o.d"
+  "/root/repo/src/workloads/scan.cc" "src/CMakeFiles/lfstx.dir/workloads/scan.cc.o" "gcc" "src/CMakeFiles/lfstx.dir/workloads/scan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleaner_coalesce_test.dir/cleaner_coalesce_test.cc.o"
+  "CMakeFiles/cleaner_coalesce_test.dir/cleaner_coalesce_test.cc.o.d"
+  "cleaner_coalesce_test"
+  "cleaner_coalesce_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleaner_coalesce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedded_test.dir/embedded_test.cc.o"
+  "CMakeFiles/embedded_test.dir/embedded_test.cc.o.d"
+  "embedded_test"
+  "embedded_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedded_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

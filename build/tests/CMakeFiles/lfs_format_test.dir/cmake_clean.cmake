@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfs_format_test.dir/lfs_format_test.cc.o"
+  "CMakeFiles/lfs_format_test.dir/lfs_format_test.cc.o.d"
+  "lfs_format_test"
+  "lfs_format_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfs_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

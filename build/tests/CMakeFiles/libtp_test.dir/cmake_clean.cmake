@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libtp_test.dir/libtp_test.cc.o"
+  "CMakeFiles/libtp_test.dir/libtp_test.cc.o.d"
+  "libtp_test"
+  "libtp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libtp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiuser_test.dir/multiuser_test.cc.o"
+  "CMakeFiles/multiuser_test.dir/multiuser_test.cc.o.d"
+  "multiuser_test"
+  "multiuser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiuser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
