@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
     auto rig = ArchRig::Create(Arch::kEmbedded, mo);
     TpcbConfig tpcb = cfg.Tpcb();
     double tps = 0, reads_per_txn = 0;
-    std::string error;
+    std::string error, metrics_json;
     Status s = rig->Run([&] {
       auto db = LoadTpcb(rig->backend.get(), rig->machine->kernel.get(),
                          tpcb);
@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
       reads_per_txn = static_cast<double>(rig->machine->disk->stats().reads -
                                           reads0) /
                       static_cast<double>(txns);
+      metrics_json = rig->MetricsJson();
     });
     if (!s.ok() && error.empty()) error = s.ToString();
     if (!error.empty()) {
@@ -58,6 +59,8 @@ int main(int argc, char** argv) {
                     "failed: " + error, ""});
       continue;
     }
+    cfg.DumpMetrics(Fmt("ablation_cache_%zumb", cache_blocks * 4 / 1024),
+                    metrics_json);
     table.AddRow({Fmt("%zu MB", cache_blocks * 4 / 1024), Fmt("%.2f", tps),
                   Fmt("%.2f", reads_per_txn)});
   }

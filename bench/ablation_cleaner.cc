@@ -53,6 +53,7 @@ TpcbMeasurement MeasureWithCleaner(const BenchConfig& cfg, bool enabled,
       out.cleaner_cleaned = rig->machine->cleaner->stats().segments_cleaned;
       out.cleaner_busy = rig->machine->cleaner->stats().busy_us;
     }
+    out.metrics_json = rig->MetricsJson();
     out.ok = true;
   });
   if (!s.ok() && out.error.empty()) out.error = s.ToString();
@@ -72,18 +73,19 @@ int main(int argc, char** argv) {
 
   struct Row {
     const char* name;
+    const char* slug;
     bool enabled;
     Cleaner::Mode mode;
     CleanPolicy policy;
   };
   const Row rows[] = {
-      {"kernel cleaner, greedy (paper's system)", true, Cleaner::Mode::kKernel,
-       CleanPolicy::kGreedy},
-      {"user-space cleaner, greedy (section 5.4)", true,
+      {"kernel cleaner, greedy (paper's system)", "kernel_greedy", true,
+       Cleaner::Mode::kKernel, CleanPolicy::kGreedy},
+      {"user-space cleaner, greedy (section 5.4)", "user_greedy", true,
        Cleaner::Mode::kUserSpace, CleanPolicy::kGreedy},
-      {"user-space cleaner, cost-benefit", true, Cleaner::Mode::kUserSpace,
-       CleanPolicy::kCostBenefit},
-      {"no cleaner (upper bound)", false, Cleaner::Mode::kKernel,
+      {"user-space cleaner, cost-benefit", "user_cost_benefit", true,
+       Cleaner::Mode::kUserSpace, CleanPolicy::kCostBenefit},
+      {"no cleaner (upper bound)", "no_cleaner", false, Cleaner::Mode::kKernel,
        CleanPolicy::kGreedy},
   };
 
@@ -96,6 +98,8 @@ int main(int argc, char** argv) {
       table.AddRow({row.name, "failed: " + m.error, "", ""});
       continue;
     }
+    cfg.DumpMetrics(std::string("ablation_cleaner_") + row.slug,
+                    m.metrics_json);
     table.AddRow({row.name, Fmt("%.2f", m.tps),
                   Fmt("%llu", (unsigned long long)m.cleaner_cleaned),
                   FormatDuration(m.cleaner_busy)});

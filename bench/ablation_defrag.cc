@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
                              cfg.LibTpOptions());
   TpcbConfig tpcb = cfg.Tpcb();
   SimTime scan_before = 0, scan_after = 0, defrag_time = 0;
-  std::string error;
+  std::string error, metrics_json;
   Status run = rig->Run([&] {
     auto db = LoadTpcb(rig->backend.get(), rig->machine->kernel.get(), tpcb);
     if (!db.ok()) {
@@ -71,12 +71,14 @@ int main(int argc, char** argv) {
       return;
     }
     scan_after = scan2.value().elapsed;
+    metrics_json = rig->MetricsJson();
   });
   if (!run.ok() && error.empty()) error = run.ToString();
   if (!error.empty()) {
     fprintf(stderr, "failed: %s\n", error.c_str());
     return 1;
   }
+  cfg.DumpMetrics("ablation_defrag", metrics_json);
 
   ResultTable table({"phase", "key-order scan time"});
   table.AddRow({"after random updates (Figure 6 state)",

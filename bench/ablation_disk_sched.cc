@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
       auto rig = ArchRig::Create(arch, mo, cfg.LibTpOptions());
       TpcbConfig tpcb = cfg.Tpcb();
       double tps = 0, seek_per_req = 0;
-      std::string error;
+      std::string error, metrics_json;
       Status s = rig->Run([&] {
         auto db = LoadTpcb(rig->backend.get(), rig->machine->kernel.get(),
                            tpcb);
@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
                            ? 0
                            : static_cast<double>(ms.seek_us) /
                                  static_cast<double>(ms.requests) / 1000.0;
+        metrics_json = rig->MetricsJson();
       });
       if (!s.ok() && error.empty()) error = s.ToString();
       const char* pol =
@@ -59,6 +60,10 @@ int main(int argc, char** argv) {
         table.AddRow({ArchName(arch), pol, "failed: " + error, ""});
         continue;
       }
+      cfg.DumpMetrics(Fmt("ablation_sched_%s_%s", ArchSlug(arch),
+                          policy == DiskQueue::Policy::kFifo ? "fifo"
+                                                             : "elevator"),
+                      metrics_json);
       table.AddRow({ArchName(arch), pol, Fmt("%.2f", tps),
                     Fmt("%.2f ms", seek_per_req)});
     }

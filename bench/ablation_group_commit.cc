@@ -20,6 +20,7 @@ struct GcResult {
   double batched_per_flush = 0;
   bool ok = false;
   std::string error;
+  std::string metrics_json;
 };
 
 GcResult MeasureGroupCommit(const BenchConfig& cfg, SimTime timeout,
@@ -64,6 +65,7 @@ GcResult MeasureGroupCommit(const BenchConfig& cfg, SimTime timeout,
         gs.flushes == 0 ? 0
                         : static_cast<double>(gs.txns_flushed) /
                               static_cast<double>(gs.flushes);
+    out.metrics_json = rig->MetricsJson();
     out.ok = true;
   });
   if (!s.ok() && out.error.empty()) out.error = s.ToString();
@@ -95,6 +97,12 @@ int main(int argc, char** argv) {
   };
   for (const Cfg& c : cfgs) {
     GcResult r = MeasureGroupCommit(cfg, c.timeout, c.adaptive, c.mpl, txns);
+    if (r.ok) {
+      cfg.DumpMetrics(Fmt("ablation_group_commit_mpl%u_t%llu%s", c.mpl,
+                          (unsigned long long)(c.timeout / kMillisecond),
+                          c.adaptive ? "_adaptive" : ""),
+                      r.metrics_json);
+    }
     if (!r.ok) {
       table.AddRow({Fmt("%u", c.mpl), FormatDuration(c.timeout),
                     c.adaptive ? "yes" : "no", "failed: " + r.error, "",

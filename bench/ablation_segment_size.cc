@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
     TpcbConfig tpcb = cfg.Tpcb();
     double tps = 0;
     uint64_t partials = 0, blocks = 0, cleaned = 0;
-    std::string error;
+    std::string error, metrics_json;
     Status s = rig->Run([&] {
       auto db = LoadTpcb(rig->backend.get(), rig->machine->kernel.get(),
                          tpcb);
@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
       if (rig->machine->cleaner != nullptr) {
         cleaned = rig->machine->cleaner->stats().segments_cleaned;
       }
+      metrics_json = rig->MetricsJson();
     });
     if (!s.ok() && error.empty()) error = s.ToString();
     if (!error.empty()) {
@@ -53,6 +54,8 @@ int main(int argc, char** argv) {
                     "", ""});
       continue;
     }
+    cfg.DumpMetrics(Fmt("ablation_segment_%ukib", seg_blocks * 4),
+                    metrics_json);
     table.AddRow({Fmt("%u KiB", seg_blocks * 4), Fmt("%.2f", tps),
                   Fmt("%llu", (unsigned long long)partials),
                   Fmt("%.1f", partials ? static_cast<double>(blocks) /

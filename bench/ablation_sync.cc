@@ -43,6 +43,7 @@ TpcbMeasurement MeasureWithTas(Arch arch, const BenchConfig& cfg, bool tas,
     out.tps = r.value().tps();
     out.elapsed = r.value().elapsed;
     out.txns = r.value().transactions;
+    out.metrics_json = rig->MetricsJson();
     out.ok = true;
   });
   if (!s.ok() && out.error.empty()) out.error = s.ToString();
@@ -73,6 +74,10 @@ int main(int argc, char** argv) {
               emb.error.c_str());
       return 1;
     }
+    cfg.DumpMetrics(Fmt("ablation_sync_%s_user", tas ? "tas" : "notas"),
+                    user.metrics_json);
+    cfg.DumpMetrics(Fmt("ablation_sync_%s_embedded", tas ? "tas" : "notas"),
+                    emb.metrics_json);
     table.AddRow({tas ? "yes (Bershad fix)" : "no (DECstation 5000/200)",
                   Fmt("%.2f", user.tps), Fmt("%.2f", emb.tps),
                   Fmt("%+.1f%%", 100.0 * (emb.tps - user.tps) / user.tps)});

@@ -1,16 +1,23 @@
 // Shared configuration for the figure-reproduction benches.
 //
 // Every bench accepts:
-//   --scale=N   divide the paper's database, cache, and disk by N
-//               (default 4: 250k accounts on a 75 MB disk with a 2 MB
-//               kernel cache — same cache:database and database:disk
-//               ratios as the paper's full-size configuration)
-//   --txns=N    measured transactions (default depends on the bench)
+//   --scale=N        divide the paper's database, cache, and disk by N
+//                    (default 4: 250k accounts on a 75 MB disk with a 2 MB
+//                    kernel cache — same cache:database and database:disk
+//                    ratios as the paper's full-size configuration)
+//   --txns=N         measured transactions (default depends on the bench)
+//   --metrics-dir=D  write one metrics snapshot JSON per configuration
+//                    into directory D (created if absent)
+//   --trace=SPEC     enable trace categories ("disk,txn", "all")
+//   --trace-file=F   write trace events to F instead of stderr
 // Measured quantities are *virtual* (simulated) times; wall-clock run time
 // of the binary is irrelevant.
 #ifndef LFSTX_BENCH_BENCH_COMMON_H_
 #define LFSTX_BENCH_BENCH_COMMON_H_
 
+#include <sys/stat.h>
+
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -25,6 +32,9 @@ namespace lfstx {
 struct BenchConfig {
   uint64_t scale = 4;
   uint64_t txns = 0;  // 0 = bench default
+  std::string metrics_dir;
+  std::string trace;
+  std::string trace_file;
 
   static BenchConfig FromArgs(int argc, char** argv) {
     BenchConfig c;
@@ -33,6 +43,12 @@ struct BenchConfig {
         c.scale = std::max<uint64_t>(1, strtoull(argv[i] + 8, nullptr, 10));
       } else if (strncmp(argv[i], "--txns=", 7) == 0) {
         c.txns = strtoull(argv[i] + 7, nullptr, 10);
+      } else if (strncmp(argv[i], "--metrics-dir=", 14) == 0) {
+        c.metrics_dir = argv[i] + 14;
+      } else if (strncmp(argv[i], "--trace=", 8) == 0) {
+        c.trace = argv[i] + 8;
+      } else if (strncmp(argv[i], "--trace-file=", 13) == 0) {
+        c.trace_file = argv[i] + 13;
       }
     }
     return c;
@@ -48,7 +64,26 @@ struct BenchConfig {
     o.cache_blocks = std::max<size_t>(384, 2048 / scale);
     o.disk.geometry.cylinders =
         static_cast<uint32_t>(std::max<uint64_t>(96, 1280 / scale));
+    o.trace_categories = trace;
+    o.trace_path = trace_file;
     return o;
+  }
+
+  /// Write a metrics snapshot under `--metrics-dir` as `<name>.json`.
+  /// No-op when the flag was not given. `name` should identify the
+  /// configuration, e.g. "fig4_embedded_lfs".
+  void DumpMetrics(const std::string& name, const std::string& json) const {
+    if (metrics_dir.empty() || json.empty()) return;
+    mkdir(metrics_dir.c_str(), 0755);  // best effort; open reports failure
+    std::string path = metrics_dir + "/" + name + ".json";
+    FILE* f = fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+      return;
+    }
+    fwrite(json.data(), 1, json.size(), f);
+    fclose(f);
+    fprintf(stderr, "[bench] metrics snapshot: %s\n", path.c_str());
   }
 
   LibTp::Options LibTpOptions() const {
@@ -62,6 +97,16 @@ struct BenchConfig {
   }
 };
 
+/// Filesystem-safe slug for a configuration name, e.g. metrics file names.
+inline const char* ArchSlug(Arch a) {
+  switch (a) {
+    case Arch::kUserFfs: return "user_ffs";
+    case Arch::kUserLfs: return "user_lfs";
+    case Arch::kEmbedded: return "embedded_lfs";
+  }
+  return "unknown";
+}
+
 /// \brief One architecture's TPC-B measurement.
 struct TpcbMeasurement {
   double tps = 0;
@@ -72,6 +117,9 @@ struct TpcbMeasurement {
   uint64_t syscalls = 0;
   bool ok = false;
   std::string error;
+  /// Metrics snapshot taken at the end of the measured run, while the
+  /// simulated machine was still alive. See OBSERVABILITY.md.
+  std::string metrics_json;
 };
 
 /// Build a rig, load TPC-B, warm up, and run `measure_txns` transactions.
@@ -117,6 +165,7 @@ inline TpcbMeasurement MeasureTpcb(Arch arch, const BenchConfig& cfg,
       out.cleaner_cleaned = rig->machine->cleaner->stats().segments_cleaned;
       out.cleaner_busy = rig->machine->cleaner->stats().busy_us;
     }
+    out.metrics_json = rig->MetricsJson();
     out.ok = true;
   });
   if (!run_status.ok() && out.error.empty()) {

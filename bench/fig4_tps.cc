@@ -50,6 +50,8 @@ int main(int argc, char** argv) {
       fprintf(stderr, "%s failed: %s\n", ArchName(row.arch), m.error.c_str());
       return 1;
     }
+    cfg.DumpMetrics(std::string("fig4_") + ArchSlug(row.arch),
+                    m.metrics_json);
     tps[i++] = m.tps;
     table.AddRow({ArchName(row.arch), Fmt("%.2f", m.tps),
                   FormatDuration(m.elapsed),

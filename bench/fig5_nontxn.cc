@@ -20,6 +20,7 @@ struct KernelResults {
   SimTime usertp = 0;
   bool ok = false;
   std::string error;
+  std::string metrics_json;
 };
 
 KernelResults RunOnKernel(bool with_txn_kernel, const BenchConfig& cfg,
@@ -66,6 +67,7 @@ KernelResults RunOnKernel(bool with_txn_kernel, const BenchConfig& cfg,
       return;
     }
     out.usertp = rr.value().elapsed;
+    out.metrics_json = rig->MetricsJson();
     out.ok = true;
   });
   if (!s.ok() && out.error.empty()) out.error = s.ToString();
@@ -87,6 +89,8 @@ int main(int argc, char** argv) {
             txn.error.c_str());
     return 1;
   }
+  cfg.DumpMetrics("fig5_normal_kernel", normal.metrics_json);
+  cfg.DumpMetrics("fig5_txn_kernel", txn.metrics_json);
 
   auto pct = [](SimTime a, SimTime b) {
     return 100.0 * (static_cast<double>(b) - static_cast<double>(a)) /

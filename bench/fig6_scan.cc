@@ -22,6 +22,7 @@ struct ScanMeasurement {
   double scan_mbps = 0;
   bool ok = false;
   std::string error;
+  std::string metrics_json;
 };
 
 ScanMeasurement MeasureScanAfterUpdates(Arch arch, const BenchConfig& cfg,
@@ -62,6 +63,7 @@ ScanMeasurement MeasureScanAfterUpdates(Arch arch, const BenchConfig& cfg,
     }
     out.scan_elapsed = scan.value().elapsed;
     out.scan_mbps = scan.value().mb_per_sec;
+    out.metrics_json = rig->MetricsJson();
     out.ok = true;
   });
   if (!s.ok() && out.error.empty()) out.error = s.ToString();
@@ -86,6 +88,8 @@ int main(int argc, char** argv) {
     fprintf(stderr, "failed: %s%s\n", ffs.error.c_str(), lfs.error.c_str());
     return 1;
   }
+  cfg.DumpMetrics("fig6_user_ffs", ffs.metrics_json);
+  cfg.DumpMetrics("fig6_user_lfs", lfs.metrics_json);
 
   ResultTable table({"file system", "scan time", "scan MB/s", "txn phase",
                      "txn TPS"});

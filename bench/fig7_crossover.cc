@@ -19,6 +19,7 @@ namespace {
 struct FsLine {
   double tps = 0;
   SimTime scan = 0;
+  std::string metrics_json;
   double TotalSeconds(uint64_t n) const {
     return static_cast<double>(n) / tps + ToSeconds(scan);
   }
@@ -60,6 +61,7 @@ Result<FsLine> Measure(Arch arch, const BenchConfig& cfg,
       return;
     }
     line.scan = scan.value().elapsed;
+    line.metrics_json = rig->MetricsJson();
   });
   if (!s.ok() && error.empty()) error = s.ToString();
   if (!error.empty()) return Status::Internal(error);
@@ -83,6 +85,8 @@ int main(int argc, char** argv) {
             lfs.status().ToString().c_str());
     return 1;
   }
+  cfg.DumpMetrics("fig7_user_ffs", ffs->metrics_json);
+  cfg.DumpMetrics("fig7_user_lfs", lfs->metrics_json);
 
   printf("measured inputs: read-optimized %.2f TPS, scan %s; LFS %.2f TPS, "
          "scan %s\n\n",

@@ -8,9 +8,25 @@ namespace lfstx {
 BufferCache::BufferCache(SimEnv* env, size_t capacity_blocks)
     : env_(env), capacity_(capacity_blocks) {
   assert(capacity_ >= 8);
+  MetricsRegistry* m = env_->metrics();
+  m->AddGauge(this, "cache.hits", "count", "buffer cache hits",
+              [this] { return static_cast<double>(stats_.hits); });
+  m->AddGauge(this, "cache.misses", "count", "buffer cache misses",
+              [this] { return static_cast<double>(stats_.misses); });
+  m->AddGauge(this, "cache.evictions", "count", "frames evicted",
+              [this] { return static_cast<double>(stats_.evictions); });
+  m->AddGauge(this, "cache.dirty_evictions", "count",
+              "evictions that forced a write-back",
+              [this] { return static_cast<double>(stats_.dirty_evictions); });
+  m->AddGauge(this, "cache.resident", "blocks", "frames currently cached",
+              [this] { return static_cast<double>(buffers_.size()); });
+  m->AddGauge(this, "cache.dirty", "blocks", "dirty frames right now",
+              [this] { return static_cast<double>(dirty_count_); });
+  m->AddGauge(this, "cache.capacity", "blocks", "configured frame count",
+              [this] { return static_cast<double>(capacity_); });
 }
 
-BufferCache::~BufferCache() = default;
+BufferCache::~BufferCache() { env_->metrics()->DropOwner(this); }
 
 void BufferCache::TouchLru(Buffer* buf) {
   if (buf->in_lru) lru_.erase(buf->lru_pos);
@@ -90,6 +106,9 @@ Status BufferCache::EvictOne() {
     }
     if (victim->dirty) {
       assert(writeback_ != nullptr);
+      LFSTX_TRACE(env_->tracer(), TraceCat::kCache, "dirty_eviction",
+                  {"file", victim->key.file}, {"lblock", victim->key.lblock},
+                  {"resident", static_cast<uint64_t>(buffers_.size())});
       victim->io_in_progress = true;
       victim->pin_count++;
       Status s = writeback_->WriteBack(victim);

@@ -1,0 +1,138 @@
+#include "common/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lfstx {
+
+namespace {
+
+// Numbers in the snapshot are virtual-clock microseconds, counts, or
+// ratios; print integral values without a fraction so counters stay exact.
+std::string FormatNumber(double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else if (std::isfinite(v)) {
+    snprintf(buf, sizeof(buf), "%.6g", v);
+  } else {
+    snprintf(buf, sizeof(buf), "0");
+  }
+  return buf;
+}
+
+}  // namespace
+
+MetricCounter* MetricsRegistry::GetCounter(const std::string& name,
+                                           const char* unit,
+                                           const char* help) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry e;
+    e.kind = Entry::Kind::kCounter;
+    e.unit = unit;
+    e.help = help;
+    e.counter = std::make_unique<MetricCounter>();
+    it = entries_.emplace(name, std::move(e)).first;
+  }
+  return it->second.counter.get();
+}
+
+MetricHistogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                               const char* unit,
+                                               const char* help) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry e;
+    e.kind = Entry::Kind::kHistogram;
+    e.unit = unit;
+    e.help = help;
+    e.histogram = std::make_unique<MetricHistogram>();
+    it = entries_.emplace(name, std::move(e)).first;
+  }
+  return it->second.histogram.get();
+}
+
+void MetricsRegistry::AddGauge(const void* owner, const std::string& name,
+                               const char* unit, const char* help,
+                               std::function<double()> fn) {
+  if (entries_.count(name)) return;  // first-wins
+  Entry e;
+  e.kind = Entry::Kind::kGauge;
+  e.unit = unit;
+  e.help = help;
+  e.fn = std::move(fn);
+  e.owner = owner;
+  entries_.emplace(name, std::move(e));
+}
+
+void MetricsRegistry::DropOwner(const void* owner) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.kind == Entry::Kind::kGauge && it->second.owner == owner) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::string MetricsRegistry::ToJson() const {
+  // entries_ is sorted by full name, so all "disk.*" metrics are adjacent:
+  // emit a section object each time the prefix changes.
+  std::string out = "{";
+  std::string section;
+  bool first_section = true;
+  bool first_in_section = true;
+  for (const auto& [name, e] : entries_) {
+    size_t dot = name.find('.');
+    std::string sec = dot == std::string::npos ? "" : name.substr(0, dot);
+    std::string leaf = dot == std::string::npos ? name : name.substr(dot + 1);
+    if (sec != section || first_section) {
+      if (!first_section) out += "\n  },";
+      out += "\n  \"" + sec + "\": {";
+      section = sec;
+      first_section = false;
+      first_in_section = true;
+    }
+    out += first_in_section ? "\n" : ",\n";
+    first_in_section = false;
+    out += "    \"" + leaf + "\": ";
+    switch (e.kind) {
+      case Entry::Kind::kCounter:
+        out += FormatNumber(static_cast<double>(e.counter->value()));
+        break;
+      case Entry::Kind::kGauge:
+        out += FormatNumber(e.fn ? e.fn() : 0.0);
+        break;
+      case Entry::Kind::kHistogram: {
+        const MetricHistogram* h = e.histogram.get();
+        out += "{\"count\": " + FormatNumber(static_cast<double>(h->count()));
+        out += ", \"mean\": " + FormatNumber(h->mean());
+        out += ", \"p50\": " + FormatNumber(h->Percentile(50));
+        out += ", \"p90\": " + FormatNumber(h->Percentile(90));
+        out += ", \"p99\": " + FormatNumber(h->Percentile(99));
+        out += ", \"min\": " + FormatNumber(static_cast<double>(h->min()));
+        out += ", \"max\": " + FormatNumber(static_cast<double>(h->max()));
+        out += "}";
+        break;
+      }
+    }
+  }
+  if (!first_section) out += "\n  }";
+  out += "\n}\n";
+  return out;
+}
+
+std::vector<std::string> MetricsRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) names.push_back(name);
+  return names;
+}
+
+std::string MetricsRegistry::UnitOf(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? "" : it->second.unit;
+}
+
+}  // namespace lfstx

@@ -1,0 +1,120 @@
+// A process-wide registry of named metrics: monotonically increasing
+// counters, lazily-sampled gauges, and latency histograms. Every subsystem
+// (disk, cache, LFS, cleaner, txn managers, lock manager, log manager)
+// registers its metrics here so a single `ToJson()` call snapshots the
+// whole machine. Names are dotted ("disk.seeks", "cleaner.blocks_read");
+// the first dot component becomes the JSON section.
+//
+// Ownership rules:
+//   * Counters and histograms are owned by the registry and live until the
+//     registry dies; `GetCounter`/`GetHistogram` are idempotent, so two
+//     subsystems asking for the same name share one instance.
+//   * Gauges are callbacks into the registering object. The registrant
+//     passes itself as `owner` and MUST call `DropOwner(this)` from its
+//     destructor so a snapshot never calls into freed memory.
+//   * Duplicate names are first-wins: a second registration of the same
+//     gauge name is ignored (this is deliberate — e.g. fig5 runs a LIBTP
+//     stack and an embedded txn manager on one machine, and only the first
+//     lock manager claims the "lock.*" names).
+//
+// The registry is not thread-safe; the simulator runs one simulated
+// process at a time, so all mutation happens on the scheduler's critical
+// path with no data races.
+#ifndef LFSTX_COMMON_METRICS_H_
+#define LFSTX_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace lfstx {
+
+/// \brief Monotonic counter (pointer-stable; owned by the registry).
+class MetricCounter {
+ public:
+  void Inc(uint64_t delta = 1) { value_ += delta; }
+  void Set(uint64_t v) { value_ = v; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// \brief Latency/size histogram (pointer-stable; owned by the registry).
+/// Thin wrapper over the power-of-two-bucket Histogram from stats.h.
+class MetricHistogram {
+ public:
+  void Add(uint64_t v) { h_.Add(v); }
+  uint64_t count() const { return h_.count(); }
+  double mean() const { return h_.mean(); }
+  double Percentile(double p) const { return h_.Percentile(p); }
+  uint64_t min() const { return h_.min(); }
+  uint64_t max() const { return h_.max(); }
+
+ private:
+  Histogram h_;
+};
+
+/// \brief Registry of named metrics, snapshotable to JSON.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter registered under `name`, creating it on first
+  /// use. `unit` and `help` are recorded from the first caller.
+  MetricCounter* GetCounter(const std::string& name, const char* unit,
+                            const char* help);
+
+  /// Returns the histogram registered under `name`, creating it on first
+  /// use.
+  MetricHistogram* GetHistogram(const std::string& name, const char* unit,
+                                const char* help);
+
+  /// Registers a lazily-sampled gauge. `fn` is called at snapshot time.
+  /// First-wins: if `name` is taken the call is a no-op. The registrant
+  /// must `DropOwner(owner)` before `fn`'s captures dangle.
+  void AddGauge(const void* owner, const std::string& name, const char* unit,
+                const char* help, std::function<double()> fn);
+
+  /// Removes every gauge registered with this owner token. Call from the
+  /// registrant's destructor.
+  void DropOwner(const void* owner);
+
+  /// Snapshot of every metric as pretty-printed JSON, nested by the first
+  /// dot component of the name ("disk.seeks" -> {"disk": {"seeks": ...}}).
+  /// Histograms serialize as {count, mean, p50, p90, p99, min, max}.
+  std::string ToJson() const;
+
+  /// All registered names, sorted (for docs/tests).
+  std::vector<std::string> Names() const;
+
+  /// Unit string recorded for `name`, or "" if unknown.
+  std::string UnitOf(const std::string& name) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    enum class Kind { kCounter, kGauge, kHistogram };
+    Kind kind;
+    std::string unit;
+    std::string help;
+    std::unique_ptr<MetricCounter> counter;        // kCounter
+    std::unique_ptr<MetricHistogram> histogram;    // kHistogram
+    std::function<double()> fn;                    // kGauge
+    const void* owner = nullptr;                   // kGauge
+  };
+
+  std::map<std::string, Entry> entries_;  // sorted -> stable JSON
+};
+
+}  // namespace lfstx
+
+#endif  // LFSTX_COMMON_METRICS_H_

@@ -37,6 +37,8 @@ class Histogram {
   double mean() const;
   /// Percentile in [0,100]; linear interpolation within a bucket.
   double Percentile(double p) const;
+  uint64_t min() const { return count_ ? min_ : 0; }
+  uint64_t max() const { return max_; }
   std::string ToString() const;
 
  private:

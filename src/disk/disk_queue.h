@@ -13,6 +13,7 @@
 #include <string>
 
 #include "disk/disk_model.h"
+#include "sim/clock.h"
 
 namespace lfstx {
 
@@ -26,6 +27,7 @@ struct DiskRequest {
   std::string data;         ///< payload for writes (captured at submit)
   std::function<void()> done;
   uint64_t seq = 0;         ///< submission order
+  SimTime submit_time = 0;  ///< for the disk.request_latency_us histogram
 };
 
 /// \brief Request queue with pluggable scheduling policy.

@@ -12,7 +12,39 @@ const char kZeroBlock[kBlockSize] = {0};
 SimDisk::SimDisk(SimEnv* env, Options options)
     : env_(env),
       model_(options.geometry, options.timing),
-      queue_(options.scheduling) {}
+      queue_(options.scheduling) {
+  MetricsRegistry* m = env_->metrics();
+  latency_hist_ = m->GetHistogram("disk.request_latency_us", "us",
+                                  "submit-to-completion latency per request");
+  auto g = [&](const char* name, const char* unit, const char* help,
+               std::function<double()> fn) {
+    m->AddGauge(this, name, unit, help, std::move(fn));
+  };
+  g("disk.reads", "count", "read requests submitted",
+    [this] { return static_cast<double>(stats_.reads); });
+  g("disk.writes", "count", "write requests submitted",
+    [this] { return static_cast<double>(stats_.writes); });
+  g("disk.blocks_read", "blocks", "blocks read",
+    [this] { return static_cast<double>(stats_.blocks_read); });
+  g("disk.blocks_written", "blocks", "blocks written",
+    [this] { return static_cast<double>(stats_.blocks_written); });
+  g("disk.max_queue_depth", "requests", "deepest queue observed",
+    [this] { return static_cast<double>(stats_.max_queue_depth); });
+  g("disk.queue_depth", "requests", "requests queued right now",
+    [this] { return static_cast<double>(queue_.size()); });
+  g("disk.seeks", "count", "requests that moved the arm",
+    [this] { return static_cast<double>(model_.stats().seeks); });
+  g("disk.seek_us", "us", "time spent seeking",
+    [this] { return static_cast<double>(model_.stats().seek_us); });
+  g("disk.rotation_us", "us", "time spent in rotational delay",
+    [this] { return static_cast<double>(model_.stats().rotation_us); });
+  g("disk.transfer_us", "us", "time spent transferring data",
+    [this] { return static_cast<double>(model_.stats().transfer_us); });
+  g("disk.busy_us", "us", "total time the disk was servicing requests",
+    [this] { return static_cast<double>(model_.stats().busy_us); });
+}
+
+SimDisk::~SimDisk() { env_->metrics()->DropOwner(this); }
 
 void SimDisk::SubmitRead(BlockAddr block, uint32_t nblocks, char* out,
                          std::function<void()> done) {
@@ -38,6 +70,7 @@ void SimDisk::SubmitWrite(BlockAddr block, uint32_t nblocks, const char* data,
 
 void SimDisk::Submit(std::unique_ptr<DiskRequest> req) {
   req->seq = next_seq_++;
+  req->submit_time = env_->Now();
   if (req->kind == DiskRequest::Kind::kRead) {
     stats_.reads++;
     stats_.blocks_read += req->nblocks;
@@ -55,11 +88,23 @@ void SimDisk::Submit(std::unique_ptr<DiskRequest> req) {
 
 void SimDisk::StartService(std::unique_ptr<DiskRequest> req) {
   busy_ = true;
+  LFSTX_TRACE(env_->tracer(), TraceCat::kDisk, "io_begin",
+              {"op", req->kind == DiskRequest::Kind::kRead ? "read" : "write"},
+              {"block", req->block}, {"nblocks", req->nblocks},
+              {"wait_us", env_->Now() - req->submit_time},
+              {"queued", static_cast<uint64_t>(queue_.size())});
   SimTime service = model_.Service(env_->Now(), req->block, req->nblocks);
   DiskRequest* raw = req.release();
-  env_->After(service, [this, raw] {
+  env_->After(service, [this, raw, service] {
     std::unique_ptr<DiskRequest> owned(raw);
     Complete(owned.get());
+    latency_hist_->Add(env_->Now() - owned->submit_time);
+    LFSTX_TRACE(
+        env_->tracer(), TraceCat::kDisk, "io_end",
+        {"op", owned->kind == DiskRequest::Kind::kRead ? "read" : "write"},
+        {"block", owned->block}, {"nblocks", owned->nblocks},
+        {"service_us", service},
+        {"latency_us", env_->Now() - owned->submit_time});
     auto next = queue_.PopNext(model_.current_cylinder(), model_.geometry());
     if (next != nullptr) {
       StartService(std::move(next));

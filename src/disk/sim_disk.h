@@ -40,6 +40,7 @@ class SimDisk {
   };
 
   SimDisk(SimEnv* env, Options options);
+  ~SimDisk();
 
   uint64_t num_blocks() const { return model_.geometry().total_blocks(); }
   SimEnv* env() const { return env_; }
@@ -88,6 +89,7 @@ class SimDisk {
   bool busy_ = false;
   uint64_t next_seq_ = 0;
   Stats stats_;
+  MetricHistogram* latency_hist_ = nullptr;  // owned by env's registry
 
   bool crashed_ = false;
   uint64_t persist_budget_ = 0;

@@ -3,7 +3,22 @@
 namespace lfstx {
 
 GroupCommit::GroupCommit(SimEnv* env, Lfs* lfs, GroupCommitOptions options)
-    : env_(env), lfs_(lfs), options_(options), wait_(env) {}
+    : env_(env), lfs_(lfs), options_(options), wait_(env) {
+  MetricsRegistry* m = env_->metrics();
+  batch_hist_ = m->GetHistogram("txn.group_commit_batch", "txns",
+                                "commits flushed per segment write");
+  m->AddGauge(this, "txn.group_commit_flushes", "count",
+              "group-commit segment writes",
+              [this] { return static_cast<double>(stats_.flushes); });
+  m->AddGauge(this, "txn.group_commit_txns_flushed", "count",
+              "commits covered by those flushes",
+              [this] { return static_cast<double>(stats_.txns_flushed); });
+  m->AddGauge(this, "txn.group_commit_batched", "count",
+              "commits that shared another commit's flush",
+              [this] { return static_cast<double>(stats_.batched); });
+}
+
+GroupCommit::~GroupCommit() { env_->metrics()->DropOwner(this); }
 
 Status GroupCommit::CommitFlush(TxnId txn, bool others_active) {
   // A flush that *starts* after this point is guaranteed to pick up our
@@ -32,6 +47,10 @@ Status GroupCommit::CommitFlush(TxnId txn, bool others_active) {
       stats_.flushes++;
       stats_.txns_flushed += batch;
       stats_.batched += batch - 1;
+      batch_hist_->Add(batch);
+      LFSTX_TRACE(env_->tracer(), TraceCat::kTxn, "group_commit_flush",
+                  {"leader_txn", txn}, {"batch", batch},
+                  {"ok", result.ok()});
       flushing_ = false;
       led = true;
       wait_.WakeAll();

@@ -33,6 +33,7 @@ class GroupCommit {
   };
 
   GroupCommit(SimEnv* env, Lfs* lfs, GroupCommitOptions options);
+  ~GroupCommit();
 
   /// Called by a committing transaction after moving its buffers to the
   /// dirty list; returns once those buffers are durably in the log.
@@ -45,6 +46,7 @@ class GroupCommit {
   SimEnv* env_;
   Lfs* lfs_;
   GroupCommitOptions options_;
+  MetricHistogram* batch_hist_ = nullptr;  // owned by env's registry
   bool flushing_ = false;
   uint64_t start_epoch_ = 0;            ///< flush-start counter
   uint64_t completed_start_epoch_ = 0;  ///< start epoch of last finished flush

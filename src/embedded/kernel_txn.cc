@@ -12,7 +12,21 @@ EmbeddedTxnManager::EmbeddedTxnManager(SimEnv* env, Lfs* lfs, Options options)
       locks_(env),
       gc_(env, lfs, options.group_commit) {
   lfs_->set_txn_hooks(this);
+  MetricsRegistry* m = env_->metrics();
+  m->AddGauge(this, "txn.begun", "count", "transactions started",
+              [this] { return static_cast<double>(stats_.begun); });
+  m->AddGauge(this, "txn.committed", "count", "transactions committed",
+              [this] { return static_cast<double>(stats_.committed); });
+  m->AddGauge(this, "txn.aborted", "count", "transactions aborted",
+              [this] { return static_cast<double>(stats_.aborted); });
+  m->AddGauge(this, "txn.deadlocks", "count",
+              "page accesses refused to break a deadlock",
+              [this] { return static_cast<double>(stats_.deadlocks); });
+  m->AddGauge(this, "txn.active", "count", "transactions running right now",
+              [this] { return static_cast<double>(active_); });
 }
+
+EmbeddedTxnManager::~EmbeddedTxnManager() { env_->metrics()->DropOwner(this); }
 
 EmbeddedTxnManager::TxnState* EmbeddedTxnManager::CurrentState() {
   auto it = by_proc_.find(SimEnv::Current());
@@ -45,6 +59,8 @@ Status EmbeddedTxnManager::TxnBegin() {
   st.size_at_first_touch.clear();
   active_++;
   stats_.begun++;
+  LFSTX_TRACE(env_->tracer(), TraceCat::kTxn, "txn_begin", {"txn", st.id},
+              {"active", active_});
   return Status::OK();
 }
 
@@ -68,6 +84,8 @@ Status EmbeddedTxnManager::TxnCommit() {
   locks_.ReleaseAll(st->id);
   st->status = flushed.ok() ? TxnStatus::kCommitted : TxnStatus::kAborted;
   if (flushed.ok()) stats_.committed++;
+  LFSTX_TRACE(env_->tracer(), TraceCat::kTxn, "txn_commit", {"txn", st->id},
+              {"ok", flushed.ok()}, {"active", active_});
   return flushed;
 }
 
@@ -94,6 +112,8 @@ Status EmbeddedTxnManager::TxnAbort() {
   st->status = TxnStatus::kAborted;
   active_--;
   stats_.aborted++;
+  LFSTX_TRACE(env_->tracer(), TraceCat::kTxn, "txn_abort", {"txn", st->id},
+              {"active", active_});
   return Status::OK();
 }
 

@@ -42,6 +42,7 @@ class EmbeddedTxnManager : public TxnHooks {
 
   EmbeddedTxnManager(SimEnv* env, Lfs* lfs);
   EmbeddedTxnManager(SimEnv* env, Lfs* lfs, Options options);
+  ~EmbeddedTxnManager();
 
   // System-call bodies (the Kernel facade charges the trap overhead).
   Status TxnBegin();

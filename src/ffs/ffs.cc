@@ -47,7 +47,19 @@ Ffs::Ffs(SimEnv* env, SimDisk* disk, BufferCache* cache, Options options)
   sb_.itable_blocks = l.itable_blocks;
   sb_.data_start = l.data_start;
   file_rotor_ = sb_.data_start;
+
+  env_->metrics()->AddGauge(
+      this, "ffs.free_blocks", "blocks", "unallocated data blocks",
+      [this] { return static_cast<double>(bitmap_.free_count()); });
+  env_->metrics()->AddGauge(
+      this, "ffs.sync_batches", "count", "batched write-back waves",
+      [this] { return static_cast<double>(sync_batches_); });
+  env_->metrics()->AddGauge(
+      this, "ffs.sync_blocks", "blocks", "blocks pushed by write-back waves",
+      [this] { return static_cast<double>(sync_blocks_); });
 }
+
+Ffs::~Ffs() { env_->metrics()->DropOwner(this); }
 
 // ------------------------------------------------------------- lifecycle --
 
@@ -217,6 +229,10 @@ Status Ffs::WriteBack(Buffer* buf) {
 
 Status Ffs::WriteBatch(std::vector<Buffer*> bufs) {
   if (bufs.empty()) return Status::OK();
+  sync_batches_++;
+  sync_blocks_ += bufs.size();
+  LFSTX_TRACE(env_->tracer(), TraceCat::kSync, "ffs_write_batch",
+              {"blocks", static_cast<uint64_t>(bufs.size())});
   for (Buffer* buf : bufs) {
     if (buf->disk_addr == kInvalidBlock) {
       for (Buffer* b : bufs) cache_->Release(b);

@@ -30,6 +30,7 @@ class Ffs : public FsCore {
 
   Ffs(SimEnv* env, SimDisk* disk, BufferCache* cache);
   Ffs(SimEnv* env, SimDisk* disk, BufferCache* cache, Options options);
+  ~Ffs() override;
 
   const char* fs_name() const override { return "read-optimized"; }
   Status Format() override;
@@ -81,6 +82,8 @@ class Ffs : public FsCore {
   std::vector<bool> inode_used_;
   std::unordered_map<InodeNum, BlockAddr> alloc_hint_;
   BlockAddr file_rotor_ = 0;  // spreads first blocks of new files
+  uint64_t sync_batches_ = 0;
+  uint64_t sync_blocks_ = 0;
 };
 
 }  // namespace lfstx

@@ -3,7 +3,7 @@
 namespace lfstx {
 
 Syncer::Syncer(SimEnv* env, FileSystem* fs, SimTime interval)
-    : shared_(std::make_shared<Shared>()) {
+    : env_(env), shared_(std::make_shared<Shared>()) {
   // The daemon thread is owned by SimEnv and may be drained after this
   // Syncer (and even the file system) is destroyed; shared->alive gates
   // every use of `fs`.
@@ -14,14 +14,22 @@ Syncer::Syncer(SimEnv* env, FileSystem* fs, SimTime interval)
         while (!env->stop_requested() && shared->alive) {
           env->SleepFor(interval);
           if (env->stop_requested() || !shared->alive) break;
+          LFSTX_TRACE(env->tracer(), TraceCat::kSync, "sync_pass",
+                      {"round", shared->rounds + 1});
           Status s = fs->SyncAll();
           (void)s;  // a full disk is reported by foreground writers
           shared->rounds++;
         }
       },
       /*daemon=*/true);
+  env_->metrics()->AddGauge(
+      this, "sync.rounds", "count", "periodic sync-daemon passes",
+      [shared = shared_] { return static_cast<double>(shared->rounds); });
 }
 
-Syncer::~Syncer() { shared_->alive = false; }
+Syncer::~Syncer() {
+  env_->metrics()->DropOwner(this);
+  shared_->alive = false;
+}
 
 }  // namespace lfstx

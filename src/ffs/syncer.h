@@ -29,6 +29,7 @@ class Syncer {
     uint64_t rounds = 0;
   };
 
+  SimEnv* env_;
   std::shared_ptr<Shared> shared_;
 };
 

@@ -1,5 +1,8 @@
 #include "harness/machine.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "embedded/kernel_txn.h"
 
 namespace lfstx {
@@ -98,6 +101,29 @@ Lfs* Machine::lfs() const { return dynamic_cast<Lfs*>(fs.get()); }
 std::unique_ptr<Machine> Machine::Build(const Options& options) {
   auto m = std::make_unique<Machine>();
   m->env = std::make_unique<SimEnv>(options.costs);
+  // Tracing: explicit options win, then LFSTX_TRACE / LFSTX_TRACE_FILE.
+  std::string spec = options.trace_categories;
+  if (spec.empty()) {
+    if (const char* e = getenv("LFSTX_TRACE")) spec = e;
+  }
+  if (!spec.empty()) {
+    Status s = m->env->tracer()->EnableSpec(spec);
+    if (!s.ok()) {
+      fprintf(stderr, "lfstx: bad trace spec %s: %s\n", spec.c_str(),
+              s.message().c_str());
+    }
+    std::string path = options.trace_path;
+    if (path.empty()) {
+      if (const char* e = getenv("LFSTX_TRACE_FILE")) path = e;
+    }
+    if (!path.empty()) {
+      s = m->env->tracer()->OpenFile(path);
+      if (!s.ok()) {
+        fprintf(stderr, "lfstx: cannot open trace file %s: %s\n",
+                path.c_str(), s.message().c_str());
+      }
+    }
+  }
   m->disk = std::make_unique<SimDisk>(m->env.get(), options.disk);
   m->cache = std::make_unique<BufferCache>(m->env.get(), options.cache_blocks);
   if (options.fs == FsKind::kLfs) {

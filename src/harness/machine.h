@@ -79,6 +79,12 @@ struct Machine {
     bool start_cleaner = true;       ///< LFS only
     Cleaner::Options cleaner;
     bool format = true;              ///< format (true) or mount existing
+    /// Comma-separated trace categories to enable ("disk,txn", "all").
+    /// Empty = consult the LFSTX_TRACE environment variable instead.
+    std::string trace_categories;
+    /// Trace output path. Empty = consult LFSTX_TRACE_FILE, and fall back
+    /// to stderr when that is unset too.
+    std::string trace_path;
   };
 
   std::unique_ptr<SimEnv> env;

@@ -74,6 +74,11 @@ struct ArchRig {
 
   SimEnv* env() { return machine->env.get(); }
 
+  /// Snapshot of every registered metric, as the documented JSON schema
+  /// (see OBSERVABILITY.md). Safe to call at any point; gauges are sampled
+  /// at the time of the call.
+  std::string MetricsJson() { return env()->metrics()->ToJson(); }
+
   /// Spawn a process that boots the rig and runs `fn`, then drive the
   /// simulation to completion. Returns OK unless boot failed.
   Status Run(std::function<void()> fn) {

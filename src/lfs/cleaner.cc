@@ -25,9 +25,31 @@ Cleaner::Cleaner(SimEnv* env, Lfs* lfs, Options options)
         }
       },
       /*daemon=*/true);
+
+  MetricsRegistry* m = env_->metrics();
+  m->AddGauge(this, "cleaner.segments_cleaned", "count",
+              "victim segments reclaimed",
+              [this] { return static_cast<double>(stats_.segments_cleaned); });
+  m->AddGauge(this, "cleaner.live_blocks_copied", "blocks",
+              "live blocks copied forward",
+              [this] { return static_cast<double>(stats_.live_blocks_copied); });
+  m->AddGauge(this, "cleaner.dead_blocks_dropped", "blocks",
+              "dead blocks discarded",
+              [this] { return static_cast<double>(stats_.dead_blocks_dropped); });
+  m->AddGauge(this, "cleaner.rounds", "count", "watermark-triggered rounds",
+              [this] { return static_cast<double>(stats_.rounds); });
+  m->AddGauge(this, "cleaner.segment_reads", "count",
+              "victim segments read back",
+              [this] { return static_cast<double>(stats_.segment_reads); });
+  m->AddGauge(this, "cleaner.blocks_read", "blocks",
+              "blocks read back from victims",
+              [this] { return static_cast<double>(stats_.blocks_read); });
+  m->AddGauge(this, "cleaner.busy_us", "us", "time spent inside CleanOne",
+              [this] { return static_cast<double>(stats_.busy_us); });
 }
 
 Cleaner::~Cleaner() {
+  env_->metrics()->DropOwner(this);
   shared_->alive = false;
   if (lfs_ != nullptr) lfs_->AttachCleaner(nullptr);
 }
@@ -95,11 +117,17 @@ Status Cleaner::CleanOne() {
   BlockAddr base = lfs_->SegBase(victim);
   uint32_t seg_blocks = lfs_->segment_blocks();
 
+  LFSTX_TRACE(env_->tracer(), TraceCat::kCleaner, "clean_begin",
+              {"victim", victim}, {"live", lfs_->usage_.live(victim)},
+              {"gen", gen}, {"clean_left", lfs_->clean_segments()});
+
   // Read the whole victim in one request.
   std::vector<char> seg(static_cast<size_t>(seg_blocks) * kBlockSize);
   if (Status s = lfs_->disk()->Read(base, seg_blocks, seg.data()); !s.ok()) {
     return finish(s);
   }
+  stats_.segment_reads++;
+  stats_.blocks_read += seg_blocks;
 
   // Parse this incarnation's chunks.
   struct Chunk {
@@ -249,6 +277,9 @@ Status Cleaner::CleanOne() {
     stats_.segments_cleaned++;
   }
   if (Status s = lfs_->WriteCheckpointLocked(); !s.ok()) return finish(s);
+  LFSTX_TRACE(env_->tracer(), TraceCat::kCleaner, "clean_end",
+              {"victim", victim}, {"live_copied", live_copied},
+              {"dead", dead}, {"clean_left", lfs_->clean_segments()});
   return finish(Status::OK());
 }
 
@@ -257,6 +288,8 @@ Status Cleaner::CoalesceFile(InodeNum inum) {
   if (!ir.ok()) return ir.status();
   Inode* ino = ir.value();
   uint64_t nblocks = ino->d.size_blocks();
+  LFSTX_TRACE(env_->tracer(), TraceCat::kCleaner, "coalesce_begin",
+              {"inum", inum}, {"nblocks", nblocks});
   // One window per segment: every mapped block in the window is pulled
   // into the cache, dirtied, and flushed, so the segment writer lays the
   // window down contiguously (and in logical order, since it sorts dirty
@@ -281,6 +314,8 @@ Status Cleaner::CoalesceFile(InodeNum inum) {
     }
     LFSTX_RETURN_IF_ERROR(lfs_->Flush(kNoTxn));
   }
+  LFSTX_TRACE(env_->tracer(), TraceCat::kCleaner, "coalesce_end",
+              {"inum", inum}, {"nblocks", nblocks});
   return lfs_->Checkpoint();
 }
 

@@ -42,6 +42,8 @@ class Cleaner {
     uint64_t live_blocks_copied = 0;
     uint64_t dead_blocks_dropped = 0;
     uint64_t rounds = 0;
+    uint64_t segment_reads = 0;  ///< victim segments read back
+    uint64_t blocks_read = 0;    ///< blocks read back from victims
     SimTime busy_us = 0;  ///< time spent inside CleanOne
   };
 

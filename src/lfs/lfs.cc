@@ -43,9 +43,41 @@ Lfs::Lfs(SimEnv* env, SimDisk* disk, BufferCache* cache, Options options)
   geo_.nsegments =
       static_cast<uint32_t>((total - geo_.seg_start) / options_.segment_blocks);
   usage_ = SegmentUsage(geo_.nsegments);
+
+  MetricsRegistry* m = env_->metrics();
+  m->AddGauge(this, "lfs.partial_segments", "count", "log chunks written",
+              [this] { return static_cast<double>(lfs_stats_.partial_segments); });
+  m->AddGauge(this, "lfs.segments_activated", "count",
+              "clean segments opened for writing",
+              [this] { return static_cast<double>(lfs_stats_.segments_activated); });
+  m->AddGauge(this, "lfs.blocks_written", "blocks",
+              "payload blocks appended to the log",
+              [this] { return static_cast<double>(lfs_stats_.blocks_written); });
+  m->AddGauge(this, "lfs.checkpoints", "count", "checkpoints written",
+              [this] { return static_cast<double>(lfs_stats_.checkpoints); });
+  m->AddGauge(this, "lfs.flushes", "count", "Flush() calls",
+              [this] { return static_cast<double>(lfs_stats_.flushes); });
+  m->AddGauge(this, "lfs.writer_stalls", "count",
+              "writer waits for the cleaner",
+              [this] { return static_cast<double>(lfs_stats_.writer_stalls); });
+  m->AddGauge(this, "lfs.clean_segments", "segments",
+              "segments currently clean",
+              [this] { return static_cast<double>(usage_.clean_count()); });
+  m->AddGauge(this, "lfs.utilization", "ratio",
+              "live blocks / non-clean segment capacity", [this] {
+                uint64_t live = 0, cap = 0;
+                for (uint32_t s = 0; s < usage_.nsegments(); s++) {
+                  if (usage_.state(s) == SegState::kClean) continue;
+                  live += usage_.live(s);
+                  cap += options_.segment_blocks;
+                }
+                return cap == 0 ? 0.0
+                                : static_cast<double>(live) /
+                                      static_cast<double>(cap);
+              });
 }
 
-Lfs::~Lfs() = default;
+Lfs::~Lfs() { env_->metrics()->DropOwner(this); }
 
 // ------------------------------------------------------------- lifecycle --
 

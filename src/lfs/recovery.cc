@@ -25,6 +25,10 @@ Status Lfs::WriteCheckpointLocked() {
                         kBlockSize);
   cp.Encode(buf.data(), geo_.checkpoint_blocks);
   BlockAddr region = checkpoint_to_a_ ? geo_.checkpoint_a : geo_.checkpoint_b;
+  LFSTX_TRACE(env_->tracer(), TraceCat::kCheckpoint, "checkpoint",
+              {"seq", cp.seq}, {"region", checkpoint_to_a_ ? "A" : "B"},
+              {"seg", cur_seg_}, {"off", cur_off_},
+              {"blocks", geo_.checkpoint_blocks});
   checkpoint_to_a_ = !checkpoint_to_a_;
   LFSTX_RETURN_IF_ERROR(
       disk_->Write(region, geo_.checkpoint_blocks, buf.data()));
@@ -86,6 +90,10 @@ Status Lfs::RecoverFromCheckpointAndRollForward() {
   cur_off_ = best.cur_offset;
   cur_gen_ = best.cur_generation;
   next_write_seq_ = best.next_write_seq;
+  LFSTX_TRACE(env_->tracer(), TraceCat::kRecovery, "recovery_begin",
+              {"checkpoint_seq", best.seq},
+              {"region", best_is_a ? "A" : "B"}, {"seg", cur_seg_},
+              {"off", cur_off_}, {"next_write_seq", next_write_seq_});
 
   // ---- 3. roll forward along the summary chain ----
   struct Update {
@@ -124,9 +132,21 @@ Status Lfs::RecoverFromCheckpointAndRollForward() {
     disk_->RawRead(next + 1, n, seg_buf.data() + kBlockSize);
     auto sres = Summary::Decode(seg_buf.data(), seg_buf.data() + kBlockSize,
                                 n);
-    if (!sres.ok()) break;                       // torn write: end of log
+    if (!sres.ok()) {                            // torn write: end of log
+      LFSTX_TRACE(env_->tracer(), TraceCat::kRecovery, "recovery_torn_chunk",
+                  {"addr", next}, {"nblocks", n});
+      break;
+    }
     Summary s = sres.take();
-    if (s.write_seq != expect_seq) break;        // stale chunk: end of log
+    if (s.write_seq != expect_seq) {             // stale chunk: end of log
+      LFSTX_TRACE(env_->tracer(), TraceCat::kRecovery, "recovery_stale_chunk",
+                  {"addr", next}, {"found_seq", s.write_seq},
+                  {"expect_seq", expect_seq});
+      break;
+    }
+    LFSTX_TRACE(env_->tracer(), TraceCat::kRecovery, "recovery_chunk",
+                {"addr", next}, {"nblocks", n}, {"write_seq", s.write_seq},
+                {"txn", s.txn}, {"commit", s.txn_commit});
 
     if (off == 0) {
       // Entering a segment the chain activated after the checkpoint.
@@ -163,6 +183,10 @@ Status Lfs::RecoverFromCheckpointAndRollForward() {
   next_write_seq_ = expect_seq;
   // Chunks of transactions whose commit marker never made it to disk are
   // discarded: the transaction atomically never happened.
+  LFSTX_TRACE(env_->tracer(), TraceCat::kRecovery, "recovery_end",
+              {"chunks_applied", expect_seq - best.next_write_seq},
+              {"discarded_txns", static_cast<uint64_t>(staged.size())},
+              {"seg", cur_seg_}, {"off", cur_off_});
   staged.clear();
 
   // ---- 4. exact usage + inode-block refcount rebuild ----

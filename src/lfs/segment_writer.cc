@@ -84,6 +84,11 @@ Status Lfs::FlushLocked(TxnId txn) {
     s.entries = entries;
     s.Encode(chunk.data(), chunk.data() + kBlockSize);
     env_->Consume(env_->costs().segment_block_cpu_us);
+    LFSTX_TRACE(env_->tracer(), TraceCat::kLfs, "partial_segment",
+                {"seg", cur_seg_}, {"base", chunk_base},
+                {"blocks", nplaced}, {"write_seq", s.write_seq},
+                {"txn", txn}, {"commit", s.txn_commit},
+                {"next_addr", next_addr});
     LFSTX_RETURN_IF_ERROR(disk_->Write(chunk_base, 1 + nplaced, chunk.data()));
     cur_off_ = after;
     lfs_stats_.partial_segments++;
@@ -261,6 +266,9 @@ Status Lfs::AdvanceSegment() {
       cur_off_ = 0;
       lfs_stats_.segments_activated++;
       segments_since_checkpoint_++;
+      LFSTX_TRACE(env_->tracer(), TraceCat::kLfs, "segment_advance",
+                  {"seg", cur_seg_}, {"gen", cur_gen_},
+                  {"clean_left", usage_.clean_count()});
       return Status::OK();
     }
     if (cleaner_ == nullptr) {
@@ -269,6 +277,8 @@ Status Lfs::AdvanceSegment() {
     // Out of segments: wake the cleaner and wait, releasing the log lock
     // so the cleaner can work.
     lfs_stats_.writer_stalls++;
+    LFSTX_TRACE(env_->tracer(), TraceCat::kLfs, "writer_stall",
+                {"clean_left", usage_.clean_count()});
     cleaner_->Poke();
     flush_lock_.Unlock();
     clean_wait_.SleepFor(kSecond);

@@ -16,9 +16,21 @@ void DbPage::set_lsn(Lsn v) { memcpy(data, &v, sizeof(v)); }
 BufferPool::BufferPool(Kernel* kernel, LogManager* log, size_t capacity_pages)
     : kernel_(kernel), log_(log), capacity_(capacity_pages) {
   assert(capacity_ >= 8);
+  MetricsRegistry* m = kernel_->env()->metrics();
+  m->AddGauge(this, "pool.hits", "count", "user buffer pool hits",
+              [this] { return static_cast<double>(stats_.hits); });
+  m->AddGauge(this, "pool.misses", "count", "user buffer pool misses",
+              [this] { return static_cast<double>(stats_.misses); });
+  m->AddGauge(this, "pool.evictions", "count", "pages evicted",
+              [this] { return static_cast<double>(stats_.evictions); });
+  m->AddGauge(this, "pool.dirty_writebacks", "count",
+              "dirty pages written back (steal + WAL rule)",
+              [this] { return static_cast<double>(stats_.dirty_writebacks); });
+  m->AddGauge(this, "pool.resident", "pages", "pages currently pooled",
+              [this] { return static_cast<double>(pages_.size()); });
 }
 
-BufferPool::~BufferPool() = default;
+BufferPool::~BufferPool() { kernel_->env()->metrics()->DropOwner(this); }
 
 Result<uint32_t> BufferPool::RegisterFile(const std::string& path,
                                           bool create) {

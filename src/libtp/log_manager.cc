@@ -21,7 +21,23 @@ constexpr uint32_t kLogFileMagic = 0x4C474844;  // "LGHD"
 LogManager::LogManager(Kernel* kernel) : LogManager(kernel, Options{}) {}
 
 LogManager::LogManager(Kernel* kernel, Options options)
-    : kernel_(kernel), options_(options), flushed_(kernel->env()) {}
+    : kernel_(kernel), options_(options), flushed_(kernel->env()) {
+  MetricsRegistry* m = kernel_->env()->metrics();
+  m->AddGauge(this, "log.records", "count", "WAL records appended",
+              [this] { return static_cast<double>(stats_.records); });
+  m->AddGauge(this, "log.flushes", "count", "fsync batches",
+              [this] { return static_cast<double>(stats_.flushes); });
+  m->AddGauge(this, "log.bytes_appended", "bytes", "WAL bytes appended",
+              [this] { return static_cast<double>(stats_.bytes_appended); });
+  m->AddGauge(this, "log.group_commit_waits", "count",
+              "commits that waited for a shared fsync",
+              [this] { return static_cast<double>(stats_.group_commit_waits); });
+  m->AddGauge(this, "log.retained_bytes", "bytes",
+              "log bytes not yet truncated",
+              [this] { return static_cast<double>(next_lsn_ - base_lsn_); });
+}
+
+LogManager::~LogManager() { kernel_->env()->metrics()->DropOwner(this); }
 
 Status LogManager::Open(const std::string& path) {
   auto r = kernel_->Open(path);
@@ -83,6 +99,8 @@ Status LogManager::Truncate() {
   base_lsn_ = next_lsn_;
   tail_base_ = next_lsn_;
   epoch_++;
+  LFSTX_TRACE(kernel_->env()->tracer(), TraceCat::kLog, "log_truncate",
+              {"base_lsn", base_lsn_}, {"epoch", epoch_});
   if (options_.preallocate_bytes == 0) {
     // No reserved region: physically release the old records.
     LFSTX_RETURN_IF_ERROR(kernel_->Truncate(log_ino_, sizeof(LogFileHeader)));
@@ -154,6 +172,10 @@ Status LogManager::FlushTo(Lsn lsn) {
       s = kernel_->Write(log_ino_, file_off, batch);
       if (s.ok()) s = kernel_->Fsync(log_ino_);
       stats_.flushes++;
+      LFSTX_TRACE(env->tracer(), TraceCat::kLog, "log_flush",
+                  {"bytes", static_cast<uint64_t>(batch.size())},
+                  {"base_lsn", base},
+                  {"piggybacked", pending_commits_}, {"ok", s.ok()});
     }
     if (s.ok()) durable_lsn_ = tail_base_;
     flusher_active_ = false;

@@ -39,6 +39,7 @@ class LogManager {
 
   explicit LogManager(Kernel* kernel);
   LogManager(Kernel* kernel, Options options);
+  ~LogManager();
 
   /// Create/open the log file.
   Status Open(const std::string& path);

@@ -11,7 +11,24 @@ LibTp::LibTp(Kernel* kernel, Options options)
       options_(options),
       log_(kernel, options.log),
       pool_(kernel, &log_, options.pool_pages),
-      locks_(kernel->env()) {}
+      locks_(kernel->env()) {
+  MetricsRegistry* m = kernel_->env()->metrics();
+  m->AddGauge(this, "txn.begun", "count", "transactions started",
+              [this] { return static_cast<double>(stats_.begun); });
+  m->AddGauge(this, "txn.committed", "count", "transactions committed",
+              [this] { return static_cast<double>(stats_.committed); });
+  m->AddGauge(this, "txn.aborted", "count", "transactions aborted",
+              [this] { return static_cast<double>(stats_.aborted); });
+  m->AddGauge(this, "txn.deadlocks", "count", "aborts forced by deadlock",
+              [this] { return static_cast<double>(stats_.deadlocks); });
+  m->AddGauge(this, "txn.update_records", "count",
+              "before/after-image log records written",
+              [this] { return static_cast<double>(stats_.update_records); });
+  m->AddGauge(this, "txn.active", "count", "transactions running right now",
+              [this] { return static_cast<double>(active_); });
+}
+
+LibTp::~LibTp() { kernel_->env()->metrics()->DropOwner(this); }
 
 Status LibTp::Open(const std::string& log_path) {
   LFSTX_RETURN_IF_ERROR(log_.Open(log_path));
@@ -32,6 +49,8 @@ Result<TxnId> LibTp::Begin() {
   txns_[id] = TxnState{TxnStatus::kRunning, kNullLsn};
   active_++;
   stats_.begun++;
+  LFSTX_TRACE(kernel_->env()->tracer(), TraceCat::kTxn, "txn_begin",
+              {"txn", id}, {"active", active_});
   return id;
 }
 
@@ -58,6 +77,8 @@ Status LibTp::Commit(TxnId txn) {
   active_--;
   stats_.committed++;
   txns_.erase(it);
+  LFSTX_TRACE(env->tracer(), TraceCat::kTxn, "txn_commit", {"txn", txn},
+              {"commit_lsn", lsn}, {"active", active_});
   if (active_ == 0 &&
       log_.next_lsn() - last_checkpoint_lsn_ >=
           options_.checkpoint_log_bytes) {
@@ -111,6 +132,8 @@ Status LibTp::Abort(TxnId txn) {
   it->second.status = TxnStatus::kAborted;
   active_--;
   stats_.aborted++;
+  LFSTX_TRACE(env->tracer(), TraceCat::kTxn, "txn_abort", {"txn", txn},
+              {"active", active_});
   return Status::OK();
 }
 

@@ -38,6 +38,7 @@ class LibTp {
 
   explicit LibTp(Kernel* kernel);
   LibTp(Kernel* kernel, Options options);
+  ~LibTp();
 
   /// Open the log (creating it if needed) and run restart recovery.
   Status Open(const std::string& log_path);

@@ -10,7 +10,21 @@ namespace {
 thread_local SimProc* tls_current = nullptr;
 }  // namespace
 
-SimEnv::SimEnv(CostModel costs) : costs_(costs) {}
+SimEnv::SimEnv(CostModel costs) : costs_(costs) {
+  metrics_.AddGauge(this, "sim.now_us", "us", "current virtual time",
+                    [this] { return static_cast<double>(now_); });
+  metrics_.AddGauge(this, "sim.context_switches", "count",
+                    "simulated context switches",
+                    [this] { return static_cast<double>(stats_.context_switches); });
+  metrics_.AddGauge(this, "sim.syscalls", "count", "simulated system calls",
+                    [this] { return static_cast<double>(stats_.syscalls); });
+  metrics_.AddGauge(this, "sim.processes_spawned", "count",
+                    "simulated processes created",
+                    [this] { return static_cast<double>(stats_.processes_spawned); });
+  metrics_.AddGauge(this, "sim.cpu_busy_us", "us",
+                    "CPU time charged via Consume",
+                    [this] { return static_cast<double>(stats_.cpu_busy_us); });
+}
 
 SimEnv::~SimEnv() {
   // Drain any processes that were spawned but never run (or daemons still

@@ -22,8 +22,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "sim/clock.h"
 #include "sim/cost_model.h"
+#include "sim/trace.h"
 
 namespace lfstx {
 
@@ -104,6 +106,12 @@ class SimEnv {
   CostModel& mutable_costs() { return costs_; }
   const Stats& stats() const { return stats_; }
 
+  /// Machine-wide metrics registry; subsystems register into it at
+  /// construction (see common/metrics.h for ownership rules).
+  MetricsRegistry* metrics() { return &metrics_; }
+  /// Machine-wide event tracer, stamped with this env's virtual clock.
+  Tracer* tracer() { return &tracer_; }
+
   /// Create a simulated process. Daemons (syncer, cleaner, group-commit)
   /// do not keep the simulation alive: Run() returns once every non-daemon
   /// process has finished, after force-waking daemons with kStopped.
@@ -166,6 +174,10 @@ class SimEnv {
   CostModel costs_;
   SimTime now_ = 0;
   Stats stats_;
+  // Declared after now_ (the tracer reads it) and before the process list,
+  // so subsystems owned by still-running procs never outlive the registry.
+  MetricsRegistry metrics_;
+  Tracer tracer_{&now_};
 
   std::vector<std::unique_ptr<SimProc>> procs_;
   std::deque<SimProc*> runnable_;

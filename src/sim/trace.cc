@@ -1,0 +1,143 @@
+#include "sim/trace.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace lfstx {
+
+namespace {
+
+struct CatName {
+  TraceCat cat;
+  const char* name;
+};
+
+constexpr CatName kCatNames[] = {
+    {TraceCat::kDisk, "disk"},           {TraceCat::kCache, "cache"},
+    {TraceCat::kLfs, "lfs"},             {TraceCat::kCleaner, "cleaner"},
+    {TraceCat::kCheckpoint, "checkpoint"}, {TraceCat::kRecovery, "recovery"},
+    {TraceCat::kTxn, "txn"},             {TraceCat::kLock, "lock"},
+    {TraceCat::kLog, "log"},             {TraceCat::kSync, "sync"},
+};
+
+void AppendEscaped(std::string* out, const char* s) {
+  for (; *s; s++) {
+    char c = *s;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+Tracer::~Tracer() {
+  if (file_ != nullptr) fclose(file_);
+}
+
+const char* Tracer::CategoryName(TraceCat c) {
+  for (const auto& e : kCatNames) {
+    if (e.cat == c) return e.name;
+  }
+  return "?";
+}
+
+Status Tracer::EnableSpec(const std::string& spec) {
+  uint32_t mask = 0;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string tok = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (tok.empty()) continue;
+    if (tok == "all") {
+      mask = kTraceAll;
+      continue;
+    }
+    bool found = false;
+    for (const auto& e : kCatNames) {
+      if (tok == e.name) {
+        mask |= static_cast<uint32_t>(e.cat);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("unknown trace category: " + tok);
+    }
+  }
+  mask_ = mask;
+  return Status::OK();
+}
+
+Status Tracer::OpenFile(const std::string& path) {
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file " + path);
+  }
+  if (file_ != nullptr) fclose(file_);
+  file_ = f;
+  return Status::OK();
+}
+
+void Tracer::Emit(TraceCat c, const char* event,
+                  std::initializer_list<TraceField> fields) {
+  std::string line;
+  line.reserve(128);
+  line += "{\"t\":";
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%llu",
+           static_cast<unsigned long long>(clock_ ? *clock_ : 0));
+  line += buf;
+  line += ",\"cat\":\"";
+  line += CategoryName(c);
+  line += "\",\"ev\":\"";
+  AppendEscaped(&line, event);
+  line += "\"";
+  for (const TraceField& f : fields) {
+    line += ",\"";
+    AppendEscaped(&line, f.key);
+    line += "\":";
+    switch (f.kind) {
+      case TraceField::Kind::kU64:
+        snprintf(buf, sizeof(buf), "%llu",
+                 static_cast<unsigned long long>(f.u));
+        line += buf;
+        break;
+      case TraceField::Kind::kI64:
+        snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(f.i));
+        line += buf;
+        break;
+      case TraceField::Kind::kF64:
+        if (std::isfinite(f.f)) {
+          snprintf(buf, sizeof(buf), "%.6g", f.f);
+        } else {
+          snprintf(buf, sizeof(buf), "0");
+        }
+        line += buf;
+        break;
+      case TraceField::Kind::kStr:
+        line += "\"";
+        AppendEscaped(&line, f.s != nullptr ? f.s : "");
+        line += "\"";
+        break;
+    }
+  }
+  line += "}\n";
+  emitted_++;
+  if (capture_ != nullptr) {
+    *capture_ += line;
+  } else {
+    fwrite(line.data(), 1, line.size(), file_ != nullptr ? file_ : stderr);
+  }
+}
+
+}  // namespace lfstx

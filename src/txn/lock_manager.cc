@@ -4,7 +4,26 @@
 
 namespace lfstx {
 
-LockManager::LockManager(SimEnv* env) : env_(env) {}
+LockManager::LockManager(SimEnv* env, const char* metric_prefix) : env_(env) {
+  std::string p = metric_prefix;
+  MetricsRegistry* m = env_->metrics();
+  wait_hist_ = m->GetHistogram(p + ".wait_us", "us",
+                               "time blocked per lock wait");
+  m->AddGauge(this, p + ".acquisitions", "count", "locks granted",
+              [this] { return static_cast<double>(stats_.acquisitions); });
+  m->AddGauge(this, p + ".waits", "count", "requests that had to block",
+              [this] { return static_cast<double>(stats_.waits); });
+  m->AddGauge(this, p + ".deadlocks", "count",
+              "requests refused as deadlock victims",
+              [this] { return static_cast<double>(stats_.deadlocks); });
+  m->AddGauge(this, p + ".upgrades", "count", "shared -> exclusive upgrades",
+              [this] { return static_cast<double>(stats_.upgrades); });
+  m->AddGauge(this, p + ".locked_objects", "count",
+              "objects locked right now",
+              [this] { return static_cast<double>(table_.size()); });
+}
+
+LockManager::~LockManager() { env_->metrics()->DropOwner(this); }
 
 bool LockManager::Compatible(const Entry& e, TxnId txn, LockMode mode) {
   for (const auto& [holder, held_mode] : e.holders) {
@@ -41,14 +60,22 @@ Status LockManager::Lock(TxnId txn, LockId id, LockMode mode) {
     stats_.upgrades++;
   }
 
+  bool waited = false;
+  SimTime wait_start = 0;
   while (!Compatible(e, txn, mode)) {
     std::vector<TxnId> conflicts = ConflictingHolders(e, txn, mode);
     if (waits_for_.WouldDeadlock(txn, conflicts)) {
       stats_.deadlocks++;
+      LFSTX_TRACE(env_->tracer(), TraceCat::kLock, "deadlock", {"txn", txn},
+                  {"file", id.file}, {"page", id.page});
       return Status::Deadlock("lock wait would deadlock");
     }
     waits_for_.AddWaits(txn, conflicts);
     stats_.waits++;
+    if (!waited) {
+      waited = true;
+      wait_start = env_->Now();
+    }
     if (e.waiters == nullptr) e.waiters = std::make_unique<WaitQueue>(env_);
     e.waiter_count++;
     WakeReason r = e.waiters->Sleep();
@@ -57,6 +84,14 @@ Status LockManager::Lock(TxnId txn, LockId id, LockMode mode) {
     if (r == WakeReason::kStopped) {
       return Status::Busy("simulation stopped during lock wait");
     }
+  }
+  if (waited) {
+    SimTime waited_us = env_->Now() - wait_start;
+    wait_hist_->Add(waited_us);
+    LFSTX_TRACE(env_->tracer(), TraceCat::kLock, "lock_wait", {"txn", txn},
+                {"file", id.file}, {"page", id.page},
+                {"mode", mode == LockMode::kExclusive ? "X" : "S"},
+                {"waited_us", waited_us});
   }
 
   e.holders[txn] = mode;  // grants fresh locks and applies upgrades

@@ -44,7 +44,11 @@ class LockManager {
     uint64_t upgrades = 0;    ///< shared -> exclusive
   };
 
-  explicit LockManager(SimEnv* env);
+  /// `metric_prefix` names this instance's metrics ("lock.waits" etc.);
+  /// when two managers share a machine (fig5 runs LIBTP and the kernel
+  /// table together), the first to register a prefix owns it.
+  explicit LockManager(SimEnv* env, const char* metric_prefix = "lock");
+  ~LockManager();
 
   /// Acquire (or re-acquire / upgrade) a lock. Blocks while incompatible
   /// locks are held; returns kDeadlock if waiting would deadlock — the
@@ -81,6 +85,7 @@ class LockManager {
                                         LockMode mode) const;
 
   SimEnv* env_;
+  MetricHistogram* wait_hist_ = nullptr;  // owned by env's registry
   std::map<LockId, Entry> table_;                       // chained by object
   std::unordered_map<TxnId, std::set<LockId>> by_txn_;  // chained by txn
   WaitsForGraph waits_for_;

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/metrics.h"
+#include "sim/sim_env.h"
+#include "sim/trace.h"
+
+namespace lfstx {
+namespace {
+
+// ------------------------------------------------------------ registry --
+
+TEST(MetricsRegistryTest, CounterRegistrationAndSharing) {
+  MetricsRegistry reg;
+  MetricCounter* c = reg.GetCounter("disk.seeks", "count", "head movements");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value(), 0u);
+  c->Inc();
+  c->Inc(4);
+  EXPECT_EQ(c->value(), 5u);
+
+  // Idempotent: a second caller shares the same instance.
+  MetricCounter* again = reg.GetCounter("disk.seeks", "count", "ignored");
+  EXPECT_EQ(again, c);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(reg.UnitOf("disk.seeks"), "count");
+}
+
+TEST(MetricsRegistryTest, GaugeFirstWinsAndDropOwner) {
+  MetricsRegistry reg;
+  int a = 0, b = 0;
+  reg.AddGauge(&a, "txn.active", "count", "live txns",
+               [] { return 1.0; });
+  // Second registration of the same name is a no-op (fig5 runs two txn
+  // stacks on one machine).
+  reg.AddGauge(&b, "txn.active", "count", "live txns",
+               [] { return 2.0; });
+  EXPECT_EQ(reg.size(), 1u);
+  std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"active\": 1"), std::string::npos);
+
+  // Dropping the loser's owner must not remove the winner's gauge.
+  reg.DropOwner(&b);
+  EXPECT_EQ(reg.size(), 1u);
+  reg.DropOwner(&a);
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(MetricsRegistryTest, HistogramPercentiles) {
+  MetricsRegistry reg;
+  MetricHistogram* h =
+      reg.GetHistogram("disk.request_latency_us", "us", "request latency");
+  for (uint64_t i = 1; i <= 1000; i++) h->Add(i);
+  EXPECT_EQ(h->count(), 1000u);
+  EXPECT_NEAR(h->mean(), 500.5, 0.1);
+  EXPECT_GT(h->Percentile(99), 500.0);
+  EXPECT_LT(h->Percentile(10), 300.0);
+  EXPECT_EQ(h->min(), 1u);
+  EXPECT_GE(h->max(), 1000u);
+}
+
+TEST(MetricsRegistryTest, JsonSnapshotRoundTrip) {
+  MetricsRegistry reg;
+  reg.GetCounter("disk.seeks", "count", "head movements")->Inc(17);
+  reg.GetCounter("cache.hits", "count", "buffer cache hits")->Inc(3);
+  double util = 0.75;
+  reg.AddGauge(&util, "lfs.utilization", "fraction", "live/capacity",
+               [&util] { return util; });
+  reg.GetHistogram("txn.group_commit_batch", "txns", "batch size")->Add(4);
+
+  std::string json = reg.ToJson();
+  // Sections nest by the first dot component.
+  EXPECT_NE(json.find("\"disk\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache\""), std::string::npos);
+  EXPECT_NE(json.find("\"lfs\""), std::string::npos);
+  EXPECT_NE(json.find("\"txn\""), std::string::npos);
+  // Integral values print exactly; gauges keep their fraction.
+  EXPECT_NE(json.find("\"seeks\": 17"), std::string::npos);
+  EXPECT_NE(json.find("\"hits\": 3"), std::string::npos);
+  EXPECT_NE(json.find("0.75"), std::string::npos);
+  // Histograms serialize the documented summary object.
+  EXPECT_NE(json.find("\"group_commit_batch\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  // Valid JSON shape: balanced braces, no trailing comma before a brace.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(json.find(",}"), std::string::npos);
+  EXPECT_EQ(json.find(",\n}"), std::string::npos);
+
+  // Names() lists everything, sorted.
+  std::vector<std::string> names = reg.Names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  reg.DropOwner(&util);
+}
+
+// -------------------------------------------------------------- tracer --
+
+TEST(TracerTest, DisabledCategoriesEmitNothing) {
+  SimTime now = 0;
+  Tracer tracer(&now);
+  std::string sink;
+  tracer.SetCapture(&sink);
+
+  // Nothing enabled: the macro must not evaluate fields or emit.
+  int evaluations = 0;
+  auto count_side_effect = [&evaluations] {
+    evaluations++;
+    return uint64_t{1};
+  };
+  LFSTX_TRACE(&tracer, TraceCat::kDisk, "io_begin",
+              {"block", count_side_effect()});
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_EQ(tracer.events_emitted(), 0u);
+  EXPECT_TRUE(sink.empty());
+
+  // A null tracer is also safe.
+  Tracer* null_tracer = nullptr;
+  LFSTX_TRACE(null_tracer, TraceCat::kDisk, "io_begin", {"block", 1});
+}
+
+TEST(TracerTest, EnabledCategoryEmitsTimestampedJsonl) {
+  SimTime now = 41780;
+  Tracer tracer(&now);
+  std::string sink;
+  tracer.SetCapture(&sink);
+  tracer.Enable(TraceCat::kDisk);
+
+  LFSTX_TRACE(&tracer, TraceCat::kDisk, "io_end", {"op", "read"},
+              {"block", uint64_t{512}}, {"latency_us", 930.5},
+              {"ok", true});
+  // Only the enabled category fires.
+  LFSTX_TRACE(&tracer, TraceCat::kTxn, "txn_begin", {"txn", uint64_t{7}});
+
+  EXPECT_EQ(tracer.events_emitted(), 1u);
+  EXPECT_EQ(sink,
+            "{\"t\":41780,\"cat\":\"disk\",\"ev\":\"io_end\","
+            "\"op\":\"read\",\"block\":512,\"latency_us\":930.5,"
+            "\"ok\":1}\n");
+
+  // The clock is read at emit time.
+  now = 99000;
+  LFSTX_TRACE(&tracer, TraceCat::kDisk, "io_begin", {"block", uint64_t{8}});
+  EXPECT_NE(sink.find("{\"t\":99000,"), std::string::npos);
+}
+
+TEST(TracerTest, EnableSpecParsesCategoryLists) {
+  SimTime now = 0;
+  Tracer tracer(&now);
+
+  ASSERT_TRUE(tracer.EnableSpec("disk,txn,lock").ok());
+  EXPECT_TRUE(tracer.enabled(TraceCat::kDisk));
+  EXPECT_TRUE(tracer.enabled(TraceCat::kTxn));
+  EXPECT_TRUE(tracer.enabled(TraceCat::kLock));
+  EXPECT_FALSE(tracer.enabled(TraceCat::kCleaner));
+
+  tracer.DisableAll();
+  ASSERT_TRUE(tracer.EnableSpec("all").ok());
+  EXPECT_EQ(tracer.mask(), kTraceAll);
+
+  EXPECT_FALSE(tracer.EnableSpec("no_such_category").ok());
+}
+
+TEST(TracerTest, StringFieldsAreEscaped) {
+  SimTime now = 0;
+  Tracer tracer(&now);
+  std::string sink;
+  tracer.SetCapture(&sink);
+  tracer.Enable(TraceCat::kTxn);
+  LFSTX_TRACE(&tracer, TraceCat::kTxn, "note", {"msg", "a\"b\\c\n"});
+  // Quote and backslash get a backslash; control chars become \u00XX.
+  EXPECT_NE(sink.find("a\\\"b\\\\c\\u000a"), std::string::npos);
+}
+
+// ------------------------------------------------------ env integration --
+
+TEST(MetricsRegistryTest, SimEnvRegistersBaseMetrics) {
+  SimEnv env;
+  ASSERT_NE(env.metrics(), nullptr);
+  ASSERT_NE(env.tracer(), nullptr);
+  std::vector<std::string> names = env.metrics()->Names();
+  auto has = [&names](const char* n) {
+    return std::find(names.begin(), names.end(), n) != names.end();
+  };
+  EXPECT_TRUE(has("sim.now_us"));
+  EXPECT_TRUE(has("sim.context_switches"));
+  EXPECT_TRUE(has("sim.syscalls"));
+  // Tracing defaults to off: the hot-path gate reports disabled.
+  EXPECT_FALSE(env.tracer()->enabled(TraceCat::kDisk));
+}
+
+}  // namespace
+}  // namespace lfstx
