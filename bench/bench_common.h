@@ -10,6 +10,9 @@
 //                    into directory D (created if absent)
 //   --trace=SPEC     enable trace categories ("disk,txn", "all")
 //   --trace-file=F   write trace events to F instead of stderr
+//   --fsck           run the full invariant-checker sweep (src/check/)
+//                    after each measured configuration; a dirty sweep
+//                    fails the bench with a nonzero exit
 // Measured quantities are *virtual* (simulated) times; wall-clock run time
 // of the binary is irrelevant.
 #ifndef LFSTX_BENCH_BENCH_COMMON_H_
@@ -22,6 +25,7 @@
 #include <cstring>
 #include <string>
 
+#include "check/registry.h"
 #include "harness/rig.h"
 #include "harness/table.h"
 #include "tpcb/driver.h"
@@ -32,6 +36,7 @@ namespace lfstx {
 struct BenchConfig {
   uint64_t scale = 4;
   uint64_t txns = 0;  // 0 = bench default
+  bool fsck = false;
   std::string metrics_dir;
   std::string trace;
   std::string trace_file;
@@ -49,6 +54,8 @@ struct BenchConfig {
         c.trace = argv[i] + 8;
       } else if (strncmp(argv[i], "--trace-file=", 13) == 0) {
         c.trace_file = argv[i] + 13;
+      } else if (strcmp(argv[i], "--fsck") == 0) {
+        c.fsck = true;
       }
     }
     return c;
@@ -166,6 +173,21 @@ inline TpcbMeasurement MeasureTpcb(Arch arch, const BenchConfig& cfg,
       out.cleaner_busy = rig->machine->cleaner->stats().busy_us;
     }
     out.metrics_json = rig->MetricsJson();
+    if (cfg.fsck) {
+      fprintf(stderr, "[bench] %s: invariant sweep...\n", ArchName(arch));
+      Status synced = rig->machine->fs->SyncAll();
+      if (!synced.ok()) {
+        out.error = synced.ToString();
+        return;
+      }
+      CheckSummary summary = RunAllChecks(*rig);
+      if (!summary.clean()) {
+        out.error = "invariant sweep failed:\n" + summary.ToString();
+        return;
+      }
+      fprintf(stderr, "[bench] %s: sweep clean (%zu checkers)\n",
+              ArchName(arch), summary.reports.size());
+    }
     out.ok = true;
   });
   if (!run_status.ok() && out.error.empty()) {

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "common/check_macros.h"
+
 namespace lfstx {
 
 BufferCache::BufferCache(SimEnv* env, size_t capacity_blocks)
@@ -105,7 +107,8 @@ Status BufferCache::EvictOne() {
       continue;
     }
     if (victim->dirty) {
-      assert(writeback_ != nullptr);
+      LFSTX_CHECK(writeback_ != nullptr,
+                  "dirty eviction with no writeback handler attached");
       LFSTX_TRACE(env_->tracer(), TraceCat::kCache, "dirty_eviction",
                   {"file", victim->key.file}, {"lblock", victim->key.lblock},
                   {"resident", static_cast<uint64_t>(buffers_.size())});
@@ -166,7 +169,8 @@ Buffer* BufferCache::Peek(BufferKey key) {
 }
 
 void BufferCache::Release(Buffer* buf) {
-  assert(buf->pin_count > 0);
+  LFSTX_CHECK(buf->pin_count > 0,
+              "Release without a matching Get/Peek (pin underflow)");
   buf->pin_count--;
 }
 
@@ -181,7 +185,9 @@ void BufferCache::MarkDirty(Buffer* buf) {
 }
 
 void BufferCache::MarkTxnDirty(Buffer* buf, TxnId txn) {
-  assert(txn != kNoTxn);
+  LFSTX_CHECK(txn != kNoTxn,
+              "transaction list needs a real owner (buffers marked with "
+              "kNoTxn would never commit or abort)");
   if (buf->dirty) dirty_count_--;
   buf->txn_dirty = true;
   buf->txn_owner = txn;
@@ -211,7 +217,9 @@ void BufferCache::InvalidateTxnBuffers(TxnId txn) {
   for (auto it = buffers_.begin(); it != buffers_.end();) {
     Buffer* buf = it->second.get();
     if (buf->txn_dirty && buf->txn_owner == txn) {
-      assert(buf->pin_count == 0);
+      LFSTX_CHECK(buf->pin_count == 0,
+                  "aborting transaction's buffer is still pinned — a live "
+                  "reference would survive the invalidation");
       if (buf->dirty) dirty_count_--;
       if (buf->in_lru) lru_.erase(buf->lru_pos);
       it = buffers_.erase(it);
@@ -249,17 +257,107 @@ void BufferCache::DropFile(FileId file, uint64_t from_lblock) {
   auto it = buffers_.lower_bound(BufferKey{file, from_lblock});
   while (it != buffers_.end() && it->first.file == file) {
     Buffer* buf = it->second.get();
-    assert(buf->pin_count == 0 && !buf->txn_dirty && !buf->io_in_progress);
+    LFSTX_CHECK(
+        buf->pin_count == 0 && !buf->txn_dirty && !buf->io_in_progress,
+        "DropFile hit a pinned, transaction, or in-flight buffer — the "
+        "caller must quiesce the file first");
     if (buf->dirty) dirty_count_--;
     if (buf->in_lru) lru_.erase(buf->lru_pos);
     it = buffers_.erase(it);
   }
 }
 
+size_t BufferCache::pinned_count() const {
+  size_t n = 0;
+  for (const auto& [key, buf] : buffers_) {
+    if (buf->pin_count > 0) n++;
+  }
+  return n;
+}
+
+size_t BufferCache::txn_dirty_count() const {
+  size_t n = 0;
+  for (const auto& [key, buf] : buffers_) {
+    if (buf->txn_dirty) n++;
+  }
+  return n;
+}
+
+size_t BufferCache::io_in_progress_count() const {
+  size_t n = 0;
+  for (const auto& [key, buf] : buffers_) {
+    if (buf->io_in_progress) n++;
+  }
+  return n;
+}
+
+std::vector<std::string> BufferCache::CheckInvariants() const {
+  std::vector<std::string> problems;
+  auto problem = [&](std::string p) { problems.push_back(std::move(p)); };
+
+  if (buffers_.size() > capacity_) {
+    problem("resident " + std::to_string(buffers_.size()) +
+            " buffers exceed capacity " + std::to_string(capacity_));
+  }
+  // Every frame the map owns must be on the LRU list exactly once, with a
+  // self-consistent back-pointer, and the accounting counters must match a
+  // full recount.
+  size_t in_lru = 0;
+  size_t dirty = 0;
+  for (const auto& [key, buf] : buffers_) {
+    std::string who = "buffer (file " + std::to_string(key.file) +
+                      ", lblock " + std::to_string(key.lblock) + ")";
+    if (!(buf->key == key)) {
+      problem(who + " is keyed under a different map slot");
+    }
+    if (buf->pin_count < 0) {
+      problem(who + " has negative pin count " +
+              std::to_string(buf->pin_count));
+    }
+    if (buf->in_lru) {
+      in_lru++;
+      if (*buf->lru_pos != buf.get()) {
+        problem(who + " LRU back-pointer does not point at itself");
+      }
+    } else {
+      problem(who + " is resident but not on the LRU list");
+    }
+    if (buf->dirty) dirty++;
+    if (buf->dirty && buf->txn_dirty) {
+      problem(who + " is on both the dirty and the transaction list");
+    }
+    if (buf->txn_dirty && buf->txn_owner == kNoTxn) {
+      problem(who + " is transaction-dirty but owned by no transaction");
+    }
+    if (!buf->txn_dirty && buf->txn_owner != kNoTxn) {
+      problem(who + " carries stale transaction owner " +
+              std::to_string(buf->txn_owner));
+    }
+  }
+  if (lru_.size() != in_lru || lru_.size() != buffers_.size()) {
+    problem("LRU list has " + std::to_string(lru_.size()) +
+            " entries, map has " + std::to_string(buffers_.size()));
+  }
+  for (Buffer* buf : lru_) {
+    auto it = buffers_.find(buf->key);
+    if (it == buffers_.end() || it->second.get() != buf) {
+      problem("LRU entry (file " + std::to_string(buf->key.file) +
+              ", lblock " + std::to_string(buf->key.lblock) +
+              ") is not resident in the map");
+    }
+  }
+  if (dirty != dirty_count_) {
+    problem("dirty_count says " + std::to_string(dirty_count_) +
+            ", recount says " + std::to_string(dirty));
+  }
+  return problems;
+}
+
 void BufferCache::Clear() {
   for (auto& [key, buf] : buffers_) {
-    assert(buf->pin_count == 0 && !buf->dirty && !buf->txn_dirty);
-    (void)buf;
+    LFSTX_CHECK(buf->pin_count == 0 && !buf->dirty && !buf->txn_dirty,
+                "Clear would discard a pinned or unwritten buffer — the "
+                "caller must SyncAll first");
   }
   buffers_.clear();
   lru_.clear();

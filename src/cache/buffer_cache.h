@@ -18,6 +18,7 @@
 #include <list>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -125,6 +126,19 @@ class BufferCache {
   };
   const Stats& stats() const { return stats_; }
   size_t dirty_count() const { return dirty_count_; }
+
+  /// Instantaneous census used by the quiesce-point checkers (CheckBufferCache
+  /// and CheckTxn in src/check/): none of these may be nonzero at a true
+  /// quiescent point except after explicit pinning by the caller.
+  size_t pinned_count() const;
+  size_t txn_dirty_count() const;
+  size_t io_in_progress_count() const;
+
+  /// Deep structural self-check: LRU list ↔ hash map coherence, pin-count
+  /// sanity, dirty accounting. Returns one message per violated invariant;
+  /// empty means structurally sound. Cheap enough to run after every test
+  /// round (O(resident buffers)).
+  std::vector<std::string> CheckInvariants() const;
 
   /// While the counter is nonzero, eviction only reclaims clean frames
   /// (never calls the WritebackHandler). The LFS segment writer and the

@@ -1,0 +1,54 @@
+// CheckLocks: both lock managers a machine may carry — LIBTP's
+// shared-memory instance and the embedded kernel lock table. Structure
+// (object-chain ↔ transaction-chain coherence, waits-for acyclicity)
+// comes from LockManager::CheckInvariants; on top, at a quiescent point
+// with no live transactions, nothing may still hold a lock and nobody
+// may still be queued — a leaked lock is exactly the commit/abort-path
+// bug the paper's "traverse the lock chain and release" design invites.
+#include "check/checkers.h"
+#include "harness/table.h"
+#include "txn/lock_manager.h"
+
+namespace lfstx {
+
+namespace {
+
+void CheckOne(const CheckContext& ctx, const LockManager* lm,
+              const char* which, CheckReport* report) {
+  if (lm == nullptr) return;
+  for (std::string& p : lm->CheckInvariants()) {
+    report->Problem(Fmt("%s: %s", which, p.c_str()));
+  }
+  if (ctx.expect_no_locks) {
+    if (lm->txns_with_locks() != 0) {
+      report->Problem(Fmt("%s: %zu transactions still hold locks after "
+                          "quiesce", which, lm->txns_with_locks()));
+    }
+    if (lm->total_waiters() != 0) {
+      report->Problem(Fmt("%s: %zu lock requests still waiting after "
+                          "quiesce", which, lm->total_waiters()));
+    }
+    if (lm->waits_for_edges() != 0) {
+      report->Problem(Fmt("%s: %zu leaked waits-for edges after quiesce",
+                          which, lm->waits_for_edges()));
+    }
+  }
+  report->Counter("locked_objects") += lm->locked_objects();
+  report->Counter("waiters") += lm->total_waiters();
+  report->Counter("managers") += 1;
+}
+
+}  // namespace
+
+Result<CheckReport> CheckLocks(const CheckContext& ctx) {
+  CheckReport report;
+  if (ctx.user_locks == nullptr && ctx.kernel_locks == nullptr) {
+    report.Counter("skipped") = 1;
+    return report;
+  }
+  CheckOne(ctx, ctx.user_locks, "user", &report);
+  CheckOne(ctx, ctx.kernel_locks, "kernel", &report);
+  return report;
+}
+
+}  // namespace lfstx

@@ -1,0 +1,57 @@
+// CheckTxn: no transaction outlives its lifecycle. At a quiescent point
+// every transaction either committed or aborted, so both managers' live
+// counts (states Running/Committing/Aborting) must be zero, and the
+// cumulative stats must balance: begun == committed + aborted.
+#include "check/checkers.h"
+#include "embedded/kernel_txn.h"
+#include "harness/table.h"
+#include "libtp/txn_manager.h"
+
+namespace lfstx {
+
+Result<CheckReport> CheckTxn(const CheckContext& ctx) {
+  CheckReport report;
+  if (ctx.libtp == nullptr && ctx.etm == nullptr) {
+    report.Counter("skipped") = 1;
+    return report;
+  }
+  if (ctx.libtp != nullptr) {
+    const size_t live = ctx.libtp->live_txn_count();
+    if (ctx.expect_no_txns && live != 0) {
+      report.Problem(Fmt("user: %zu transactions still live after quiesce",
+                         live));
+    }
+    const LibTp::Stats& s = ctx.libtp->stats();
+    if (s.begun != s.committed + s.aborted + live) {
+      report.Problem(Fmt("user: %llu begun != %llu committed + %llu "
+                         "aborted + %zu live",
+                         (unsigned long long)s.begun,
+                         (unsigned long long)s.committed,
+                         (unsigned long long)s.aborted, live));
+    }
+    report.Counter("user_live") = live;
+    report.Counter("user_committed") = s.committed;
+    report.Counter("user_aborted") = s.aborted;
+  }
+  if (ctx.etm != nullptr) {
+    const size_t live = ctx.etm->live_txn_count();
+    if (ctx.expect_no_txns && live != 0) {
+      report.Problem(Fmt("kernel: %zu transactions still live after "
+                         "quiesce", live));
+    }
+    const EmbeddedTxnManager::Stats& s = ctx.etm->stats();
+    if (s.begun != s.committed + s.aborted + live) {
+      report.Problem(Fmt("kernel: %llu begun != %llu committed + %llu "
+                         "aborted + %zu live",
+                         (unsigned long long)s.begun,
+                         (unsigned long long)s.committed,
+                         (unsigned long long)s.aborted, live));
+    }
+    report.Counter("kernel_live") = live;
+    report.Counter("kernel_committed") = s.committed;
+    report.Counter("kernel_aborted") = s.aborted;
+  }
+  return report;
+}
+
+}  // namespace lfstx

@@ -1,0 +1,80 @@
+// The cross-subsystem invariant checkers (ROADMAP: correctness tooling).
+//
+// Each checker walks one subsystem at a *quiescent point* — no simulated
+// process mid-operation, daemons parked — and verifies the deep structural
+// invariants that the normal code paths only maintain incrementally:
+//
+//   lfs    segment-area block accounting, imap/inode cross-check, usage
+//          table recount (wraps the long-standing CheckLfs fsck walker)
+//   ffs    allocation bitmap vs. blocks reachable from in-use inodes,
+//          leaked used bits, free-count recount, directory graph walk
+//   cache  LRU list ↔ buffer map coherence, pin counts, dirty accounting
+//   locks  object-chain ↔ transaction-chain coherence, waits-for
+//          acyclicity, no leaked locks or waiters after quiesce
+//   log    full checksum sweep of the retained WAL, LSN monotonicity,
+//          epoch and per-transaction backchain integrity
+//   txn    no transaction still live in either manager
+//
+// A checker that has nothing to look at (its subsystem pointer is null)
+// returns a clean report with Counter("skipped") == 1, so a CheckSummary
+// always carries one report per registered checker.
+//
+// Context-dependent expectations (is the cache allowed to hold dirty
+// buffers here? may locks still be held?) are flags on CheckContext —
+// the *caller* knows what kind of quiescent point this is.
+#ifndef LFSTX_CHECK_CHECKERS_H_
+#define LFSTX_CHECK_CHECKERS_H_
+
+#include "check/report.h"
+#include "common/status.h"
+
+namespace lfstx {
+
+class SimEnv;
+class BufferCache;
+class Lfs;
+class Ffs;
+class LockManager;
+class LogManager;
+class LibTp;
+class EmbeddedTxnManager;
+
+/// \brief Everything a checker may look at, plus what the caller promises
+/// about this quiescent point. Null subsystem pointers mean "not present
+/// on this machine" and the corresponding checker reports skipped.
+struct CheckContext {
+  SimEnv* env = nullptr;    ///< for trace/metrics emission (may be null)
+  BufferCache* cache = nullptr;
+  Lfs* lfs = nullptr;       ///< exactly one of lfs/ffs is set per machine
+  Ffs* ffs = nullptr;
+  const LockManager* user_locks = nullptr;    ///< LIBTP's lock manager
+  const LockManager* kernel_locks = nullptr;  ///< embedded kernel table
+  LogManager* log = nullptr;                  ///< LIBTP WAL (reads records)
+  const LibTp* libtp = nullptr;
+  const EmbeddedTxnManager* etm = nullptr;
+
+  // -- what the caller promises about this quiescent point --
+  /// No buffer may be dirty (caller just ran SyncAll / sync daemon).
+  bool expect_clean_cache = false;
+  /// No buffer may be pinned (no operation in flight).
+  bool expect_no_pins = true;
+  /// No transaction may be live, so no txn-dirty buffers either.
+  bool expect_no_txns = true;
+  /// No lock may be held and nobody may be waiting.
+  bool expect_no_locks = true;
+};
+
+// The individual checkers. Each returns a CheckReport named after itself;
+// an error Status means the checker could not run at all (I/O failure),
+// which RunAll converts into a problem on a synthetic report.
+Result<CheckReport> CheckFfsStructure(const CheckContext& ctx);
+Result<CheckReport> CheckBufferCache(const CheckContext& ctx);
+Result<CheckReport> CheckLocks(const CheckContext& ctx);
+Result<CheckReport> CheckLog(const CheckContext& ctx);
+Result<CheckReport> CheckTxn(const CheckContext& ctx);
+/// Wraps lfs/fsck.h's CheckLfs behind the common signature.
+Result<CheckReport> CheckLfsStructure(const CheckContext& ctx);
+
+}  // namespace lfstx
+
+#endif  // LFSTX_CHECK_CHECKERS_H_

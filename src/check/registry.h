@@ -1,0 +1,73 @@
+// CheckRegistry: the named collection of invariant checkers and the
+// RunAllChecks entry points that tests, fsck-style tools, and the bench
+// binaries' --fsck flag call at quiescent points.
+//
+// Results flow through the observability layer: each checker run emits a
+// TraceCat::kCheck event and bumps the "check.runs" / "check.problems"
+// counters in the machine's metrics registry, so a trace of a failing run
+// shows exactly which sweep found what, stamped with virtual time.
+#ifndef LFSTX_CHECK_REGISTRY_H_
+#define LFSTX_CHECK_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "check/checkers.h"
+
+namespace lfstx {
+
+struct Machine;
+struct ArchRig;
+
+/// \brief Ordered registry of invariant checkers.
+class CheckRegistry {
+ public:
+  using CheckFn = Result<CheckReport> (*)(const CheckContext&);
+
+  /// Appends a checker. `name` overrides the report's checker field so a
+  /// registry can carry two parameterizations of one function.
+  void Register(const std::string& name, CheckFn fn);
+
+  /// Runs every registered checker in order. A checker returning an error
+  /// Status is converted into a failed report (the sweep never aborts
+  /// early — later checkers still run). Emits trace events and metrics
+  /// through ctx.env when it is set.
+  CheckSummary RunAll(const CheckContext& ctx) const;
+
+  size_t size() const { return checks_.size(); }
+
+  /// The registry with all built-in checkers, in dependency-friendly
+  /// order: lfs, ffs, cache, locks, log, txn.
+  static const CheckRegistry& Default();
+
+ private:
+  struct Entry {
+    std::string name;
+    CheckFn fn;
+  };
+  std::vector<Entry> checks_;
+};
+
+/// Build a CheckContext for a machine: file system (whichever of LFS/FFS
+/// it runs), cache, and — when an embedded transaction manager is
+/// attached — its kernel lock table. Expectation flags are left at their
+/// conservative defaults; tweak them before calling RunAllChecks when the
+/// quiescent point is weaker (e.g. cache not yet synced).
+CheckContext MakeCheckContext(Machine& m);
+
+/// Build a CheckContext for a full architecture rig: the machine plus —
+/// when the rig runs LIBTP — its lock manager, WAL, and transaction
+/// manager.
+CheckContext MakeCheckContext(ArchRig& rig);
+
+/// Run the default registry against an explicit context.
+CheckSummary RunAllChecks(const CheckContext& ctx);
+
+/// Convenience: MakeCheckContext(m) + RunAllChecks. The standard
+/// after-sync hook for tier-1 tests and bench binaries.
+CheckSummary RunAllChecks(Machine& m);
+CheckSummary RunAllChecks(ArchRig& rig);
+
+}  // namespace lfstx
+
+#endif  // LFSTX_CHECK_REGISTRY_H_

@@ -1,0 +1,34 @@
+#include "check/report.h"
+
+#include "harness/table.h"
+
+namespace lfstx {
+
+std::string CheckReport::ToString() const {
+  std::string out = checker.empty() ? "check" : checker;
+  out += clean ? ": CLEAN" : ": INCONSISTENT";
+  if (!counters.empty()) {
+    out += " —";
+    for (const auto& [name, value] : counters) {
+      out += Fmt(" %s=%llu", name.c_str(), (unsigned long long)value);
+    }
+  }
+  out += "\n";
+  for (const auto& p : problems) {
+    out += "  ! " + p + "\n";
+  }
+  return out;
+}
+
+std::string CheckSummary::ToString() const {
+  std::string out =
+      Fmt("RunAllChecks: %s (%zu checkers, %zu problems)\n",
+          clean() ? "CLEAN" : "INCONSISTENT", reports.size(),
+          problem_count());
+  for (const auto& r : reports) {
+    out += r.ToString();
+  }
+  return out;
+}
+
+}  // namespace lfstx

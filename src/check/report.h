@@ -1,0 +1,61 @@
+// The common result type of every structural invariant checker.
+//
+// A checker walks one subsystem at a quiescent point and records each
+// violated invariant as a human-readable problem string, plus whatever
+// counters describe the ground it covered ("files", "mapped_blocks",
+// "log_records", ...). A clean report with zero counters usually means the
+// checker had nothing to look at — read the counters, not just the flag.
+#ifndef LFSTX_CHECK_REPORT_H_
+#define LFSTX_CHECK_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lfstx {
+
+/// \brief Result of one checker run.
+struct CheckReport {
+  std::string checker;  ///< registry name ("lfs", "ffs", "cache", ...)
+  bool clean = true;
+  std::vector<std::string> problems;
+  /// What the checker covered, e.g. {"files": 12, "mapped_blocks": 96}.
+  std::map<std::string, uint64_t> counters;
+
+  void Problem(std::string p) {
+    clean = false;
+    problems.push_back(std::move(p));
+  }
+  uint64_t& Counter(const std::string& name) { return counters[name]; }
+  uint64_t CounterOr(const std::string& name, uint64_t fallback = 0) const {
+    auto it = counters.find(name);
+    return it != counters.end() ? it->second : fallback;
+  }
+
+  /// "lfs: CLEAN — files=3 directories=1 ..." plus one "  ! ..." line per
+  /// problem.
+  std::string ToString() const;
+};
+
+/// \brief Aggregate of a full RunAllChecks sweep.
+struct CheckSummary {
+  std::vector<CheckReport> reports;
+
+  bool clean() const {
+    for (const auto& r : reports) {
+      if (!r.clean) return false;
+    }
+    return true;
+  }
+  size_t problem_count() const {
+    size_t n = 0;
+    for (const auto& r : reports) n += r.problems.size();
+    return n;
+  }
+  std::string ToString() const;
+};
+
+}  // namespace lfstx
+
+#endif  // LFSTX_CHECK_REPORT_H_

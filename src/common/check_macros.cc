@@ -1,0 +1,35 @@
+#include "common/check_macros.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace lfstx {
+
+namespace {
+const uint64_t* g_check_clock = nullptr;
+
+/// "src/cache/buffer_cache.cc" -> "cache/buffer_cache.cc": the subsystem
+/// directory plus file is the useful part of a __FILE__ path.
+const char* SubsystemPath(const char* file) {
+  const char* marker = strstr(file, "src/");
+  return marker != nullptr ? marker + 4 : file;
+}
+}  // namespace
+
+void SetCheckClock(const uint64_t* now) { g_check_clock = now; }
+
+void ClearCheckClock(const uint64_t* now) {
+  if (g_check_clock == now) g_check_clock = nullptr;
+}
+
+void CheckFailed(const char* file, int line, const char* cond,
+                 const char* msg) {
+  unsigned long long t = g_check_clock != nullptr ? *g_check_clock : 0;
+  fprintf(stderr, "[LFSTX_CHECK] %s:%d t=%lluus — %s: %s\n",
+          SubsystemPath(file), line, t, cond, msg);
+  fflush(stderr);
+  abort();
+}
+
+}  // namespace lfstx

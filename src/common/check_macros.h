@@ -1,0 +1,44 @@
+// Hard runtime assertions for safety-critical invariants.
+//
+// LFSTX_CHECK stays enabled in every build type (unlike <cassert>, which
+// release builds compile out) and aborts with the failing subsystem and the
+// *virtual-clock* timestamp, so a violation in a deterministic simulation
+// run pinpoints the exact simulated instant to replay up to. The clock is
+// registered by SimEnv at construction; before any environment exists the
+// timestamp prints as 0.
+//
+// Use it for invariants whose violation means in-memory state is already
+// corrupt and continuing would write that corruption to "disk" — pin-count
+// underflow, segment state machine violations, inode-map bounds. Keep plain
+// assert() for cheap sanity checks on hot paths where the sanitized/debug
+// build coverage is enough.
+#ifndef LFSTX_COMMON_CHECK_MACROS_H_
+#define LFSTX_COMMON_CHECK_MACROS_H_
+
+#include <cstdint>
+
+namespace lfstx {
+
+/// Registers the virtual-clock word stamped into check failures. SimEnv
+/// calls this with &now_ at construction and clears it at destruction.
+void SetCheckClock(const uint64_t* now);
+/// Clears the clock only if `now` is still the registered one (so a
+/// shorter-lived env destructed out of order cannot null a live clock).
+void ClearCheckClock(const uint64_t* now);
+
+/// Prints "[LFSTX_CHECK] <file>:<line> t=<virtual us> — <cond>: <msg>" to
+/// stderr and aborts.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* cond,
+                              const char* msg);
+
+}  // namespace lfstx
+
+/// Abort-on-violation invariant check; always on, in every build type.
+#define LFSTX_CHECK(cond, msg)                                          \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::lfstx::CheckFailed(__FILE__, __LINE__, #cond, (msg));           \
+    }                                                                   \
+  } while (0)
+
+#endif  // LFSTX_COMMON_CHECK_MACROS_H_

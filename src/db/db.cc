@@ -92,21 +92,17 @@ Result<PageRef> EmbeddedBackend::GetPage(uint32_t file_ref, uint64_t pageno,
                                          TxnId txn, LockMode mode) {
   (void)txn;
   (void)mode;  // the kernel locks inside the read()/write() path
-  auto* buf = new char[kBlockSize];
-  memset(buf, 0, kBlockSize);
+  auto buf = std::make_unique<char[]>(kBlockSize);  // value-initialized
   if (pageno < files_[file_ref].pages) {
     auto n = kernel_->Read(files_[file_ref].ino, pageno * kBlockSize,
-                           kBlockSize, buf);
-    if (!n.ok()) {
-      delete[] buf;
-      return n.status();
-    }
+                           kBlockSize, buf.get());
+    LFSTX_RETURN_IF_ERROR(n.status());
   }
   PageRef ref;
-  ref.data = buf;
   ref.file_ref = file_ref;
   ref.pageno = pageno;
-  ref.impl = buf;
+  ref.impl = buf.release();  // PutPage re-wraps and frees
+  ref.data = static_cast<char*>(ref.impl);
   return ref;
 }
 

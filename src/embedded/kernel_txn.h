@@ -56,6 +56,19 @@ class EmbeddedTxnManager : public TxnHooks {
   /// Transaction of the calling process (kNoTxn if none).
   TxnId CurrentTxn() const;
   uint32_t active_count() const { return active_; }
+  /// Per-process transaction slots still in Running/Committing/Aborting
+  /// (CheckTxn: must be zero at any quiescent point).
+  size_t live_txn_count() const {
+    size_t n = 0;
+    for (const auto& [proc, st] : by_proc_) {
+      if (st.status == TxnStatus::kRunning ||
+          st.status == TxnStatus::kCommitting ||
+          st.status == TxnStatus::kAborting) {
+        n++;
+      }
+    }
+    return n;
+  }
   KernelLockTable* lock_table() { return &locks_; }
   GroupCommit* group_commit() { return &gc_; }
   const Stats& stats() const { return stats_; }

@@ -28,6 +28,8 @@ class KernelLockTable {
   std::vector<LockId> Held(TxnId txn) const { return lm_.Held(txn); }
   const LockManager::Stats& stats() const { return lm_.stats(); }
   size_t locked_objects() const { return lm_.locked_objects(); }
+  /// Underlying core, exposed for the CheckLocks invariant checker.
+  const LockManager* manager() const { return &lm_; }
 
  private:
   LockManager lm_;

@@ -44,6 +44,17 @@ class Ffs : public FsCore {
 
   uint64_t free_blocks() const { return bitmap_.free_count(); }
 
+  // Layout introspection for the CheckFfs invariant checker (src/check/):
+  // lets an external walker cross-check the allocation bitmap against the
+  // blocks actually reachable from inodes.
+  const BlockBitmap& bitmap() const { return bitmap_; }
+  uint64_t data_start() const { return sb_.data_start; }
+  uint64_t total_blocks() const { return sb_.total_blocks; }
+  uint32_t max_inodes() const { return sb_.max_inodes; }
+  bool inode_in_use(InodeNum inum) const {
+    return inum < inode_used_.size() && inode_used_[inum];
+  }
+
  protected:
   Status LoadInode(InodeNum inum, DiskInode* out) override;
   Result<InodeNum> AllocInodeNum() override;

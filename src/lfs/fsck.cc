@@ -9,19 +9,10 @@
 
 namespace lfstx {
 
-std::string FsckReport::ToString() const {
-  std::string out = Fmt(
-      "fsck: %s — %llu files, %llu directories, %llu mapped blocks\n",
-      clean ? "CLEAN" : "INCONSISTENT", (unsigned long long)files,
-      (unsigned long long)directories, (unsigned long long)mapped_blocks);
-  for (const auto& p : problems) {
-    out += "  ! " + p + "\n";
-  }
-  return out;
-}
-
-Result<FsckReport> CheckLfs(Lfs* fs) {
-  FsckReport report;
+Result<CheckReport> CheckLfs(Lfs* fs) {
+  CheckReport report;
+  report.checker = "lfs";
+  uint64_t files = 0, directories = 0, mapped_blocks = 0;
   SimDisk* disk = fs->disk();
   const InodeMap& imap = fs->imap();
   const SegmentUsage& usage = fs->usage();
@@ -51,7 +42,7 @@ Result<FsckReport> CheckLfs(Lfs* fs) {
       return;
     }
     live[seg_of(a)]++;
-    report.mapped_blocks++;
+    mapped_blocks++;
   };
 
   std::map<BlockAddr, uint32_t> inode_block_claims;
@@ -84,9 +75,9 @@ Result<FsckReport> CheckLfs(Lfs* fs) {
                          d.version, e.version));
     }
     if (d.file_type() == FileType::kDirectory) {
-      report.directories++;
+      directories++;
     } else {
-      report.files++;
+      files++;
     }
 
     uint64_t nblocks = d.size_blocks();
@@ -190,6 +181,9 @@ Result<FsckReport> CheckLfs(Lfs* fs) {
     }
   }
 
+  report.Counter("files") = files;
+  report.Counter("directories") = directories;
+  report.Counter("mapped_blocks") = mapped_blocks;
   return report;
 }
 

@@ -1,40 +1,26 @@
-// Offline consistency checker for the log-structured file system — the
-// kind of tool a real release ships. Walks the checkpoint, inode map,
-// every inode and its block map, and cross-checks:
+// Deep consistency checker for the log-structured file system — the kind
+// of tool a real release ships. Walks the checkpoint, inode map, every
+// inode and its block map, and cross-checks:
 //   * every mapped block address lands inside the segment area;
 //   * no two mappings claim the same disk block;
 //   * the segment usage table's live counts match a full recount;
 //   * every imap entry points at a block that really contains that inode
 //     at the recorded version;
 //   * directory entries reference live inodes.
+//
+// Registered as the "lfs" checker in check/registry.cc; callable directly
+// when only an Lfs is at hand. Counters: files, directories, mapped_blocks.
 #ifndef LFSTX_LFS_FSCK_H_
 #define LFSTX_LFS_FSCK_H_
 
-#include <string>
-#include <vector>
-
+#include "check/report.h"
 #include "lfs/lfs.h"
 
 namespace lfstx {
 
-/// \brief Result of a consistency check.
-struct FsckReport {
-  bool clean = true;
-  std::vector<std::string> problems;
-  uint64_t files = 0;
-  uint64_t directories = 0;
-  uint64_t mapped_blocks = 0;
-
-  void Problem(std::string p) {
-    clean = false;
-    problems.push_back(std::move(p));
-  }
-  std::string ToString() const;
-};
-
 /// Run the checker against a *mounted, quiescent* file system (all dirty
 /// state flushed; typically right after Mount or SyncAll + Checkpoint).
-Result<FsckReport> CheckLfs(Lfs* fs);
+Result<CheckReport> CheckLfs(Lfs* fs);
 
 }  // namespace lfstx
 

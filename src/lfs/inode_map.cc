@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "common/check_macros.h"
+
 namespace lfstx {
 
 InodeMap::InodeMap(uint32_t max_inodes)
@@ -19,7 +21,8 @@ const ImapEntry& InodeMap::Get(InodeNum inum) const {
 
 BlockAddr InodeMap::Set(InodeNum inum, BlockAddr inode_addr,
                         uint32_t version) {
-  assert(inum != kInvalidInode && inum <= max_inodes_);
+  LFSTX_CHECK(inum != kInvalidInode && inum <= max_inodes_,
+              "imap update for an out-of-range inode number");
   BlockAddr prev = entries_[inum].inode_addr;
   entries_[inum].inode_addr = inode_addr;
   entries_[inum].version = version;
@@ -29,7 +32,8 @@ BlockAddr InodeMap::Set(InodeNum inum, BlockAddr inode_addr,
 }
 
 BlockAddr InodeMap::Free(InodeNum inum) {
-  assert(inum != kInvalidInode && inum <= max_inodes_);
+  LFSTX_CHECK(inum != kInvalidInode && inum <= max_inodes_,
+              "imap free for an out-of-range inode number");
   BlockAddr prev = entries_[inum].inode_addr;
   entries_[inum].inode_addr = 0;
   entries_[inum].version++;

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "common/check_macros.h"
+
 namespace lfstx {
 
 SegmentUsage::SegmentUsage(uint32_t nsegments)
@@ -23,7 +25,8 @@ void SegmentUsage::DecLive(uint32_t seg, uint32_t blocks) {
 }
 
 uint32_t SegmentUsage::Activate(uint32_t seg) {
-  assert(entries_[seg].state == SegState::kClean);
+  LFSTX_CHECK(entries_[seg].state == SegState::kClean,
+              "activating a non-clean segment would overwrite live data");
   entries_[seg].state = SegState::kActive;
   entries_[seg].generation++;
   entries_[seg].live = 0;
@@ -37,8 +40,11 @@ void SegmentUsage::Retire(uint32_t seg) {
 }
 
 void SegmentUsage::MarkClean(uint32_t seg) {
-  assert(entries_[seg].state == SegState::kDirty);
-  assert(entries_[seg].live == 0);
+  LFSTX_CHECK(entries_[seg].state == SegState::kDirty,
+              "only a retired (dirty) segment can be marked clean");
+  LFSTX_CHECK(entries_[seg].live == 0,
+              "marking a segment clean while it still holds live blocks "
+              "would let the segment writer destroy them");
   entries_[seg].state = SegState::kClean;
   clean_count_++;
 }

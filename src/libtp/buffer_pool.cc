@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "common/check_macros.h"
+
 namespace lfstx {
 
 Lsn DbPage::lsn() const {
@@ -153,7 +155,8 @@ Result<DbPage*> BufferPool::Get(uint32_t file_ref, uint64_t pageno,
 void BufferPool::Release(DbPage* page) {
   SimEnv* env = kernel_->env();
   env->LatchOp();
-  assert(page->pins > 0);
+  LFSTX_CHECK(page->pins > 0,
+              "Release without a matching GetPage (pin underflow)");
   page->pins--;
   if (page->pins == 0 && !page->dirty) page->snapshot.reset();
   env->LatchOp();
@@ -162,7 +165,8 @@ void BufferPool::Release(DbPage* page) {
 void BufferPool::ReleaseDirty(DbPage* page) {
   SimEnv* env = kernel_->env();
   env->LatchOp();
-  assert(page->pins > 0);
+  LFSTX_CHECK(page->pins > 0,
+              "ReleaseDirty without a matching GetPage (pin underflow)");
   page->pins--;
   page->dirty = true;
   env->LatchOp();

@@ -67,6 +67,9 @@ class LogManager {
 
   Lsn next_lsn() const { return next_lsn_; }
   Lsn durable_lsn() const { return durable_lsn_; }
+  /// LSN of the first retained record (truncation point).
+  Lsn base_lsn() const { return base_lsn_; }
+  uint32_t epoch() const { return epoch_; }
   const Stats& stats() const { return stats_; }
 
  private:

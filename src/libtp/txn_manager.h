@@ -74,6 +74,19 @@ class LibTp {
   Kernel* kernel() { return kernel_; }
   const Stats& stats() const { return stats_; }
   uint32_t active_count() const { return active_; }
+  /// Transactions still in Running/Committing/Aborting (CheckTxn: must be
+  /// zero at any quiescent point).
+  size_t live_txn_count() const {
+    size_t n = 0;
+    for (const auto& [id, st] : txns_) {
+      if (st.status == TxnStatus::kRunning ||
+          st.status == TxnStatus::kCommitting ||
+          st.status == TxnStatus::kAborting) {
+        n++;
+      }
+    }
+    return n;
+  }
 
  private:
   struct TxnState {

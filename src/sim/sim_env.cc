@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/check_macros.h"
+
 namespace lfstx {
 
 namespace {
@@ -11,6 +13,7 @@ thread_local SimProc* tls_current = nullptr;
 }  // namespace
 
 SimEnv::SimEnv(CostModel costs) : costs_(costs) {
+  SetCheckClock(&now_);
   metrics_.AddGauge(this, "sim.now_us", "us", "current virtual time",
                     [this] { return static_cast<double>(now_); });
   metrics_.AddGauge(this, "sim.context_switches", "count",
@@ -35,6 +38,7 @@ SimEnv::~SimEnv() {
   for (auto& p : procs_) {
     if (p->thread_.joinable()) p->thread_.join();
   }
+  ClearCheckClock(&now_);
 }
 
 SimProc* SimEnv::Current() { return tls_current; }

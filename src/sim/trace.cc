@@ -18,6 +18,7 @@ constexpr CatName kCatNames[] = {
     {TraceCat::kCheckpoint, "checkpoint"}, {TraceCat::kRecovery, "recovery"},
     {TraceCat::kTxn, "txn"},             {TraceCat::kLock, "lock"},
     {TraceCat::kLog, "log"},             {TraceCat::kSync, "sync"},
+    {TraceCat::kCheck, "check"},
 };
 
 void AppendEscaped(std::string* out, const char* s) {

@@ -39,9 +39,10 @@ enum class TraceCat : uint32_t {
   kLock = 1u << 7,        ///< lock waits and deadlocks
   kLog = 1u << 8,         ///< LIBTP log flushes / truncation
   kSync = 1u << 9,        ///< sync-daemon rounds
+  kCheck = 1u << 10,      ///< invariant-checker runs and failures
 };
 
-constexpr uint32_t kTraceAll = (1u << 10) - 1;
+constexpr uint32_t kTraceAll = (1u << 11) - 1;
 
 /// One key/value in a trace event. Implicit constructors let call sites
 /// write `{"block", addr}, {"op", "read"}`.

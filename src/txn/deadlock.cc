@@ -45,4 +45,15 @@ size_t WaitsForGraph::edge_count() const {
   return n;
 }
 
+bool WaitsForGraph::HasCycle() const {
+  // A cycle exists iff some node reaches itself through at least one edge.
+  for (const auto& [waiter, targets] : waits_) {
+    for (TxnId target : targets) {
+      std::set<TxnId> seen;
+      if (Reaches(target, waiter, &seen)) return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace lfstx

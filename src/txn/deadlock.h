@@ -26,6 +26,11 @@ class WaitsForGraph {
 
   size_t edge_count() const;
 
+  /// True if the graph currently contains a waits-for cycle. Deadlock
+  /// prevention in Lock() makes this unreachable by construction; the
+  /// invariant checker calls it to prove that.
+  bool HasCycle() const;
+
  private:
   bool Reaches(TxnId from, TxnId target, std::set<TxnId>* seen) const;
 

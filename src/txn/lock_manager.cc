@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "common/check_macros.h"
+
 namespace lfstx {
 
 LockManager::LockManager(SimEnv* env, const char* metric_prefix) : env_(env) {
@@ -48,7 +50,9 @@ std::vector<TxnId> LockManager::ConflictingHolders(const Entry& e, TxnId txn,
 }
 
 Status LockManager::Lock(TxnId txn, LockId id, LockMode mode) {
-  assert(txn != kNoTxn);
+  LFSTX_CHECK(txn != kNoTxn,
+              "lock request without a transaction — the lock could never "
+              "be released by commit or abort");
   env_->Consume(env_->costs().lock_op_us);
   Entry& e = table_[id];
 
@@ -126,6 +130,73 @@ std::vector<LockId> LockManager::Held(TxnId txn) const {
   auto it = by_txn_.find(txn);
   if (it == by_txn_.end()) return {};
   return std::vector<LockId>(it->second.begin(), it->second.end());
+}
+
+size_t LockManager::txns_with_locks() const {
+  size_t n = 0;
+  for (const auto& [txn, ids] : by_txn_) {
+    if (!ids.empty()) n++;
+  }
+  return n;
+}
+
+size_t LockManager::total_waiters() const {
+  size_t n = 0;
+  for (const auto& [id, e] : table_) {
+    n += static_cast<size_t>(e.waiter_count);
+  }
+  return n;
+}
+
+std::vector<std::string> LockManager::CheckInvariants() const {
+  std::vector<std::string> problems;
+  auto problem = [&](std::string p) { problems.push_back(std::move(p)); };
+  auto obj = [](const LockId& id) {
+    return "(file " + std::to_string(id.file) + ", page " +
+           std::to_string(id.page) + ")";
+  };
+
+  // Object chain -> transaction chain: every granted lock must be on its
+  // holder's chain too, or commit/abort would leak it.
+  for (const auto& [id, e] : table_) {
+    if (e.holders.empty() && e.waiter_count == 0) {
+      problem("lock object " + obj(id) +
+              " has no holders and no waiters but was never reclaimed");
+    }
+    if (e.waiter_count < 0) {
+      problem("lock object " + obj(id) + " has negative waiter count");
+    }
+    for (const auto& [holder, mode] : e.holders) {
+      (void)mode;
+      auto it = by_txn_.find(holder);
+      if (it == by_txn_.end() || it->second.count(id) == 0) {
+        problem("txn " + std::to_string(holder) + " holds " + obj(id) +
+                " but it is missing from the per-transaction chain");
+      }
+    }
+  }
+  // Transaction chain -> object chain.
+  for (const auto& [txn, ids] : by_txn_) {
+    for (const LockId& id : ids) {
+      auto it = table_.find(id);
+      if (it == table_.end() ||
+          it->second.holders.find(txn) == it->second.holders.end()) {
+        problem("txn " + std::to_string(txn) + " chains " + obj(id) +
+                " but does not hold it in the lock table");
+      }
+    }
+  }
+  if (waits_for_.HasCycle()) {
+    problem("waits-for graph contains a cycle (deadlock prevention failed)");
+  }
+  // An edge in the waits-for graph with no blocked request anywhere means
+  // a waiter returned (deadlock victim / shutdown) without cleaning up.
+  if (total_waiters() == 0 && waits_for_.edge_count() != 0) {
+    problem("waits-for graph has " +
+            std::to_string(waits_for_.edge_count()) +
+            " edges but no request is blocked");
+  }
+  return problems;
 }
 
 bool LockManager::HoldsLock(TxnId txn, LockId id, LockMode* mode) const {

@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -70,7 +71,17 @@ class LockManager {
   bool HoldsLock(TxnId txn, LockId id, LockMode* mode = nullptr) const;
 
   size_t locked_objects() const { return table_.size(); }
+  /// Transactions with a non-empty per-transaction lock chain.
+  size_t txns_with_locks() const;
+  /// Lock requests currently blocked across all objects.
+  size_t total_waiters() const;
+  size_t waits_for_edges() const { return waits_for_.edge_count(); }
   const Stats& stats() const { return stats_; }
+
+  /// Deep structural self-check: object-chain ↔ transaction-chain
+  /// coherence and waits-for acyclicity. One message per violation; empty
+  /// means sound. Used by CheckLocks (src/check/).
+  std::vector<std::string> CheckInvariants() const;
 
  private:
   struct Entry {

@@ -1,0 +1,235 @@
+// Invariant-checker framework tests: a healthy machine sweeps clean on
+// every checker, and each checker detects the corruption it exists for —
+// a bitmap/reachability mismatch (ffs), a leaked pin (cache), a leaked
+// lock (locks), a flipped byte in the durable WAL region (log), and a
+// transaction still live at a quiescent point (txn). The LFS walker's
+// detection tests live in fsck_test.cc.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "check/registry.h"
+#include "ffs/ffs.h"
+#include "libtp/log_manager.h"
+#include "machines.h"
+#include "txn/lock_manager.h"
+
+namespace lfstx {
+namespace {
+
+const CheckReport& ReportOf(const CheckSummary& summary, const char* name) {
+  for (const auto& r : summary.reports) {
+    if (r.checker == name) return r;
+  }
+  static const CheckReport kMissing;
+  ADD_FAILURE() << "no report from checker '" << name << "'";
+  return kMissing;
+}
+
+TEST(CheckRegistryTest, FreshRigSweepsCleanOnEveryChecker) {
+  auto rig = TestRig::Create(Arch::kUserLfs);
+  rig->Run([&] {
+    CheckSummary summary = RunAllChecks(*rig);
+    EXPECT_TRUE(summary.clean()) << summary.ToString();
+    EXPECT_EQ(summary.reports.size(), CheckRegistry::Default().size());
+    // The LFS walker ran (it saw the root directory); the FFS one skipped.
+    EXPECT_EQ(ReportOf(summary, "lfs").CounterOr("directories"), 1u);
+    EXPECT_EQ(ReportOf(summary, "ffs").CounterOr("skipped"), 1u);
+    // The LIBTP side is present, so locks/log/txn all really ran.
+    EXPECT_EQ(ReportOf(summary, "locks").CounterOr("skipped", 0), 0u);
+    EXPECT_EQ(ReportOf(summary, "log").CounterOr("skipped", 0), 0u);
+    EXPECT_EQ(ReportOf(summary, "txn").CounterOr("skipped", 0), 0u);
+  });
+}
+
+TEST(CheckRegistryTest, SweepEmitsMetricsAndTraceEvents) {
+  auto rig = TestRig::Create(Arch::kUserLfs);
+  rig->Run([&] {
+    std::string captured;
+    rig->env()->tracer()->Enable(TraceCat::kCheck);
+    rig->env()->tracer()->SetCapture(&captured);
+    CheckSummary summary = RunAllChecks(*rig);
+    rig->env()->tracer()->SetCapture(nullptr);
+    EXPECT_TRUE(summary.clean());
+    EXPECT_NE(captured.find("\"check_run\""), std::string::npos);
+    EXPECT_NE(captured.find("\"checker\":\"lfs\""), std::string::npos);
+    auto* runs = rig->env()->metrics()->GetCounter("check.runs", "runs", "");
+    EXPECT_EQ(runs->value(), CheckRegistry::Default().size());
+  });
+}
+
+TEST(CheckFfsTest, DetectsInodeReferencingFreeBlock) {
+  SimEnv env;
+  SimDisk disk(&env, SimDisk::Options{});
+  uint64_t victim_block = 0;
+  uint64_t itable_start = 0;
+  env.Spawn("main", [&] {
+    {
+      BufferCache cache(&env, 1024);
+      Ffs fs(&env, &disk, &cache);
+      cache.set_writeback(&fs);
+      ASSERT_TRUE(fs.Format().ok());
+      InodeNum ino = fs.Create("/a").value();
+      ASSERT_TRUE(fs.Write(ino, 0, Slice("hello")).ok());
+      ASSERT_TRUE(fs.Close(ino).ok());
+      // The tail of the data region is certainly still free.
+      victim_block = fs.total_blocks() - 1;
+      ASSERT_FALSE(fs.bitmap().IsUsed(victim_block));
+      itable_start =
+          fs.data_start() -
+          (fs.max_inodes() + kInodesPerBlock - 1) / kInodesPerBlock;
+      ASSERT_TRUE(fs.Unmount().ok());
+    }
+    // Craft an inode that maps a block the bitmap says is free, in a slot
+    // the directory tree never references.
+    const InodeNum forged = 50;
+    DiskInode d;
+    d.inum = forged;
+    d.type = static_cast<uint16_t>(FileType::kRegular);
+    d.nlink = 1;
+    d.size = kBlockSize;
+    d.direct[0] = victim_block;
+    char block[kBlockSize];
+    BlockAddr tblock = itable_start + (forged - 1) / kInodesPerBlock;
+    disk.RawRead(tblock, 1, block);
+    EncodeInode(d, block, (forged - 1) % kInodesPerBlock);
+    disk.RawWrite(tblock, 1, block);
+
+    BufferCache cache(&env, 1024);
+    Ffs fs(&env, &disk, &cache);
+    cache.set_writeback(&fs);
+    ASSERT_TRUE(fs.Mount().ok());
+    CheckContext ctx;
+    ctx.env = &env;
+    ctx.ffs = &fs;
+    auto report = CheckFfsStructure(ctx);
+    ASSERT_TRUE(report.ok());
+    EXPECT_FALSE(report.value().clean);
+    bool found = false;
+    for (const auto& p : report.value().problems) {
+      if (p.find("bitmap says") != std::string::npos) found = true;
+    }
+    EXPECT_TRUE(found) << report.value().ToString();
+  });
+  env.Run();
+}
+
+TEST(CheckCacheTest, DetectsLeakedPinAtQuiescePoint) {
+  SimEnv env;
+  env.Spawn("main", [&] {
+    BufferCache cache(&env, 64);
+    auto buf = cache.GetNoLoad(BufferKey{1, 0});
+    ASSERT_TRUE(buf.ok());
+    CheckContext ctx;
+    ctx.cache = &cache;
+    auto report = CheckBufferCache(ctx);
+    ASSERT_TRUE(report.ok());
+    EXPECT_FALSE(report.value().clean) << "pin leak not detected";
+
+    cache.Release(buf.value());
+    report = CheckBufferCache(ctx);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report.value().clean) << report.value().ToString();
+  });
+  env.Run();
+}
+
+TEST(CheckLocksTest, DetectsLeakedLockAfterQuiesce) {
+  SimEnv env;
+  env.Spawn("main", [&] {
+    LockManager lm(&env);
+    ASSERT_TRUE(lm.Lock(7, LockId{1, 42}, LockMode::kExclusive).ok());
+    CheckContext ctx;
+    ctx.user_locks = &lm;
+    auto report = CheckLocks(ctx);
+    ASSERT_TRUE(report.ok());
+    EXPECT_FALSE(report.value().clean) << "leaked lock not detected";
+
+    lm.UnlockAll(7);
+    report = CheckLocks(ctx);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report.value().clean) << report.value().ToString();
+  });
+  env.Run();
+}
+
+TEST(CheckLogTest, DetectsCorruptionInDurableRegion) {
+  Machine::Options options;
+  auto m = Machine::Build(options);
+  m->env->Spawn("main", [&] {
+    ASSERT_TRUE(m->Boot(options).ok());
+    LogManager log(m->kernel.get());
+    ASSERT_TRUE(log.Open("/wal").ok());
+    LogRecord rec;
+    rec.type = LogRecType::kUpdate;
+    rec.txn = 1;
+    rec.file_ref = 1;
+    rec.page = 0;
+    rec.offset = 0;
+    rec.before = "aaaa";
+    rec.after = "bbbb";
+    auto lsn1 = log.Append(rec);
+    ASSERT_TRUE(lsn1.ok());
+    LogRecord commit;
+    commit.type = LogRecType::kCommit;
+    commit.txn = 1;
+    commit.prev_lsn = lsn1.value();
+    auto lsn2 = log.Append(commit);
+    ASSERT_TRUE(lsn2.ok());
+    ASSERT_TRUE(log.FlushTo(lsn2.value()).ok());
+
+    CheckContext ctx;
+    ctx.env = m->env.get();
+    ctx.log = &log;
+    auto report = CheckLog(ctx);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report.value().clean) << report.value().ToString();
+    EXPECT_EQ(report.value().CounterOr("records"), 2u);
+
+    // Flip bytes inside the first record, now in the durable region.
+    InodeNum ino = m->kernel->Open("/wal").value();
+    char garbage[4];
+    memset(garbage, 0xBD, sizeof(garbage));
+    ASSERT_TRUE(m->kernel->Write(ino, 40, Slice(garbage, 4)).ok());
+    ASSERT_TRUE(m->kernel->Close(ino).ok());
+
+    report = CheckLog(ctx);
+    ASSERT_TRUE(report.ok());
+    EXPECT_FALSE(report.value().clean) << "log corruption not detected";
+    ASSERT_TRUE(log.Close().ok());
+  });
+  m->env->Run();
+}
+
+TEST(CheckTxnTest, DetectsLiveUserTransactionAtQuiesce) {
+  auto rig = TestRig::Create(Arch::kUserLfs);
+  rig->Run([&] {
+    auto txn = rig->backend->Begin();
+    ASSERT_TRUE(txn.ok());
+    CheckSummary summary = RunAllChecks(*rig);
+    EXPECT_FALSE(ReportOf(summary, "txn").clean)
+        << "live transaction not detected";
+
+    ASSERT_TRUE(rig->backend->Commit(txn.value()).ok());
+    summary = RunAllChecks(*rig);
+    EXPECT_TRUE(summary.clean()) << summary.ToString();
+  });
+}
+
+TEST(CheckTxnTest, DetectsLiveEmbeddedTransactionAtQuiesce) {
+  auto rig = TestRig::Create(Arch::kEmbedded);
+  rig->Run([&] {
+    auto txn = rig->backend->Begin();
+    ASSERT_TRUE(txn.ok());
+    CheckSummary summary = RunAllChecks(*rig);
+    EXPECT_FALSE(ReportOf(summary, "txn").clean)
+        << "live embedded transaction not detected";
+
+    ASSERT_TRUE(rig->backend->Commit(txn.value()).ok());
+    summary = RunAllChecks(*rig);
+    EXPECT_TRUE(summary.clean()) << summary.ToString();
+  });
+}
+
+}  // namespace
+}  // namespace lfstx

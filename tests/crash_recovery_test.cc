@@ -8,12 +8,28 @@
 #include <algorithm>
 #include <map>
 
+#include "check/registry.h"
 #include "common/random.h"
 #include "lfs/cleaner.h"
 #include "lfs/lfs.h"
 
 namespace lfstx {
 namespace {
+
+// Full invariant sweep over a freshly recovered file system. The cache may
+// legitimately hold dirty buffers right after roll-forward, so only the
+// structural expectations apply.
+void ExpectChecksClean(SimEnv* env, BufferCache* cache, Lfs* fs,
+                       int epoch) {
+  CheckContext ctx;
+  ctx.env = env;
+  ctx.cache = cache;
+  ctx.lfs = fs;
+  CheckSummary summary = RunAllChecks(ctx);
+  EXPECT_TRUE(summary.clean())
+      << "invariant sweep after recovery epoch " << epoch << ":\n"
+      << summary.ToString();
+}
 
 class LfsCrashFuzz : public ::testing::TestWithParam<uint64_t> {};
 
@@ -49,6 +65,7 @@ TEST_P(LfsCrashFuzz, SyncedStateSurvivesRandomPowerCuts) {
       Lfs fs(&env, &disk, &cache);
       cache.set_writeback(&fs);
       ASSERT_TRUE(fs.Mount().ok()) << "epoch " << epoch;
+      ExpectChecksClean(&env, &cache, &fs, epoch);
 
       // 1. Everything synced before the last crash must be present, with
       // either its last-synced contents or the newer contents of the
@@ -128,6 +145,7 @@ TEST_P(LfsCrashFuzz, SyncedStateSurvivesRandomPowerCuts) {
     Lfs fs(&env, &disk, &cache);
     cache.set_writeback(&fs);
     ASSERT_TRUE(fs.Mount().ok());
+    ExpectChecksClean(&env, &cache, &fs, kCrashes);
     auto r = fs.Create("/post-recovery");
     ASSERT_TRUE(r.ok());
     ASSERT_TRUE(fs.Write(r.value(), 0, Slice("alive")).ok());

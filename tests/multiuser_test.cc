@@ -4,6 +4,7 @@
 // and group commit batches the embedded commits.
 #include <gtest/gtest.h>
 
+#include "check/registry.h"
 #include "machines.h"
 #include "tpcb/driver.h"
 
@@ -68,6 +69,14 @@ TEST_P(MplArchTest, ConcurrentTerminalsKeepBooksConsistent) {
     int64_t moved_branches =
         branches - 1000 * static_cast<int64_t>(cfg.branches);
     EXPECT_EQ(moved_accounts, moved_branches);
+
+    // Full invariant sweep at the quiescent point: every terminal done,
+    // the balance transaction committed, everything flushed.
+    ASSERT_TRUE(rig->machine->fs->SyncAll().ok());
+    CheckContext ctx = MakeCheckContext(*rig);
+    CheckSummary summary = RunAllChecks(ctx);
+    EXPECT_TRUE(summary.clean())
+        << "invariant sweep after multiuser round:\n" << summary.ToString();
   });
 }
 
@@ -115,6 +124,10 @@ TEST(MplTest, ThroughputRisesThenSaturatesDiskBound) {
       while (finished < mpl) rig->env()->SleepFor(10 * kMillisecond);
       tps = static_cast<double>(per * mpl) /
             ToSeconds(rig->env()->Now() - t0);
+      CheckSummary summary = RunAllChecks(*rig);
+      EXPECT_TRUE(summary.clean())
+          << "invariant sweep after MPL " << mpl << " round:\n"
+          << summary.ToString();
     });
     EXPECT_TRUE(s.ok());
     return tps;

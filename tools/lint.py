@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Repo-specific lint for src/: determinism and ownership rules.
+
+The simulator's core contract is that a run is a pure function of its
+inputs — every timestamp comes from the virtual clock and every random
+draw from a seeded generator. This lint bans the escape hatches that
+would silently break that:
+
+  * wall-clock time:  std::chrono::system_clock / steady_clock,
+                      time(), clock(), gettimeofday()
+  * ambient entropy:  rand(), srand(), std::random_device
+
+It also bans raw `new` / `delete` in src/ (ownership must be expressed
+through smart pointers or containers), with two idiomatic exceptions:
+
+  * `new` immediately wrapped by a smart-pointer constructor on the same
+    statement — `std::unique_ptr<X>(new X(...))`, the pre-make_unique
+    factory idiom used where a private constructor blocks make_unique;
+  * `= delete` (deleted member functions) and `delete` in comments.
+
+A line can opt out with a trailing `// lint-allow: <reason>` comment;
+the reason is mandatory and shows up in review.
+
+Usage: tools/lint.py [root]       (default root: repo's src/)
+Exit status 0 = clean, 1 = violations found.
+"""
+import os
+import re
+import sys
+
+BANNED = [
+    (re.compile(r"std::chrono::(system|steady|high_resolution)_clock"),
+     "wall-clock time (use the SimEnv virtual clock)"),
+    (re.compile(r"(?<![\w:.])(?:std::)?time\s*\("),
+     "wall-clock time() (use the SimEnv virtual clock)"),
+    (re.compile(r"(?<![\w:.])gettimeofday\s*\("),
+     "wall-clock gettimeofday() (use the SimEnv virtual clock)"),
+    (re.compile(r"(?<![\w:.])clock\s*\(\s*\)"),
+     "wall-clock clock() (use the SimEnv virtual clock)"),
+    (re.compile(r"(?<![\w:.])(?:std::)?s?rand\s*\("),
+     "ambient entropy rand()/srand() (use common/random.h)"),
+    (re.compile(r"std::random_device"),
+     "ambient entropy std::random_device (use common/random.h)"),
+]
+
+NEW_RE = re.compile(r"(?<![\w:])new\b(?!\s*\()")  # `new X`, not placement-new macros
+DELETE_RE = re.compile(r"(?<![\w:])delete\b(?:\s*\[\s*\])?")
+SMART_WRAP_RE = re.compile(r"_ptr\s*<[^;]*>\s*(?:\w+\s*)?\(\s*new\b")
+ALLOW_RE = re.compile(r"//\s*lint-allow:\s*\S")
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments, string and char literals, preserving newlines
+    and the lint-allow marker (which must survive for the opt-out)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            comment = text[i:j]
+            # Keep lint-allow comments; blank everything else.
+            out.append(comment if ALLOW_RE.search(comment) else " " * len(comment))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append(re.sub(r"[^\n]", " ", text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + quote if j - i >= 2
+                       else text[i:j])
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def lint_file(path):
+    with open(path, encoding="utf-8") as f:
+        raw = f.read()
+    text = strip_comments_and_strings(raw)
+    raw_lines = raw.splitlines()
+    problems = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if ALLOW_RE.search(line):
+            continue
+        for pattern, why in BANNED:
+            if pattern.search(line):
+                problems.append((lineno, why))
+        if NEW_RE.search(line) and not SMART_WRAP_RE.search(line):
+            problems.append(
+                (lineno, "raw new (use make_unique/make_shared, or wrap in "
+                         "a smart-pointer constructor on the same line)"))
+        for m in DELETE_RE.finditer(line):
+            before = line[:m.start()].rstrip()
+            if before.endswith("="):
+                continue  # deleted member function
+            problems.append(
+                (lineno, "raw delete (ownership must sit in a smart "
+                         "pointer or container)"))
+    return [(path, lineno, why, raw_lines[lineno - 1].strip())
+            for lineno, why in problems]
+
+
+def main():
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    root = sys.argv[1] if len(sys.argv) > 1 else os.path.join(repo, "src")
+    problems = []
+    for dirpath, _, files in os.walk(root):
+        for name in sorted(files):
+            if name.endswith((".h", ".cc", ".cpp", ".hpp")):
+                problems.extend(lint_file(os.path.join(dirpath, name)))
+    for path, lineno, why, line in problems:
+        rel = os.path.relpath(path, repo)
+        print(f"{rel}:{lineno}: {why}\n    {line}")
+    if problems:
+        print(f"\nlint: {len(problems)} violation(s). Annotate deliberate "
+              "uses with '// lint-allow: <reason>'.")
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
