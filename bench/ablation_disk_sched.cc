@@ -52,6 +52,10 @@ int main(int argc, char** argv) {
                            : static_cast<double>(ms.seek_us) /
                                  static_cast<double>(ms.requests) / 1000.0;
         metrics_json = rig->MetricsJson();
+        PrintRigProfile(
+            cfg, rig.get(),
+            Fmt("disk_sched_%s_%s", ArchSlug(arch),
+                policy == DiskQueue::Policy::kFifo ? "fifo" : "elevator"));
       });
       if (!s.ok() && error.empty()) error = s.ToString();
       const char* pol =

@@ -66,6 +66,9 @@ GcResult MeasureGroupCommit(const BenchConfig& cfg, SimTime timeout,
                         : static_cast<double>(gs.txns_flushed) /
                               static_cast<double>(gs.flushes);
     out.metrics_json = rig->MetricsJson();
+    PrintRigProfile(cfg, rig.get(),
+                    Fmt("group_commit_mpl%u_%s", mpl,
+                        adaptive ? "adaptive" : timeout == 0 ? "off" : "fixed"));
     out.ok = true;
   });
   if (!s.ok() && out.error.empty()) out.error = s.ToString();

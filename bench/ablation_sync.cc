@@ -44,6 +44,8 @@ TpcbMeasurement MeasureWithTas(Arch arch, const BenchConfig& cfg, bool tas,
     out.elapsed = r.value().elapsed;
     out.txns = r.value().transactions;
     out.metrics_json = rig->MetricsJson();
+    PrintRigProfile(cfg, rig.get(),
+                    Fmt("sync_%s_%s", ArchSlug(arch), tas ? "tas" : "no_tas"));
     out.ok = true;
   });
   if (!s.ok() && out.error.empty()) out.error = s.ToString();

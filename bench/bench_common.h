@@ -13,6 +13,13 @@
 //   --fsck           run the full invariant-checker sweep (src/check/)
 //                    after each measured configuration; a dirty sweep
 //                    fails the bench with a nonzero exit
+//   --profile        print a per-configuration "where did the time go"
+//                    table: per-transaction phase attribution from the
+//                    virtual-clock profiler (sim/profiler.h), plus disk
+//                    time by cause (txn/cleaner/checkpoint/syncer)
+//   --summary=F      (fig4_tps) write a machine-readable JSON summary —
+//                    TPS + profile breakdown per architecture — to F;
+//                    consumed by tools/bench_summary.py
 // Measured quantities are *virtual* (simulated) times; wall-clock run time
 // of the binary is irrelevant.
 #ifndef LFSTX_BENCH_BENCH_COMMON_H_
@@ -28,6 +35,7 @@
 #include "check/registry.h"
 #include "harness/rig.h"
 #include "harness/table.h"
+#include "sim/profiler.h"
 #include "tpcb/driver.h"
 #include "workloads/scan.h"
 
@@ -37,9 +45,11 @@ struct BenchConfig {
   uint64_t scale = 4;
   uint64_t txns = 0;  // 0 = bench default
   bool fsck = false;
+  bool profile = false;
   std::string metrics_dir;
   std::string trace;
   std::string trace_file;
+  std::string summary;
 
   static BenchConfig FromArgs(int argc, char** argv) {
     BenchConfig c;
@@ -54,8 +64,12 @@ struct BenchConfig {
         c.trace = argv[i] + 8;
       } else if (strncmp(argv[i], "--trace-file=", 13) == 0) {
         c.trace_file = argv[i] + 13;
+      } else if (strncmp(argv[i], "--summary=", 10) == 0) {
+        c.summary = argv[i] + 10;
       } else if (strcmp(argv[i], "--fsck") == 0) {
         c.fsck = true;
+      } else if (strcmp(argv[i], "--profile") == 0) {
+        c.profile = true;
       }
     }
     return c;
@@ -127,7 +141,154 @@ struct TpcbMeasurement {
   /// Metrics snapshot taken at the end of the measured run, while the
   /// simulated machine was still alive. See OBSERVABILITY.md.
   std::string metrics_json;
+  /// Profiler attribution over the *measured* window only (warmup
+  /// excluded): which manager tag the spans carried, the span aggregate,
+  /// disk time by cause, and the fraction of the measured window covered
+  /// by transaction spans (Σ span elapsed / window; ≤ 1 at MPL 1).
+  std::string prof_mgr;
+  Profiler::SpanAgg prof;
+  Profiler::DiskAgg disk_cause[kNumIoCauses];
+  double coverage = 0;
 };
+
+/// `after - before` for windowed span aggregates.
+inline Profiler::SpanAgg SpanAggDelta(const Profiler::SpanAgg& after,
+                                      const Profiler::SpanAgg& before) {
+  Profiler::SpanAgg d;
+  d.spans = after.spans - before.spans;
+  d.committed = after.committed - before.committed;
+  d.elapsed_us = after.elapsed_us - before.elapsed_us;
+  for (int i = 0; i < kNumPhases; i++) {
+    d.phase_us[i] = after.phase_us[i] - before.phase_us[i];
+  }
+  return d;
+}
+
+/// `after - before` for windowed per-cause disk aggregates.
+inline Profiler::DiskAgg DiskAggDelta(const Profiler::DiskAgg& after,
+                                      const Profiler::DiskAgg& before) {
+  Profiler::DiskAgg d;
+  d.requests = after.requests - before.requests;
+  d.wait_us = after.wait_us - before.wait_us;
+  d.service_us = after.service_us - before.service_us;
+  return d;
+}
+
+/// Print the "where did the time go" attribution table for one manager's
+/// spans: per-phase totals, per-transaction averages, and each phase's
+/// share of transaction time (phases partition span time exactly, so the
+/// shares sum to 100%). `window_us` > 0 additionally prints a coverage
+/// line — the fraction of that window inside transaction spans — which CI
+/// asserts on.
+inline void PrintProfileTable(const std::string& config,
+                              const std::string& mgr,
+                              const Profiler::SpanAgg& agg,
+                              SimTime window_us) {
+  if (agg.spans == 0) {
+    printf("\n[profile] %s mgr=%s: no transaction spans recorded\n",
+           config.c_str(), mgr.c_str());
+    return;
+  }
+  printf("\n[profile] %s mgr=%s: %llu spans (%llu committed)\n",
+         config.c_str(), mgr.c_str(),
+         static_cast<unsigned long long>(agg.spans),
+         static_cast<unsigned long long>(agg.committed));
+  ResultTable t({"phase", "total (us)", "per-txn (us)", "% of txn time"});
+  for (int i = 0; i < kNumPhases; i++) {
+    t.AddRow({PhaseName(static_cast<Phase>(i)),
+              Fmt("%llu", static_cast<unsigned long long>(agg.phase_us[i])),
+              Fmt("%.1f", static_cast<double>(agg.phase_us[i]) /
+                              static_cast<double>(agg.spans)),
+              Fmt("%.1f", 100.0 * static_cast<double>(agg.phase_us[i]) /
+                              static_cast<double>(agg.elapsed_us))});
+  }
+  t.AddRow({"total", Fmt("%llu",
+                         static_cast<unsigned long long>(agg.elapsed_us)),
+            Fmt("%.1f", static_cast<double>(agg.elapsed_us) /
+                            static_cast<double>(agg.spans)),
+            "100.0"});
+  t.Print();
+  if (window_us > 0) {
+    printf("[profile] %s mgr=%s coverage: %.1f%% of the %llu us window "
+           "attributed to transaction spans\n",
+           config.c_str(), mgr.c_str(),
+           100.0 * static_cast<double>(agg.elapsed_us) /
+               static_cast<double>(window_us),
+           static_cast<unsigned long long>(window_us));
+  }
+}
+
+/// One line of disk time by request cause (txn / cleaner / checkpoint /
+/// syncer); pairs with the attribution table under --profile.
+inline void PrintDiskCauseLine(const std::string& config,
+                               const Profiler::DiskAgg cause[kNumIoCauses]) {
+  printf("[profile] %s disk by cause:", config.c_str());
+  for (int i = 0; i < kNumIoCauses; i++) {
+    printf(" %s=%llu reqs (wait %llu us, service %llu us)",
+           IoCauseName(static_cast<IoCause>(i)),
+           static_cast<unsigned long long>(cause[i].requests),
+           static_cast<unsigned long long>(cause[i].wait_us),
+           static_cast<unsigned long long>(cause[i].service_us));
+  }
+  printf("\n");
+}
+
+/// Cumulative (whole-run) profile dump for benches that drive a rig
+/// directly instead of through MeasureTpcb. Call while the rig is alive
+/// (inside or right after its Run block); no-op without --profile.
+inline void PrintRigProfile(const BenchConfig& cfg, ArchRig* rig,
+                            const std::string& config) {
+  if (!cfg.profile) return;
+  Profiler* prof = rig->env()->profiler();
+  std::vector<std::string> tags = prof->SpanTags();
+  if (tags.empty()) {
+    printf("\n[profile] %s: no transaction spans recorded\n", config.c_str());
+  }
+  for (const std::string& tag : tags) {
+    // Whole-run window (includes load/warmup), so coverage here reads as
+    // "fraction of the run spent inside transactions".
+    PrintProfileTable(config, tag, prof->AggFor(tag), rig->env()->Now());
+  }
+  Profiler::DiskAgg cause[kNumIoCauses];
+  for (int i = 0; i < kNumIoCauses; i++) {
+    cause[i] = prof->DiskCauseAgg(static_cast<IoCause>(i));
+  }
+  PrintDiskCauseLine(config, cause);
+}
+
+/// JSON object for a span aggregate: {"spans":N,...,"phases":{...}}.
+/// Keys are emitted in fixed order so the output is deterministic.
+inline std::string SpanAggJson(const Profiler::SpanAgg& agg) {
+  std::string out = Fmt(
+      "{\"spans\": %llu, \"committed\": %llu, \"elapsed_us\": %llu, "
+      "\"phases\": {",
+      static_cast<unsigned long long>(agg.spans),
+      static_cast<unsigned long long>(agg.committed),
+      static_cast<unsigned long long>(agg.elapsed_us));
+  for (int i = 0; i < kNumPhases; i++) {
+    out += Fmt("%s\"%s\": %llu", i > 0 ? ", " : "",
+               PhaseName(static_cast<Phase>(i)),
+               static_cast<unsigned long long>(agg.phase_us[i]));
+  }
+  out += "}}";
+  return out;
+}
+
+/// JSON object mapping cause name -> {"requests","wait_us","service_us"}.
+inline std::string DiskCauseJson(const Profiler::DiskAgg cause[kNumIoCauses]) {
+  std::string out = "{";
+  for (int i = 0; i < kNumIoCauses; i++) {
+    out += Fmt(
+        "%s\"%s\": {\"requests\": %llu, \"wait_us\": %llu, "
+        "\"service_us\": %llu}",
+        i > 0 ? ", " : "", IoCauseName(static_cast<IoCause>(i)),
+        static_cast<unsigned long long>(cause[i].requests),
+        static_cast<unsigned long long>(cause[i].wait_us),
+        static_cast<unsigned long long>(cause[i].service_us));
+  }
+  out += "}";
+  return out;
+}
 
 /// Build a rig, load TPC-B, warm up, and run `measure_txns` transactions.
 inline TpcbMeasurement MeasureTpcb(Arch arch, const BenchConfig& cfg,
@@ -158,6 +319,16 @@ inline TpcbMeasurement MeasureTpcb(Arch arch, const BenchConfig& cfg,
       }
     }
     uint64_t syscalls0 = rig->env()->stats().syscalls;
+    // Snapshot the profiler so the reported attribution covers exactly the
+    // measured window (warmup excluded). The embedded manager tags its
+    // spans "embedded"; both user-level architectures go through LIBTP.
+    Profiler* prof = rig->env()->profiler();
+    out.prof_mgr = arch == Arch::kEmbedded ? "embedded" : "libtp";
+    Profiler::SpanAgg prof0 = prof->AggFor(out.prof_mgr);
+    Profiler::DiskAgg disk0[kNumIoCauses];
+    for (int i = 0; i < kNumIoCauses; i++) {
+      disk0[i] = prof->DiskCauseAgg(static_cast<IoCause>(i));
+    }
     fprintf(stderr, "[bench] %s: measuring...\n", ArchName(arch));
     auto r = driver.Run(measure_txns);
     if (!r.ok()) {
@@ -168,6 +339,19 @@ inline TpcbMeasurement MeasureTpcb(Arch arch, const BenchConfig& cfg,
     out.elapsed = r.value().elapsed;
     out.txns = r.value().transactions;
     out.syscalls = rig->env()->stats().syscalls - syscalls0;
+    out.prof = SpanAggDelta(prof->AggFor(out.prof_mgr), prof0);
+    for (int i = 0; i < kNumIoCauses; i++) {
+      out.disk_cause[i] =
+          DiskAggDelta(prof->DiskCauseAgg(static_cast<IoCause>(i)), disk0[i]);
+    }
+    out.coverage = out.elapsed > 0
+                       ? static_cast<double>(out.prof.elapsed_us) /
+                             static_cast<double>(out.elapsed)
+                       : 0;
+    if (cfg.profile) {
+      PrintProfileTable(ArchSlug(arch), out.prof_mgr, out.prof, out.elapsed);
+      PrintDiskCauseLine(ArchSlug(arch), out.disk_cause);
+    }
     if (rig->machine->cleaner != nullptr) {
       out.cleaner_cleaned = rig->machine->cleaner->stats().segments_cleaned;
       out.cleaner_busy = rig->machine->cleaner->stats().busy_us;

@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
   ResultTable table({"configuration", "TPS", "elapsed", "syscalls/txn",
                      "segs cleaned", "paper TPS"});
   double tps[3] = {0, 0, 0};
+  std::string summary_configs;
   int i = 0;
   for (const Row& row : rows) {
     TpcbMeasurement m = MeasureTpcb(row.arch, cfg, warmup, txns);
@@ -52,6 +53,20 @@ int main(int argc, char** argv) {
     }
     cfg.DumpMetrics(std::string("fig4_") + ArchSlug(row.arch),
                     m.metrics_json);
+    if (!cfg.summary.empty()) {
+      if (i > 0) summary_configs += ",\n";
+      summary_configs += Fmt(
+          "    {\"arch\": \"%s\", \"mgr\": \"%s\", \"tps\": %.4f, "
+          "\"elapsed_us\": %llu, \"txns\": %llu, \"coverage\": %.4f,\n"
+          "     \"prof\": ",
+          ArchSlug(row.arch), m.prof_mgr.c_str(), m.tps,
+          (unsigned long long)m.elapsed, (unsigned long long)m.txns,
+          m.coverage);
+      summary_configs += SpanAggJson(m.prof);
+      summary_configs += ",\n     \"disk_cause\": ";
+      summary_configs += DiskCauseJson(m.disk_cause);
+      summary_configs += "}";
+    }
     tps[i++] = m.tps;
     table.AddRow({ArchName(row.arch), Fmt("%.2f", m.tps),
                   FormatDuration(m.elapsed),
@@ -61,6 +76,25 @@ int main(int argc, char** argv) {
                   Fmt("%.1f", row.paper_tps)});
   }
   table.Print();
+
+  if (!cfg.summary.empty()) {
+    std::string json = Fmt(
+        "{\n  \"bench\": \"fig4_tps\",\n  \"scale\": %llu,\n"
+        "  \"warmup_txns\": %llu,\n  \"measured_txns\": %llu,\n"
+        "  \"configs\": [\n",
+        (unsigned long long)cfg.scale, (unsigned long long)warmup,
+        (unsigned long long)txns);
+    json += summary_configs;
+    json += "\n  ]\n}\n";
+    FILE* f = fopen(cfg.summary.c_str(), "w");
+    if (f == nullptr) {
+      fprintf(stderr, "cannot write summary file %s\n", cfg.summary.c_str());
+      return 1;
+    }
+    fwrite(json.data(), 1, json.size(), f);
+    fclose(f);
+    fprintf(stderr, "[bench] summary: %s\n", cfg.summary.c_str());
+  }
 
   printf("\nshape checks (paper -> measured):\n");
   printf("  LFS vs read-optimized (user-level): paper +10.6%%, measured "

@@ -68,6 +68,10 @@ KernelResults RunOnKernel(bool with_txn_kernel, const BenchConfig& cfg,
     }
     out.usertp = rr.value().elapsed;
     out.metrics_json = rig->MetricsJson();
+    // Under --profile both co-hosted managers report: the user-level TP
+    // spans under "libtp" and (with --txn-kernel) any embedded spans.
+    PrintRigProfile(cfg, rig.get(),
+                    with_txn_kernel ? "fig5_txn_kernel" : "fig5_plain_kernel");
     out.ok = true;
   });
   if (!s.ok() && out.error.empty()) out.error = s.ToString();

@@ -64,6 +64,7 @@ ScanMeasurement MeasureScanAfterUpdates(Arch arch, const BenchConfig& cfg,
     out.scan_elapsed = scan.value().elapsed;
     out.scan_mbps = scan.value().mb_per_sec;
     out.metrics_json = rig->MetricsJson();
+    PrintRigProfile(cfg, rig.get(), std::string("fig6_") + ArchSlug(arch));
     out.ok = true;
   });
   if (!s.ok() && out.error.empty()) out.error = s.ToString();

@@ -62,6 +62,7 @@ Result<FsLine> Measure(Arch arch, const BenchConfig& cfg,
     }
     line.scan = scan.value().elapsed;
     line.metrics_json = rig->MetricsJson();
+    PrintRigProfile(cfg, rig.get(), std::string("fig7_") + ArchSlug(arch));
   });
   if (!s.ok() && error.empty()) error = s.ToString();
   if (!error.empty()) return Status::Internal(error);

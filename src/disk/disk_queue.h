@@ -14,6 +14,7 @@
 
 #include "disk/disk_model.h"
 #include "sim/clock.h"
+#include "sim/profiler.h"
 
 namespace lfstx {
 
@@ -28,6 +29,8 @@ struct DiskRequest {
   std::function<void()> done;
   uint64_t seq = 0;         ///< submission order
   SimTime submit_time = 0;  ///< for the disk.request_latency_us histogram
+  SimTime wait_us = 0;      ///< queue wait, filled in when service starts
+  IoCause cause = IoCause::kTxn;  ///< submitting process's attribution tag
 };
 
 /// \brief Request queue with pluggable scheduling policy.

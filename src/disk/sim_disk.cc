@@ -71,6 +71,7 @@ void SimDisk::SubmitWrite(BlockAddr block, uint32_t nblocks, const char* data,
 void SimDisk::Submit(std::unique_ptr<DiskRequest> req) {
   req->seq = next_seq_++;
   req->submit_time = env_->Now();
+  req->cause = env_->profiler()->CurrentCause();
   if (req->kind == DiskRequest::Kind::kRead) {
     stats_.reads++;
     stats_.blocks_read += req->nblocks;
@@ -88,10 +89,11 @@ void SimDisk::Submit(std::unique_ptr<DiskRequest> req) {
 
 void SimDisk::StartService(std::unique_ptr<DiskRequest> req) {
   busy_ = true;
+  req->wait_us = env_->Now() - req->submit_time;
   LFSTX_TRACE(env_->tracer(), TraceCat::kDisk, "io_begin",
               {"op", req->kind == DiskRequest::Kind::kRead ? "read" : "write"},
               {"block", req->block}, {"nblocks", req->nblocks},
-              {"wait_us", env_->Now() - req->submit_time},
+              {"cause", IoCauseName(req->cause)}, {"wait_us", req->wait_us},
               {"queued", static_cast<uint64_t>(queue_.size())});
   SimTime service = model_.Service(env_->Now(), req->block, req->nblocks);
   DiskRequest* raw = req.release();
@@ -99,11 +101,14 @@ void SimDisk::StartService(std::unique_ptr<DiskRequest> req) {
     std::unique_ptr<DiskRequest> owned(raw);
     Complete(owned.get());
     latency_hist_->Add(env_->Now() - owned->submit_time);
+    env_->profiler()->ChargeDiskRequest(
+        owned->cause, owned->kind == DiskRequest::Kind::kWrite,
+        owned->wait_us, service);
     LFSTX_TRACE(
         env_->tracer(), TraceCat::kDisk, "io_end",
         {"op", owned->kind == DiskRequest::Kind::kRead ? "read" : "write"},
         {"block", owned->block}, {"nblocks", owned->nblocks},
-        {"service_us", service},
+        {"cause", IoCauseName(owned->cause)}, {"service_us", service},
         {"latency_us", env_->Now() - owned->submit_time});
     auto next = queue_.PopNext(model_.current_cylinder(), model_.geometry());
     if (next != nullptr) {
@@ -139,6 +144,7 @@ Status SimDisk::Read(BlockAddr block, uint32_t nblocks, char* out) {
   }
   IoEvent ev(env_);
   SubmitRead(block, nblocks, out, [&ev] { ev.Fire(); });
+  ProfPhaseScope ph(env_->profiler(), Phase::kDiskRead);
   if (!ev.Wait()) return Status::Busy("simulation stopped during read");
   return Status::OK();
 }
@@ -149,6 +155,7 @@ Status SimDisk::Write(BlockAddr block, uint32_t nblocks, const char* data) {
   }
   IoEvent ev(env_);
   SubmitWrite(block, nblocks, data, [&ev] { ev.Fire(); });
+  ProfPhaseScope ph(env_->profiler(), Phase::kDiskWrite);
   if (!ev.Wait()) return Status::Busy("simulation stopped during write");
   return Status::OK();
 }

@@ -4,16 +4,18 @@ namespace lfstx {
 
 GroupCommit::GroupCommit(SimEnv* env, Lfs* lfs, GroupCommitOptions options)
     : env_(env), lfs_(lfs), options_(options), wait_(env) {
+  // Prefixed under the embedded manager's instance namespace; see the
+  // matching note in kernel_txn.cc.
   MetricsRegistry* m = env_->metrics();
-  batch_hist_ = m->GetHistogram("txn.group_commit_batch", "txns",
+  batch_hist_ = m->GetHistogram("txn.embedded.group_commit_batch", "txns",
                                 "commits flushed per segment write");
-  m->AddGauge(this, "txn.group_commit_flushes", "count",
+  m->AddGauge(this, "txn.embedded.group_commit_flushes", "count",
               "group-commit segment writes",
               [this] { return static_cast<double>(stats_.flushes); });
-  m->AddGauge(this, "txn.group_commit_txns_flushed", "count",
+  m->AddGauge(this, "txn.embedded.group_commit_txns_flushed", "count",
               "commits covered by those flushes",
               [this] { return static_cast<double>(stats_.txns_flushed); });
-  m->AddGauge(this, "txn.group_commit_batched", "count",
+  m->AddGauge(this, "txn.embedded.group_commit_batched", "count",
               "commits that shared another commit's flush",
               [this] { return static_cast<double>(stats_.batched); });
 }
@@ -21,6 +23,10 @@ GroupCommit::GroupCommit(SimEnv* env, Lfs* lfs, GroupCommitOptions options)
 GroupCommit::~GroupCommit() { env_->metrics()->DropOwner(this); }
 
 Status GroupCommit::CommitFlush(TxnId txn, bool others_active) {
+  // Everything from here to durability — waiting for company, the segment
+  // write itself, or piggybacking on another commit's flush — is the
+  // commit-flush phase of this transaction.
+  ProfPhaseScope prof_phase(env_->profiler(), Phase::kLogWait);
   // A flush that *starts* after this point is guaranteed to pick up our
   // (already dirty) buffers.
   uint64_t my_epoch = start_epoch_;

@@ -12,17 +12,21 @@ EmbeddedTxnManager::EmbeddedTxnManager(SimEnv* env, Lfs* lfs, Options options)
       locks_(env),
       gc_(env, lfs, options.group_commit) {
   lfs_->set_txn_hooks(this);
+  // Instance-prefixed so a machine co-hosting both architectures (fig5)
+  // reports each manager separately instead of first-wins swallowing one.
   MetricsRegistry* m = env_->metrics();
-  m->AddGauge(this, "txn.begun", "count", "transactions started",
+  m->AddGauge(this, "txn.embedded.begun", "count", "transactions started",
               [this] { return static_cast<double>(stats_.begun); });
-  m->AddGauge(this, "txn.committed", "count", "transactions committed",
+  m->AddGauge(this, "txn.embedded.committed", "count",
+              "transactions committed",
               [this] { return static_cast<double>(stats_.committed); });
-  m->AddGauge(this, "txn.aborted", "count", "transactions aborted",
+  m->AddGauge(this, "txn.embedded.aborted", "count", "transactions aborted",
               [this] { return static_cast<double>(stats_.aborted); });
-  m->AddGauge(this, "txn.deadlocks", "count",
+  m->AddGauge(this, "txn.embedded.deadlocks", "count",
               "page accesses refused to break a deadlock",
               [this] { return static_cast<double>(stats_.deadlocks); });
-  m->AddGauge(this, "txn.active", "count", "transactions running right now",
+  m->AddGauge(this, "txn.embedded.active", "count",
+              "transactions running right now",
               [this] { return static_cast<double>(active_); });
 }
 
@@ -59,6 +63,7 @@ Status EmbeddedTxnManager::TxnBegin() {
   st.size_at_first_touch.clear();
   active_++;
   stats_.begun++;
+  env_->profiler()->BeginSpan("embedded", st.id);
   LFSTX_TRACE(env_->tracer(), TraceCat::kTxn, "txn_begin", {"txn", st.id},
               {"active", active_});
   return Status::OK();
@@ -84,6 +89,7 @@ Status EmbeddedTxnManager::TxnCommit() {
   locks_.ReleaseAll(st->id);
   st->status = flushed.ok() ? TxnStatus::kCommitted : TxnStatus::kAborted;
   if (flushed.ok()) stats_.committed++;
+  env_->profiler()->EndSpan("embedded", st->id, flushed.ok());
   LFSTX_TRACE(env_->tracer(), TraceCat::kTxn, "txn_commit", {"txn", st->id},
               {"ok", flushed.ok()}, {"active", active_});
   return flushed;
@@ -112,6 +118,7 @@ Status EmbeddedTxnManager::TxnAbort() {
   st->status = TxnStatus::kAborted;
   active_--;
   stats_.aborted++;
+  env_->profiler()->EndSpan("embedded", st->id, false);
   LFSTX_TRACE(env_->tracer(), TraceCat::kTxn, "txn_abort", {"txn", st->id},
               {"active", active_});
   return Status::OK();

@@ -17,7 +17,7 @@ namespace lfstx {
 /// \brief Kernel-resident lock table.
 class KernelLockTable {
  public:
-  explicit KernelLockTable(SimEnv* env) : lm_(env) {}
+  explicit KernelLockTable(SimEnv* env) : lm_(env, "lock.kernel") {}
 
   Status LockPage(TxnId txn, FileId file, uint64_t page, LockMode mode) {
     return lm_.Lock(txn, LockId{file, page}, mode);

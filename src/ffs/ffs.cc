@@ -248,6 +248,7 @@ Status Ffs::WriteBatch(std::vector<Buffer*> bufs) {
     cache_->MarkClean(buf);  // contents captured at submit
     cache_->Release(buf);
   }
+  ProfPhaseScope prof_phase(env_->profiler(), Phase::kDiskWrite);
   if (!ev.Wait()) return Status::Busy("simulation stopped during sync");
   return Status::OK();
 }

@@ -11,6 +11,7 @@ Syncer::Syncer(SimEnv* env, FileSystem* fs, SimTime interval)
   env->Spawn(
       "syncer",
       [env, fs, shared, interval] {
+        env->profiler()->SetCause(IoCause::kSyncer);
         while (!env->stop_requested() && shared->alive) {
           env->SleepFor(interval);
           if (env->stop_requested() || !shared->alive) break;

@@ -18,6 +18,7 @@ Cleaner::Cleaner(SimEnv* env, Lfs* lfs, Options options)
   env_->Spawn(
       "cleaner",
       [this, env, shared, poll] {
+        env->profiler()->SetCause(IoCause::kCleaner);
         while (!env->stop_requested() && shared->alive) {
           shared->wakeup.SleepFor(poll);
           if (env->stop_requested() || !shared->alive) break;

@@ -10,6 +10,9 @@
 namespace lfstx {
 
 Status Lfs::WriteCheckpointLocked() {
+  // Checkpoint region writes are attributed to the checkpoint cause even
+  // when a foreground commit (MaybePeriodicCheckpoint) triggers them.
+  ProfCauseScope prof_cause(env_->profiler(), IoCause::kCheckpoint);
   CheckpointData cp;
   cp.seq = ++checkpoint_seq_;
   cp.timestamp = env_->Now();

@@ -279,11 +279,14 @@ Status Lfs::AdvanceSegment() {
     lfs_stats_.writer_stalls++;
     LFSTX_TRACE(env_->tracer(), TraceCat::kLfs, "writer_stall",
                 {"clean_left", usage_.clean_count()});
-    cleaner_->Poke();
-    flush_lock_.Unlock();
-    clean_wait_.SleepFor(kSecond);
-    if (!flush_lock_.Lock() || env_->stop_requested()) {
-      return Status::Busy("simulation stopped while waiting for cleaner");
+    {
+      ProfPhaseScope prof_phase(env_->profiler(), Phase::kCleanerStall);
+      cleaner_->Poke();
+      flush_lock_.Unlock();
+      clean_wait_.SleepFor(kSecond);
+      if (!flush_lock_.Lock() || env_->stop_requested()) {
+        return Status::Busy("simulation stopped while waiting for cleaner");
+      }
     }
     flush_owner_ = SimEnv::Current();
   }

@@ -139,6 +139,10 @@ Result<Lsn> LogManager::Append(const LogRecord& rec) {
 Status LogManager::FlushTo(Lsn lsn) {
   SimEnv* env = kernel_->env();
   if (next_lsn_ == 0) return Status::OK();  // nothing ever appended
+  // Everything until the WAL is durable — group-commit hold, the log
+  // write + fsync (disk I/O included, see Profiler::Effective), or
+  // piggybacking on another commit's flush — is log-flush wait.
+  ProfPhaseScope prof_phase(env->profiler(), Phase::kLogWait);
   lsn = std::min(lsn, next_lsn_ - 1);
   while (durable_lsn_ < lsn + 1) {
     if (flusher_active_) {

@@ -11,20 +11,24 @@ LibTp::LibTp(Kernel* kernel, Options options)
       options_(options),
       log_(kernel, options.log),
       pool_(kernel, &log_, options.pool_pages),
-      locks_(kernel->env()) {
+      locks_(kernel->env(), "lock.libtp") {
+  // Instance-prefixed so a machine co-hosting both architectures (fig5)
+  // reports each manager separately instead of first-wins swallowing one.
   MetricsRegistry* m = kernel_->env()->metrics();
-  m->AddGauge(this, "txn.begun", "count", "transactions started",
+  m->AddGauge(this, "txn.libtp.begun", "count", "transactions started",
               [this] { return static_cast<double>(stats_.begun); });
-  m->AddGauge(this, "txn.committed", "count", "transactions committed",
+  m->AddGauge(this, "txn.libtp.committed", "count", "transactions committed",
               [this] { return static_cast<double>(stats_.committed); });
-  m->AddGauge(this, "txn.aborted", "count", "transactions aborted",
+  m->AddGauge(this, "txn.libtp.aborted", "count", "transactions aborted",
               [this] { return static_cast<double>(stats_.aborted); });
-  m->AddGauge(this, "txn.deadlocks", "count", "aborts forced by deadlock",
+  m->AddGauge(this, "txn.libtp.deadlocks", "count",
+              "aborts forced by deadlock",
               [this] { return static_cast<double>(stats_.deadlocks); });
-  m->AddGauge(this, "txn.update_records", "count",
+  m->AddGauge(this, "txn.libtp.update_records", "count",
               "before/after-image log records written",
               [this] { return static_cast<double>(stats_.update_records); });
-  m->AddGauge(this, "txn.active", "count", "transactions running right now",
+  m->AddGauge(this, "txn.libtp.active", "count",
+              "transactions running right now",
               [this] { return static_cast<double>(active_); });
 }
 
@@ -49,6 +53,7 @@ Result<TxnId> LibTp::Begin() {
   txns_[id] = TxnState{TxnStatus::kRunning, kNullLsn};
   active_++;
   stats_.begun++;
+  kernel_->env()->profiler()->BeginSpan("libtp", id);
   LFSTX_TRACE(kernel_->env()->tracer(), TraceCat::kTxn, "txn_begin",
               {"txn", id}, {"active", active_});
   return id;
@@ -77,6 +82,7 @@ Status LibTp::Commit(TxnId txn) {
   active_--;
   stats_.committed++;
   txns_.erase(it);
+  env->profiler()->EndSpan("libtp", txn, true);
   LFSTX_TRACE(env->tracer(), TraceCat::kTxn, "txn_commit", {"txn", txn},
               {"commit_lsn", lsn}, {"active", active_});
   if (active_ == 0 &&
@@ -132,6 +138,7 @@ Status LibTp::Abort(TxnId txn) {
   it->second.status = TxnStatus::kAborted;
   active_--;
   stats_.aborted++;
+  env->profiler()->EndSpan("libtp", txn, false);
   LFSTX_TRACE(env->tracer(), TraceCat::kTxn, "txn_abort", {"txn", txn},
               {"active", active_});
   return Status::OK();

@@ -1,0 +1,211 @@
+#include "sim/profiler.h"
+
+#include <algorithm>
+
+#include "common/check_macros.h"
+#include "common/metrics.h"
+#include "sim/sim_env.h"
+#include "sim/trace.h"
+
+namespace lfstx {
+
+namespace {
+// Indexed by Phase; used for metric names, trace fields and tables.
+constexpr const char* kPhaseNames[kNumPhases] = {
+    "run",       "runq_wait", "disk_read_wait", "disk_write_wait",
+    "lock_wait", "log_wait",  "cleaner_stall",
+};
+constexpr const char* kCauseNames[kNumIoCauses] = {
+    "txn", "cleaner", "checkpoint", "syncer",
+};
+}  // namespace
+
+const char* PhaseName(Phase p) { return kPhaseNames[static_cast<int>(p)]; }
+const char* IoCauseName(IoCause c) { return kCauseNames[static_cast<int>(c)]; }
+
+Profiler::Profiler(const SimTime* clock, MetricsRegistry* metrics,
+                   Tracer* tracer)
+    : clock_(clock), metrics_(metrics), tracer_(tracer) {}
+
+Profiler::~Profiler() { metrics_->DropOwner(this); }
+
+Phase Profiler::Effective(const ProcProfile& pp) {
+  if (pp.stack.empty()) return Phase::kRun;
+  Phase top = pp.stack.back();
+  // Disk waits issued while waiting for a log flush / group commit belong
+  // to the commit path, not to the generic data-path disk-wait bucket.
+  if (top == Phase::kDiskRead || top == Phase::kDiskWrite) {
+    for (Phase ph : pp.stack) {
+      if (ph == Phase::kLogWait) return Phase::kLogWait;
+    }
+  }
+  return top;
+}
+
+void Profiler::Charge(SimProc* p) {
+  ProcProfile& pp = p->prof_;
+  SimTime now = *clock_;
+  if (now > pp.mark) {
+    pp.us[static_cast<int>(Effective(pp))] += now - pp.mark;
+  }
+  pp.mark = now;
+}
+
+void Profiler::Push(Phase ph) {
+  SimProc* p = SimEnv::Current();
+  if (p == nullptr) return;
+  Charge(p);
+  p->prof_.stack.push_back(ph);
+}
+
+void Profiler::Pop(Phase ph) {
+  SimProc* p = SimEnv::Current();
+  if (p == nullptr) return;
+  Charge(p);
+  ProcProfile& pp = p->prof_;
+  LFSTX_CHECK(!pp.stack.empty() && pp.stack.back() == ph,
+              "profiler phase stack mismatch on pop");
+  pp.stack.pop_back();
+}
+
+void Profiler::OnSpawn(SimProc* p) {
+  ProcProfile& pp = p->prof_;
+  pp.mark = *clock_;
+  pp.stack.clear();
+  pp.stack.push_back(Phase::kRun);
+  pp.stack.push_back(Phase::kRunQueue);  // Spawn parks it on the run queue
+}
+
+void Profiler::OnRunnable(SimProc* p) {
+  Charge(p);
+  p->prof_.stack.push_back(Phase::kRunQueue);
+}
+
+void Profiler::OnDispatched(SimProc* p) {
+  // The interval since the wakeup — including the context-switch charge
+  // Dispatch just applied — is scheduling delay.
+  Charge(p);
+  ProcProfile& pp = p->prof_;
+  LFSTX_CHECK(!pp.stack.empty() && pp.stack.back() == Phase::kRunQueue,
+              "profiler: dispatched a process not marked run-queued");
+  pp.stack.pop_back();
+}
+
+void Profiler::BeginSpan(const char* mgr, uint64_t txn) {
+  SimProc* p = SimEnv::Current();
+  if (p == nullptr) return;
+  Charge(p);
+  ProcProfile& pp = p->prof_;
+  // A still-open span means the previous transaction was abandoned without
+  // commit/abort (simulated crash, manager restart); supersede it — its
+  // timing is meaningless across the discontinuity.
+  pp.span_open = true;
+  pp.span_mgr = mgr;
+  pp.span_txn = txn;
+  pp.span_begin = *clock_;
+  std::copy(pp.us, pp.us + kNumPhases, pp.span_us0);
+}
+
+void Profiler::EndSpan(const char* mgr, uint64_t txn, bool committed) {
+  SimProc* p = SimEnv::Current();
+  if (p == nullptr) return;
+  ProcProfile& pp = p->prof_;
+  // No span, or a different transaction's (the one we opened was
+  // superseded / the manager restarted): nothing coherent to report.
+  if (!pp.span_open || pp.span_txn != txn) return;
+  Charge(p);
+  uint64_t delta[kNumPhases];
+  uint64_t sum = 0;
+  for (int i = 0; i < kNumPhases; i++) {
+    delta[i] = pp.us[i] - pp.span_us0[i];
+    sum += delta[i];
+  }
+  uint64_t elapsed = *clock_ - pp.span_begin;
+  // Charging at both endpoints makes the phases a partition of the span.
+  LFSTX_CHECK(sum == elapsed, "profiler: span phases do not sum to elapsed");
+  pp.span_open = false;
+  pp.span_mgr = nullptr;
+
+  TagState* tag = TagFor(mgr);
+  tag->agg.spans++;
+  if (committed) tag->agg.committed++;
+  tag->agg.elapsed_us += elapsed;
+  tag->elapsed->Add(elapsed);
+  for (int i = 0; i < kNumPhases; i++) {
+    tag->agg.phase_us[i] += delta[i];
+    tag->phase[i]->Add(delta[i]);
+  }
+
+  LFSTX_TRACE(tracer_, TraceCat::kProf, "txn_profile", {"mgr", mgr},
+              {"txn", txn}, {"committed", committed}, {"elapsed_us", elapsed},
+              {kPhaseNames[0], delta[0]}, {kPhaseNames[1], delta[1]},
+              {kPhaseNames[2], delta[2]}, {kPhaseNames[3], delta[3]},
+              {kPhaseNames[4], delta[4]}, {kPhaseNames[5], delta[5]},
+              {kPhaseNames[6], delta[6]});
+}
+
+IoCause Profiler::CurrentCause() const {
+  SimProc* p = SimEnv::Current();
+  return p != nullptr ? p->prof_.cause : IoCause::kTxn;
+}
+
+IoCause Profiler::SetCause(IoCause c) {
+  SimProc* p = SimEnv::Current();
+  if (p == nullptr) return IoCause::kTxn;
+  IoCause prev = p->prof_.cause;
+  p->prof_.cause = c;
+  return prev;
+}
+
+void Profiler::ChargeDiskRequest(IoCause c, bool write, uint64_t wait_us,
+                                 uint64_t service_us) {
+  (void)write;
+  int i = static_cast<int>(c);
+  DiskAgg& agg = disk_[i];
+  agg.requests++;
+  agg.wait_us += wait_us;
+  agg.service_us += service_us;
+  if (!disk_metrics_registered_[i]) {
+    disk_metrics_registered_[i] = true;
+    std::string base = std::string("prof.disk.") + kCauseNames[i];
+    metrics_->AddGauge(this, base + ".requests", "count",
+                       "disk requests submitted with this cause tag",
+                       [&agg] { return static_cast<double>(agg.requests); });
+    metrics_->AddGauge(this, base + ".wait_us", "us",
+                       "queue wait before service, by cause",
+                       [&agg] { return static_cast<double>(agg.wait_us); });
+    metrics_->AddGauge(this, base + ".service_us", "us",
+                       "seek+rotation+transfer time, by cause",
+                       [&agg] { return static_cast<double>(agg.service_us); });
+  }
+}
+
+Profiler::TagState* Profiler::TagFor(const char* mgr) {
+  auto it = tags_.find(mgr);
+  if (it != tags_.end()) return &it->second;
+  TagState& t = tags_[mgr];
+  std::string base = std::string("prof.") + mgr;
+  t.elapsed = metrics_->GetHistogram(base + ".elapsed_us", "us",
+                                     "transaction elapsed virtual time");
+  for (int i = 0; i < kNumPhases; i++) {
+    t.phase[i] = metrics_->GetHistogram(
+        base + "." + kPhaseNames[i] + "_us", "us",
+        "per-transaction virtual time in this phase");
+  }
+  return &t;
+}
+
+Profiler::SpanAgg Profiler::AggFor(const std::string& mgr) const {
+  auto it = tags_.find(mgr);
+  return it != tags_.end() ? it->second.agg : SpanAgg{};
+}
+
+std::vector<std::string> Profiler::SpanTags() const {
+  std::vector<std::string> out;
+  for (const auto& [name, tag] : tags_) {
+    if (tag.agg.spans > 0) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace lfstx

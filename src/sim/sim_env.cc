@@ -57,6 +57,7 @@ SimProc* SimEnv::Spawn(std::string name, std::function<void()> fn,
   if (!daemon) live_nondaemon_++;
   stats_.processes_spawned++;
   runnable_.push_back(p);
+  profiler_.OnSpawn(p);
 
   p->thread_ = std::thread([this, p] {
     p->resume_.acquire();
@@ -80,6 +81,7 @@ void SimEnv::Dispatch(SimProc* p) {
     stats_.context_switches++;
   }
   last_dispatched_ = p;
+  profiler_.OnDispatched(p);
   p->resume_.release();
   sched_sem_.acquire();  // until p blocks, yields, or exits
 }
@@ -151,6 +153,7 @@ void SimEnv::MakeRunnable(SimProc* p, WakeReason reason) {
   p->waiting_on_ = nullptr;
   p->block_seq_++;  // cancel any pending timeout timer for this block
   runnable_.push_back(p);
+  profiler_.OnRunnable(p);
 }
 
 void SimEnv::ForceWakeAll() {
@@ -204,6 +207,7 @@ void SimEnv::Yield() {
   if (p == nullptr) return;
   p->state_ = SimProc::State::kRunnable;
   runnable_.push_back(p);
+  profiler_.OnRunnable(p);
   SwitchToScheduler(p);
 }
 

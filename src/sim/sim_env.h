@@ -25,6 +25,7 @@
 #include "common/metrics.h"
 #include "sim/clock.h"
 #include "sim/cost_model.h"
+#include "sim/profiler.h"
 #include "sim/trace.h"
 
 namespace lfstx {
@@ -68,6 +69,7 @@ class SimProc {
  private:
   friend class SimEnv;
   friend class WaitQueue;
+  friend class Profiler;
 
   enum class State { kRunnable, kRunning, kBlocked, kSleeping, kDone };
 
@@ -81,6 +83,7 @@ class SimProc {
   WaitQueue* waiting_on_ = nullptr;
   uint64_t block_seq_ = 0;  // invalidates stale timeout timers
   SimEnv* env_ = nullptr;
+  ProcProfile prof_;  // phase-attribution state (see sim/profiler.h)
 };
 
 /// \brief Simulation environment: clock + scheduler + timers + cost model.
@@ -111,6 +114,8 @@ class SimEnv {
   MetricsRegistry* metrics() { return &metrics_; }
   /// Machine-wide event tracer, stamped with this env's virtual clock.
   Tracer* tracer() { return &tracer_; }
+  /// Machine-wide virtual-clock profiler (always on; see sim/profiler.h).
+  Profiler* profiler() { return &profiler_; }
 
   /// Create a simulated process. Daemons (syncer, cleaner, group-commit)
   /// do not keep the simulation alive: Run() returns once every non-daemon
@@ -178,6 +183,7 @@ class SimEnv {
   // so subsystems owned by still-running procs never outlive the registry.
   MetricsRegistry metrics_;
   Tracer tracer_{&now_};
+  Profiler profiler_{&now_, &metrics_, &tracer_};
 
   std::vector<std::unique_ptr<SimProc>> procs_;
   std::deque<SimProc*> runnable_;

@@ -2,10 +2,34 @@
 
 #include <cmath>
 #include <cstring>
+#include <map>
+#include <mutex>
 
 namespace lfstx {
 
 namespace {
+
+// Process-wide registry of trace-file sinks. A bench sweep builds one
+// machine per configuration; with a plain fopen("w") per machine the last
+// one would clobber every earlier trace. Instead the first opener of a
+// path truncates it and every later opener appends through the same
+// handle, tagged with its attachment order. Handles live for the process
+// lifetime (flushed whenever a tracer detaches) so that sequentially
+// constructed machines keep appending rather than re-truncating.
+struct SharedSink {
+  FILE* file = nullptr;
+  uint32_t attaches = 0;  // machine tags handed out so far
+};
+
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<std::string, SharedSink>& SinkRegistry() {
+  static std::map<std::string, SharedSink> reg;
+  return reg;
+}
 
 struct CatName {
   TraceCat cat;
@@ -18,7 +42,7 @@ constexpr CatName kCatNames[] = {
     {TraceCat::kCheckpoint, "checkpoint"}, {TraceCat::kRecovery, "recovery"},
     {TraceCat::kTxn, "txn"},             {TraceCat::kLock, "lock"},
     {TraceCat::kLog, "log"},             {TraceCat::kSync, "sync"},
-    {TraceCat::kCheck, "check"},
+    {TraceCat::kCheck, "check"},         {TraceCat::kProf, "prof"},
 };
 
 void AppendEscaped(std::string* out, const char* s) {
@@ -39,8 +63,17 @@ void AppendEscaped(std::string* out, const char* s) {
 
 }  // namespace
 
-Tracer::~Tracer() {
-  if (file_ != nullptr) fclose(file_);
+Tracer::~Tracer() { ReleaseSink(); }
+
+void Tracer::ReleaseSink() {
+  if (file_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  // The handle stays open (and stays in the registry) so the next machine
+  // in this process appends; just make this tracer's events durable.
+  fflush(file_);
+  file_ = nullptr;
+  path_.clear();
+  machine_ = 0;
 }
 
 const char* Tracer::CategoryName(TraceCat c) {
@@ -80,12 +113,19 @@ Status Tracer::EnableSpec(const std::string& spec) {
 }
 
 Status Tracer::OpenFile(const std::string& path) {
-  FILE* f = fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    return Status::IOError("cannot open trace file " + path);
+  ReleaseSink();
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SharedSink& sink = SinkRegistry()[path];
+  if (sink.file == nullptr) {
+    sink.file = fopen(path.c_str(), "w");
+    if (sink.file == nullptr) {
+      SinkRegistry().erase(path);
+      return Status::IOError("cannot open trace file " + path);
+    }
   }
-  if (file_ != nullptr) fclose(file_);
-  file_ = f;
+  file_ = sink.file;
+  path_ = path;
+  machine_ = ++sink.attaches;
   return Status::OK();
 }
 
@@ -98,6 +138,12 @@ void Tracer::Emit(TraceCat c, const char* event,
   snprintf(buf, sizeof(buf), "%llu",
            static_cast<unsigned long long>(clock_ ? *clock_ : 0));
   line += buf;
+  // Machine tag only applies to the shared file sink; capture sinks are
+  // single-machine by construction and must stay byte-stable across runs.
+  if (machine_ != 0 && capture_ == nullptr) {
+    snprintf(buf, sizeof(buf), ",\"m\":%u", machine_);
+    line += buf;
+  }
   line += ",\"cat\":\"";
   line += CategoryName(c);
   line += "\",\"ev\":\"";

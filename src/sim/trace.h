@@ -40,9 +40,10 @@ enum class TraceCat : uint32_t {
   kLog = 1u << 8,         ///< LIBTP log flushes / truncation
   kSync = 1u << 9,        ///< sync-daemon rounds
   kCheck = 1u << 10,      ///< invariant-checker runs and failures
+  kProf = 1u << 11,       ///< profiler per-transaction phase breakdowns
 };
 
-constexpr uint32_t kTraceAll = (1u << 11) - 1;
+constexpr uint32_t kTraceAll = (1u << 12) - 1;
 
 /// One key/value in a trace event. Implicit constructors let call sites
 /// write `{"block", addr}, {"op", "read"}`.
@@ -93,8 +94,17 @@ class Tracer {
   /// (disables everything). Unknown names are an error.
   Status EnableSpec(const std::string& spec);
 
-  /// Routes events to `path` (overwrites). Closed on destruction.
+  /// Routes events to `path`. Trace files are shared process-wide: the
+  /// first tracer to open `path` truncates it; later tracers (e.g. the
+  /// next configuration's machine in a bench sweep) append to the same
+  /// handle instead of clobbering it. Each attachment gets a distinct
+  /// machine tag, emitted as an `"m"` field on every event, so a merged
+  /// trace still separates by machine.
   Status OpenFile(const std::string& path);
+
+  /// 1-based attachment order on the shared trace file (0 = no file sink;
+  /// such events carry no `"m"` field).
+  uint32_t machine_tag() const { return machine_; }
 
   /// Routes events into a string (for tests). Overrides any file.
   /// Pass nullptr to revert to the file / stderr sink.
@@ -110,9 +120,13 @@ class Tracer {
   static const char* CategoryName(TraceCat c);
 
  private:
+  void ReleaseSink();
+
   const SimTime* clock_;
   uint32_t mask_ = 0;
-  FILE* file_ = nullptr;  // owned; nullptr -> stderr
+  FILE* file_ = nullptr;  // shared via the process-wide sink registry
+  std::string path_;      // registry key; empty -> stderr sink
+  uint32_t machine_ = 0;  // attachment order on the shared file, 1-based
   std::string* capture_ = nullptr;
   uint64_t emitted_ = 0;
 };

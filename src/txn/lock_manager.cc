@@ -82,7 +82,11 @@ Status LockManager::Lock(TxnId txn, LockId id, LockMode mode) {
     }
     if (e.waiters == nullptr) e.waiters = std::make_unique<WaitQueue>(env_);
     e.waiter_count++;
-    WakeReason r = e.waiters->Sleep();
+    WakeReason r;
+    {
+      ProfPhaseScope ph(env_->profiler(), Phase::kLockWait);
+      r = e.waiters->Sleep();
+    }
     e.waiter_count--;
     waits_for_.RemoveWaiter(txn);
     if (r == WakeReason::kStopped) {

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Run a small-scale fig4_tps and write BENCH_fig4.json.
+
+CI runs this after every build as a cheap performance-tracking step: a
+tiny TPC-B measurement per architecture (seconds of wall time), with the
+profiler's headline "where did the time go" breakdown attached, so a
+regression shows up not just as a TPS delta but as the phase that ate
+the time.
+
+The output is deterministic — the simulation is virtual-time and seeded,
+and no wall-clock timestamps are recorded — so the committed
+BENCH_fig4.json only changes when behaviour changes.
+
+Usage:
+    python3 tools/bench_summary.py [--bench build/bench/fig4_tps]
+                                   [--out BENCH_fig4.json]
+                                   [--scale 64] [--txns 40]
+                                   [--min-coverage 0.95]
+"""
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+EXPECTED_ARCHS = ["user_ffs", "user_lfs", "embedded_lfs"]
+
+
+def run_bench(bench, scale, txns, summary_path):
+    cmd = [
+        bench,
+        f"--scale={scale}",
+        f"--txns={txns}",
+        f"--summary={summary_path}",
+    ]
+    print("+ " + " ".join(cmd), flush=True)
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True)
+    sys.stdout.write(proc.stdout)
+    if proc.returncode != 0:
+        sys.exit(f"bench failed with exit code {proc.returncode}")
+
+
+def validate(summary, min_coverage):
+    configs = summary.get("configs", [])
+    archs = [c.get("arch") for c in configs]
+    if archs != EXPECTED_ARCHS:
+        sys.exit(f"expected configs {EXPECTED_ARCHS}, got {archs}")
+    for c in configs:
+        arch = c["arch"]
+        if not c["tps"] > 0:
+            sys.exit(f"{arch}: non-positive TPS {c['tps']}")
+        prof = c["prof"]
+        phase_sum = sum(prof["phases"].values())
+        if phase_sum != prof["elapsed_us"]:
+            sys.exit(f"{arch}: phases sum to {phase_sum}, span elapsed is "
+                     f"{prof['elapsed_us']} — profiler bug")
+        if c["coverage"] < min_coverage:
+            sys.exit(f"{arch}: only {c['coverage']:.1%} of the measured "
+                     f"window attributed to transaction spans "
+                     f"(floor {min_coverage:.0%})")
+        print(f"  {arch}: {c['tps']:.2f} TPS, "
+              f"coverage {c['coverage']:.1%}, "
+              f"{prof['phases']['log_wait']} us in log_wait")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--bench", default="build/bench/fig4_tps")
+    ap.add_argument("--out", default="BENCH_fig4.json")
+    ap.add_argument("--scale", type=int, default=64)
+    ap.add_argument("--txns", type=int, default=40)
+    ap.add_argument("--min-coverage", type=float, default=0.95)
+    args = ap.parse_args()
+
+    if not os.path.exists(args.bench):
+        sys.exit(f"{args.bench} not found (build first)")
+
+    fd, tmp = tempfile.mkstemp(suffix=".json")
+    os.close(fd)
+    try:
+        run_bench(args.bench, args.scale, args.txns, tmp)
+        with open(tmp, "r", encoding="utf-8") as f:
+            summary = json.load(f)
+    finally:
+        os.unlink(tmp)
+
+    validate(summary, args.min_coverage)
+
+    # Re-serialize with sorted keys so the file is canonical regardless of
+    # the emitting code's field order.
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(summary, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()
