@@ -6,6 +6,8 @@
 //                    kernel cache — same cache:database and database:disk
 //                    ratios as the paper's full-size configuration)
 //   --txns=N         measured transactions (default depends on the bench)
+//   --readahead=N    clustered-readahead window in blocks (0 disables;
+//                    default: the machine's standard window)
 //   --metrics-dir=D  write one metrics snapshot JSON per configuration
 //                    into directory D (created if absent)
 //   --trace=SPEC     enable trace categories ("disk,txn", "all")
@@ -44,6 +46,7 @@ namespace lfstx {
 struct BenchConfig {
   uint64_t scale = 4;
   uint64_t txns = 0;  // 0 = bench default
+  int64_t readahead = -1;  // -1 = machine default window
   bool fsck = false;
   bool profile = false;
   std::string metrics_dir;
@@ -58,6 +61,8 @@ struct BenchConfig {
         c.scale = std::max<uint64_t>(1, strtoull(argv[i] + 8, nullptr, 10));
       } else if (strncmp(argv[i], "--txns=", 7) == 0) {
         c.txns = strtoull(argv[i] + 7, nullptr, 10);
+      } else if (strncmp(argv[i], "--readahead=", 12) == 0) {
+        c.readahead = strtoll(argv[i] + 12, nullptr, 10);
       } else if (strncmp(argv[i], "--metrics-dir=", 14) == 0) {
         c.metrics_dir = argv[i] + 14;
       } else if (strncmp(argv[i], "--trace=", 8) == 0) {
@@ -87,6 +92,9 @@ struct BenchConfig {
         static_cast<uint32_t>(std::max<uint64_t>(96, 1280 / scale));
     o.trace_categories = trace;
     o.trace_path = trace_file;
+    if (readahead >= 0) {
+      o.readahead_blocks = static_cast<uint32_t>(readahead);
+    }
     return o;
   }
 

@@ -7,25 +7,42 @@
 
 namespace lfstx {
 
-BufferCache::BufferCache(SimEnv* env, size_t capacity_blocks)
-    : env_(env), capacity_(capacity_blocks) {
+BufferCache::BufferCache(SimEnv* env, size_t capacity_blocks,
+                         std::string instance)
+    : env_(env), capacity_(capacity_blocks), instance_(std::move(instance)) {
   assert(capacity_ >= 8);
   MetricsRegistry* m = env_->metrics();
-  m->AddGauge(this, "cache.hits", "count", "buffer cache hits",
-              [this] { return static_cast<double>(stats_.hits); });
-  m->AddGauge(this, "cache.misses", "count", "buffer cache misses",
-              [this] { return static_cast<double>(stats_.misses); });
-  m->AddGauge(this, "cache.evictions", "count", "frames evicted",
-              [this] { return static_cast<double>(stats_.evictions); });
-  m->AddGauge(this, "cache.dirty_evictions", "count",
-              "evictions that forced a write-back",
-              [this] { return static_cast<double>(stats_.dirty_evictions); });
-  m->AddGauge(this, "cache.resident", "blocks", "frames currently cached",
-              [this] { return static_cast<double>(buffers_.size()); });
-  m->AddGauge(this, "cache.dirty", "blocks", "dirty frames right now",
-              [this] { return static_cast<double>(dirty_count_); });
-  m->AddGauge(this, "cache.capacity", "blocks", "configured frame count",
-              [this] { return static_cast<double>(capacity_); });
+  auto g = [&](const char* leaf, const char* unit, const char* help,
+               std::function<double()> fn) {
+    m->AddGauge(this, MetricName(leaf), unit, help, std::move(fn));
+  };
+  g("hits", "count", "buffer cache hits",
+    [this] { return static_cast<double>(stats_.hits); });
+  g("misses", "count", "buffer cache misses",
+    [this] { return static_cast<double>(stats_.misses); });
+  g("evictions", "count", "frames evicted",
+    [this] { return static_cast<double>(stats_.evictions); });
+  g("dirty_evictions", "count", "evictions that forced a write-back",
+    [this] { return static_cast<double>(stats_.dirty_evictions); });
+  g("resident", "blocks", "frames currently cached",
+    [this] { return static_cast<double>(buffers_.size()); });
+  g("dirty", "blocks", "dirty frames right now",
+    [this] { return static_cast<double>(dirty_count_); });
+  g("capacity", "blocks", "configured frame count",
+    [this] { return static_cast<double>(capacity_); });
+  g("readahead.issued", "count", "clustered readahead requests",
+    [this] { return static_cast<double>(stats_.readahead_issued); });
+  g("readahead.blocks", "blocks", "blocks prefetched beyond demand blocks",
+    [this] { return static_cast<double>(stats_.readahead_blocks); });
+  g("readahead.hits", "count", "first references to prefetched frames",
+    [this] { return static_cast<double>(stats_.readahead_hits); });
+  g("readahead.wasted", "count", "prefetched frames dropped unreferenced",
+    [this] { return static_cast<double>(stats_.readahead_wasted); });
+}
+
+std::string BufferCache::MetricName(const char* leaf) const {
+  return instance_.empty() ? std::string("cache.") + leaf
+                           : "cache." + instance_ + "." + leaf;
 }
 
 BufferCache::~BufferCache() { env_->metrics()->DropOwner(this); }
@@ -62,6 +79,7 @@ Result<Buffer*> BufferCache::Frame(BufferKey key, bool* fresh) {
       TouchLru(buf);
       *fresh = false;
       stats_.hits++;
+      NoteReferenced(buf);
       return buf;
     }
     break;
@@ -82,20 +100,40 @@ Result<Buffer*> BufferCache::Frame(BufferKey key, bool* fresh) {
   return buf;
 }
 
+bool BufferCache::EvictCleanOne() {
+  // Coldest eligible frame wins, except that a never-referenced prefetch in
+  // the colder half of the LRU goes first — stale readahead must die before
+  // demand-loaded data. The preference deliberately excludes the hot half:
+  // a just-installed prefetch run sits there, and preferring it would make
+  // each InstallPrefetched of a full cache evict the run's previous frame.
+  Buffer* victim = nullptr;
+  const size_t cold_limit = lru_.size() / 2;
+  size_t pos = 0;
+  for (Buffer* b : lru_) {
+    const bool cold = pos++ < cold_limit;
+    if (!cold && victim != nullptr) break;
+    if (b->pin_count > 0 || b->txn_dirty || b->io_in_progress || b->dirty) {
+      continue;
+    }
+    if (b->prefetched && cold) {
+      victim = b;
+      break;
+    }
+    if (victim == nullptr) victim = b;
+  }
+  if (victim == nullptr) return false;
+  if (victim->prefetched) stats_.readahead_wasted++;
+  stats_.evictions++;
+  lru_.erase(victim->lru_pos);
+  victim->in_lru = false;
+  buffers_.erase(victim->key);
+  return true;
+}
+
 Status BufferCache::EvictOne() {
   // Pass 1: prefer a clean victim — cheap, and safe even when the eviction
   // happens re-entrantly inside a file system flush.
-  for (Buffer* victim : lru_) {
-    if (victim->pin_count > 0 || victim->txn_dirty ||
-        victim->io_in_progress || victim->dirty) {
-      continue;
-    }
-    stats_.evictions++;
-    lru_.erase(victim->lru_pos);
-    victim->in_lru = false;
-    buffers_.erase(victim->key);
-    return Status::OK();
-  }
+  if (EvictCleanOne()) return Status::OK();
   if (no_dirty_eviction_ > 0) {
     return Status::NoSpace(
         "buffer cache exhausted during flush: no clean frame available");
@@ -165,7 +203,25 @@ Buffer* BufferCache::Peek(BufferKey key) {
   auto it = buffers_.find(key);
   if (it == buffers_.end() || it->second->io_in_progress) return nullptr;
   it->second->pin_count++;
+  NoteReferenced(it->second.get());
   return it->second.get();
+}
+
+bool BufferCache::InstallPrefetched(BufferKey key, const char* data,
+                                    BlockAddr disk_addr) {
+  if (buffers_.count(key) != 0) return false;
+  while (buffers_.size() >= capacity_) {
+    if (!EvictCleanOne()) return false;
+  }
+  auto owned = std::make_unique<Buffer>();
+  Buffer* buf = owned.get();
+  buf->key = key;
+  memcpy(buf->data, data, kBlockSize);
+  buf->disk_addr = disk_addr;
+  buf->prefetched = true;
+  buffers_.emplace(key, std::move(owned));
+  TouchLru(buf);
+  return true;
 }
 
 void BufferCache::Release(Buffer* buf) {
@@ -262,6 +318,7 @@ void BufferCache::DropFile(FileId file, uint64_t from_lblock) {
         "DropFile hit a pinned, transaction, or in-flight buffer — the "
         "caller must quiesce the file first");
     if (buf->dirty) dirty_count_--;
+    if (buf->prefetched) stats_.readahead_wasted++;
     if (buf->in_lru) lru_.erase(buf->lru_pos);
     it = buffers_.erase(it);
   }
@@ -329,6 +386,10 @@ std::vector<std::string> BufferCache::CheckInvariants() const {
     if (buf->txn_dirty && buf->txn_owner == kNoTxn) {
       problem(who + " is transaction-dirty but owned by no transaction");
     }
+    if (buf->prefetched && (buf->dirty || buf->txn_dirty)) {
+      problem(who + " is prefetched yet dirty — every dirtying path must "
+                    "reference (and unflag) the frame first");
+    }
     if (!buf->txn_dirty && buf->txn_owner != kNoTxn) {
       problem(who + " carries stale transaction owner " +
               std::to_string(buf->txn_owner));
@@ -358,6 +419,7 @@ void BufferCache::Clear() {
     LFSTX_CHECK(buf->pin_count == 0 && !buf->dirty && !buf->txn_dirty,
                 "Clear would discard a pinned or unwritten buffer — the "
                 "caller must SyncAll first");
+    if (buf->prefetched) stats_.readahead_wasted++;
   }
   buffers_.clear();
   lru_.clear();

@@ -43,6 +43,7 @@ struct Buffer {
   char data[kBlockSize];
   bool dirty = false;
   bool txn_dirty = false;  ///< on a transaction list, unevictable
+  bool prefetched = false;  ///< installed by readahead, never referenced yet
   TxnId txn_owner = kNoTxn;
   int pin_count = 0;
   bool io_in_progress = false;  ///< being loaded or written back
@@ -68,7 +69,12 @@ class WritebackHandler {
 /// \brief LRU buffer cache shared by the whole simulated kernel.
 class BufferCache {
  public:
-  BufferCache(SimEnv* env, size_t capacity_blocks);
+  /// `instance` namespaces the registered metrics: empty registers
+  /// "cache.hits", "lfs" registers "cache.lfs.hits", and so on. Rigs that
+  /// host more than one file system must pass distinct instances or the
+  /// registry's first-wins rule silently drops the second cache's numbers
+  /// (the same hazard PR 3 fixed for `txn.*`/`lock.*`).
+  BufferCache(SimEnv* env, size_t capacity_blocks, std::string instance = "");
   ~BufferCache();
 
   void set_writeback(WritebackHandler* handler) { writeback_ = handler; }
@@ -86,6 +92,27 @@ class BufferCache {
 
   /// Buffer if resident (and pins it), nullptr otherwise. Never does I/O.
   Buffer* Peek(BufferKey key);
+
+  /// True if a frame for `key` exists, even one mid-I/O. Never pins and
+  /// never blocks — the readahead extent scan uses it to stop at blocks
+  /// that are already cached.
+  bool Resident(BufferKey key) const { return buffers_.count(key) != 0; }
+
+  /// Install a clean, unpinned frame holding prefetched contents (clustered
+  /// readahead). Returns false without side effects when the key is already
+  /// resident (a racing writer or reader owns the truth) or when no frame
+  /// can be reclaimed without a write-back — prefetches must never force
+  /// dirty eviction. The frame is flagged `prefetched` until its first
+  /// reference; frames evicted still flagged count as wasted readahead.
+  bool InstallPrefetched(BufferKey key, const char* data, BlockAddr disk_addr);
+
+  /// Record one clustered readahead request that fetched `extra_blocks`
+  /// beyond the demand block (called by the file system's read path when it
+  /// issues the multi-block disk request).
+  void NoteReadahead(uint64_t extra_blocks) {
+    stats_.readahead_issued++;
+    stats_.readahead_blocks += extra_blocks;
+  }
 
   /// Unpin. Every successful Get/GetNoLoad/Peek must be paired with one.
   void Release(Buffer* buf);
@@ -123,6 +150,10 @@ class BufferCache {
     uint64_t misses = 0;
     uint64_t evictions = 0;
     uint64_t dirty_evictions = 0;
+    uint64_t readahead_issued = 0;  ///< clustered (multi-block) read requests
+    uint64_t readahead_blocks = 0;  ///< blocks fetched beyond demand blocks
+    uint64_t readahead_hits = 0;    ///< first references to prefetched frames
+    uint64_t readahead_wasted = 0;  ///< prefetched frames dropped unreferenced
   };
   const Stats& stats() const { return stats_; }
   size_t dirty_count() const { return dirty_count_; }
@@ -150,10 +181,23 @@ class BufferCache {
  private:
   Result<Buffer*> Frame(BufferKey key, bool* fresh);
   Status EvictOne();
+  /// Reclaim one clean, unpinned frame, preferring never-referenced
+  /// prefetches over demand-loaded data. Returns false if every clean
+  /// frame is pinned or in flight.
+  bool EvictCleanOne();
   void TouchLru(Buffer* buf);
+  /// First-reference bookkeeping shared by Get/Peek hit paths.
+  void NoteReferenced(Buffer* buf) {
+    if (buf->prefetched) {
+      buf->prefetched = false;
+      stats_.readahead_hits++;
+    }
+  }
+  std::string MetricName(const char* leaf) const;
 
   SimEnv* env_;
   size_t capacity_;
+  std::string instance_;
   WritebackHandler* writeback_ = nullptr;
   std::map<BufferKey, std::unique_ptr<Buffer>> buffers_;
   std::list<Buffer*> lru_;  // front = coldest

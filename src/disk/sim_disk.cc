@@ -22,6 +22,8 @@ SimDisk::SimDisk(SimEnv* env, Options options)
   };
   g("disk.reads", "count", "read requests submitted",
     [this] { return static_cast<double>(stats_.reads); });
+  g("disk.clustered_reads", "count", "multi-block read requests",
+    [this] { return static_cast<double>(stats_.clustered_reads); });
   g("disk.writes", "count", "write requests submitted",
     [this] { return static_cast<double>(stats_.writes); });
   g("disk.blocks_read", "blocks", "blocks read",
@@ -74,6 +76,7 @@ void SimDisk::Submit(std::unique_ptr<DiskRequest> req) {
   req->cause = env_->profiler()->CurrentCause();
   if (req->kind == DiskRequest::Kind::kRead) {
     stats_.reads++;
+    if (req->nblocks > 1) stats_.clustered_reads++;
     stats_.blocks_read += req->nblocks;
   } else {
     stats_.writes++;

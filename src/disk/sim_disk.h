@@ -34,6 +34,7 @@ class SimDisk {
   struct Stats {
     uint64_t reads = 0;
     uint64_t writes = 0;
+    uint64_t clustered_reads = 0;  ///< multi-block read requests (readahead)
     uint64_t blocks_read = 0;
     uint64_t blocks_written = 0;
     size_t max_queue_depth = 0;

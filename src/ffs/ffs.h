@@ -62,6 +62,12 @@ class Ffs : public FsCore {
   Status NoteInodeDirty(Inode* ino) override;
   Result<BlockAddr> AllocBlockAddr(Inode* ino) override;
   void ReleaseBlockAddr(BlockAddr addr) override;
+  /// Readahead anywhere inside the data region (FFS places a file's blocks
+  /// near-contiguously there); never into the bitmap / inode table.
+  uint64_t ExtentLimitBlocks(BlockAddr addr) const override {
+    if (addr < sb_.data_start || addr >= sb_.total_blocks) return 1;
+    return sb_.total_blocks - addr;
+  }
 
  private:
   struct Superblock {

@@ -70,6 +70,12 @@ struct Inode {
   bool being_cleaned = false;
   std::unique_ptr<WaitQueue> clean_wait;  // lazily created by the cleaner
 
+  /// Sequential-read detector for clustered readahead: the logical block a
+  /// purely sequential reader would touch next. A read of this block (or of
+  /// block 0, restarting a scan) is treated as sequential and may trigger
+  /// readahead; anything else is random access and reads one block.
+  uint64_t ra_next_lblock = 0;
+
   InodeNum num() const { return d.inum; }
   /// Cache/lock namespace of this file's data blocks.
   FileId data_file_id() const { return d.inum; }

@@ -87,12 +87,25 @@ class FileSystem : public WritebackHandler {
   virtual Status SetTxnProtected(const std::string& path, bool on) = 0;
 };
 
+/// Default clustered-readahead window, in 4 KiB blocks (128 KiB — one LFS
+/// segment is 512 KiB, so a window always fits inside a segment).
+constexpr uint32_t kDefaultReadaheadBlocks = 32;
+
 /// \brief Shared implementation core. See file comment.
 class FsCore : public FileSystem {
  public:
   FsCore(SimEnv* env, SimDisk* disk, BufferCache* cache);
 
   void set_txn_hooks(TxnHooks* hooks) { hooks_ = hooks; }
+
+  /// Clustered-readahead window in blocks; 0 or 1 disables readahead. A
+  /// sequential cold read fetches up to this many blocks of the surrounding
+  /// contiguous extent in ONE disk request (one seek + one rotational
+  /// settle + N track transfers) and installs the extra blocks as clean
+  /// prefetched cache frames. The effective window is further bounded by
+  /// cache pressure (a quarter of the cache) and by ExtentLimitBlocks().
+  void set_readahead_window(uint32_t blocks) { readahead_window_ = blocks; }
+  uint32_t readahead_window() const { return readahead_window_; }
   SimEnv* env() const { return env_; }
   SimDisk* disk() const { return disk_; }
   BufferCache* cache() const { return cache_; }
@@ -156,6 +169,16 @@ class FsCore : public FileSystem {
   /// Block the caller while `ino` is locked by the kernel cleaner; default
   /// no-op (FFS has no cleaner).
   virtual Status EnterDataPath(Inode* ino) { (void)ino; return Status::OK(); }
+  /// How many blocks starting at disk address `addr` one clustered read may
+  /// cover before crossing an FS placement boundary (LFS: the end of the
+  /// containing segment; FFS: the end of the data region). The readahead
+  /// scan never crosses this limit, so a request stays within one unit the
+  /// disk can service with a single seek. Must return >= 1 for any address
+  /// MapBlock can produce.
+  virtual uint64_t ExtentLimitBlocks(BlockAddr addr) const {
+    (void)addr;
+    return kMaxFileBlocks;  // base: no FS-specific boundary
+  }
 
   // ---- shared machinery used by subclasses ----
 
@@ -190,6 +213,11 @@ class FsCore : public FileSystem {
   /// Pinned metadata buffer (indirect block) by meta-namespace lblock.
   Result<Buffer*> GetMetaBuffer(Inode* ino, uint64_t meta_lblock,
                                 BlockAddr home);
+  /// Cache-miss load for a sequential read: fetch `addr` (home of `lblock`)
+  /// plus the following contiguous, uncached, intra-extent blocks of `ino`
+  /// in ONE disk request; the demand block lands in `dst`, the rest are
+  /// installed as clean prefetched cache frames.
+  Status ReadClustered(Inode* ino, uint64_t lblock, BlockAddr addr, char* dst);
   Result<TxnId> MaybeLock(Inode* ino, uint64_t lblock, bool write);
 
   // Directory plumbing.
@@ -200,6 +228,7 @@ class FsCore : public FileSystem {
 
   Status FreeFileBlocks(Inode* ino, uint64_t from_block);
 
+  uint32_t readahead_window_ = kDefaultReadaheadBlocks;
   std::unordered_map<InodeNum, std::unique_ptr<Inode>> inodes_;
 };
 

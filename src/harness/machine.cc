@@ -125,18 +125,26 @@ std::unique_ptr<Machine> Machine::Build(const Options& options) {
     }
   }
   m->disk = std::make_unique<SimDisk>(m->env.get(), options.disk);
-  m->cache = std::make_unique<BufferCache>(m->env.get(), options.cache_blocks);
+  // Instance-named cache metrics (cache.lfs.* / cache.ffs.*): a rig hosting
+  // both file systems would otherwise lose one cache's counters to the
+  // registry's first-wins rule.
+  m->cache = std::make_unique<BufferCache>(
+      m->env.get(), options.cache_blocks,
+      options.fs == FsKind::kLfs ? "lfs" : "ffs");
   if (options.fs == FsKind::kLfs) {
     auto lfs = std::make_unique<Lfs>(m->env.get(), m->disk.get(),
                                      m->cache.get(), options.lfs);
+    lfs->set_readahead_window(options.readahead_blocks);
     if (options.start_cleaner) {
       m->cleaner = std::make_unique<Cleaner>(m->env.get(), lfs.get(),
                                              options.cleaner);
     }
     m->fs = std::move(lfs);
   } else {
-    m->fs = std::make_unique<Ffs>(m->env.get(), m->disk.get(), m->cache.get(),
-                                  options.ffs);
+    auto ffs = std::make_unique<Ffs>(m->env.get(), m->disk.get(),
+                                     m->cache.get(), options.ffs);
+    ffs->set_readahead_window(options.readahead_blocks);
+    m->fs = std::move(ffs);
   }
   m->cache->set_writeback(m->fs.get());
   if (options.start_syncer) {

@@ -70,6 +70,10 @@ struct Machine {
     /// Kernel buffer cache size in 4 KiB blocks (default 8 MB; the
     /// DECstation had 32 MB total).
     size_t cache_blocks = 2048;
+    /// Clustered-readahead window in blocks (0 or 1 disables). Applied to
+    /// whichever file system boots, so LFS-vs-FFS comparisons stay
+    /// apples-to-apples.
+    uint32_t readahead_blocks = kDefaultReadaheadBlocks;
     CostModel costs;
     SimDisk::Options disk;
     Lfs::Options lfs;

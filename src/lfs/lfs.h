@@ -97,6 +97,14 @@ class Lfs : public FsCore {
   Result<BlockAddr> AllocBlockAddr(Inode* ino) override;
   void ReleaseBlockAddr(BlockAddr addr) override;
   Status EnterDataPath(Inode* ino) override;
+  /// Readahead never crosses the containing segment: a coalesced file is
+  /// contiguous *within* segments, and the segment is the unit the log
+  /// writes (and the cleaner rewrites) with one disk request.
+  uint64_t ExtentLimitBlocks(BlockAddr addr) const override {
+    if (addr < geo_.seg_start) return 1;  // superblock / checkpoint regions
+    return options_.segment_blocks -
+           (addr - geo_.seg_start) % options_.segment_blocks;
+  }
 
  private:
   friend class Cleaner;

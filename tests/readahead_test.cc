@@ -1,0 +1,214 @@
+// Clustered readahead (the mechanism behind the paper's section 5.4 SCAN
+// economics): sequential cold reads fetch a whole contiguous extent in one
+// disk request instead of missing a platter rotation per block.
+//
+// Four properties, per the readahead design contract:
+//   (a) disk level — one N-block request is strictly cheaper than N
+//       one-block requests and moves the arm exactly once;
+//   (b) cache level — prefetched blocks hit without new disk requests, and
+//       prefetches evicted unreferenced count as wasted;
+//   (c) correctness — readahead stops at an extent discontinuity and never
+//       serves stale bytes after an overwrite;
+//   (d) determinism — cache.readahead.* metrics are byte-identical across
+//       identical runs.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cache/buffer_cache.h"
+#include "common/metrics.h"
+#include "disk/sim_disk.h"
+#include "lfs/lfs.h"
+
+namespace lfstx {
+namespace {
+
+// (a) One clustered request: cost strictly below N singles, exactly 1 seek.
+TEST(ReadaheadTest, ClusteredDiskReadBeatsSingleBlockReads) {
+  SimEnv env;
+  SimDisk disk(&env, SimDisk::Options{});
+  constexpr uint32_t kN = 16;
+  constexpr BlockAddr kBase = 2048;
+  SimTime clustered_us = 0;
+  SimTime singles_us = 0;
+  env.Spawn("main", [&] {
+    std::vector<char> buf(kN * kBlockSize);
+    // Park the arm away from the target region, then time one clustered
+    // read; seeks must go up by exactly one.
+    ASSERT_TRUE(disk.Read(0, 1, buf.data()).ok());
+    uint64_t seeks0 = disk.model_stats().seeks;
+    SimTime t0 = env.Now();
+    ASSERT_TRUE(disk.Read(kBase, kN, buf.data()).ok());
+    clustered_us = env.Now() - t0;
+    EXPECT_EQ(disk.model_stats().seeks - seeks0, 1u);
+    EXPECT_EQ(disk.stats().clustered_reads, 1u);
+
+    // Same blocks as N one-block requests from the same starting position.
+    ASSERT_TRUE(disk.Read(0, 1, buf.data()).ok());
+    t0 = env.Now();
+    for (uint32_t i = 0; i < kN; i++) {
+      ASSERT_TRUE(disk.Read(kBase + i, 1, buf.data() + i * kBlockSize).ok());
+    }
+    singles_us = env.Now() - t0;
+  });
+  env.Run();
+  EXPECT_LT(clustered_us, singles_us)
+      << "clustered=" << clustered_us << "us singles=" << singles_us << "us";
+  // No extra clustered requests were counted for the single-block reads.
+  EXPECT_EQ(disk.stats().clustered_reads, 1u);
+}
+
+// (b) Prefetched blocks hit with no new disk request; unreferenced
+// prefetches count as wasted when reclaimed.
+TEST(ReadaheadTest, PrefetchHitsWithoutDiskAndWasteIsCounted) {
+  SimEnv env;
+  SimDisk disk(&env, SimDisk::Options{});
+  BufferCache cache(&env, 256);
+  Lfs fs(&env, &disk, &cache);
+  cache.set_writeback(&fs);
+  env.Spawn("main", [&] {
+    ASSERT_TRUE(fs.Format().ok());
+    InodeNum ino = fs.Create("/seq").value();
+    const uint64_t kBlocks = 24;
+    std::string page(kBlockSize, 'x');
+    for (uint64_t b = 0; b < kBlocks; b++) {
+      ASSERT_TRUE(fs.Write(ino, b * kBlockSize, page).ok());
+    }
+    ASSERT_TRUE(fs.SyncAll().ok());
+    cache.Clear();
+
+    // Cold sequential read of block 0 prefetches the rest of the extent.
+    char out[kBlockSize];
+    ASSERT_EQ(fs.Read(ino, 0, kBlockSize, out).value(), kBlockSize);
+    ASSERT_GT(cache.stats().readahead_issued, 0u);
+    ASSERT_GT(cache.stats().readahead_blocks, 0u);
+    uint64_t prefetched = cache.stats().readahead_blocks;
+
+    // Every prefetched block must now be served without touching the disk.
+    uint64_t disk_reads = disk.stats().reads;
+    for (uint64_t b = 1; b <= prefetched; b++) {
+      ASSERT_EQ(fs.Read(ino, b * kBlockSize, kBlockSize, out).value(),
+                kBlockSize);
+    }
+    EXPECT_EQ(disk.stats().reads, disk_reads);
+    EXPECT_EQ(cache.stats().readahead_hits, prefetched);
+    EXPECT_EQ(cache.stats().readahead_wasted, 0u);
+  });
+  env.Run();
+
+  // Waste accounting, at the cache-primitive level: install a prefetch and
+  // reclaim it unreferenced.
+  SimEnv env2;
+  BufferCache cache2(&env2, 8);
+  char block[kBlockSize] = {0};
+  ASSERT_TRUE(cache2.InstallPrefetched(BufferKey{1, 0}, block, 100));
+  EXPECT_TRUE(cache2.Resident(BufferKey{1, 0}));
+  cache2.Clear();
+  EXPECT_EQ(cache2.stats().readahead_wasted, 1u);
+  // A referenced prefetch, by contrast, is no longer "wasted".
+  ASSERT_TRUE(cache2.InstallPrefetched(BufferKey{1, 1}, block, 101));
+  Buffer* buf = cache2.Peek(BufferKey{1, 1});
+  ASSERT_NE(buf, nullptr);
+  cache2.Release(buf);
+  EXPECT_EQ(cache2.stats().readahead_hits, 1u);
+  cache2.Clear();
+  EXPECT_EQ(cache2.stats().readahead_wasted, 1u);  // unchanged
+}
+
+// (c) Readahead stops at a fragmented extent boundary and never returns
+// stale bytes after an overwrite.
+TEST(ReadaheadTest, StopsAtDiscontinuityAndNeverServesStaleBytes) {
+  SimEnv env;
+  SimDisk disk(&env, SimDisk::Options{});
+  BufferCache cache(&env, 256);
+  Lfs fs(&env, &disk, &cache);
+  cache.set_writeback(&fs);
+  env.Spawn("main", [&] {
+    ASSERT_TRUE(fs.Format().ok());
+    InodeNum ino = fs.Create("/frag").value();
+    const uint64_t kBlocks = 10;
+    const uint64_t kHole = 5;  // this block gets relocated by an overwrite
+    std::string page(kBlockSize, 0);
+    for (uint64_t b = 0; b < kBlocks; b++) {
+      memset(page.data(), static_cast<int>('a' + b), kBlockSize);
+      ASSERT_TRUE(fs.Write(ino, b * kBlockSize, page).ok());
+    }
+    ASSERT_TRUE(fs.SyncAll().ok());
+    // Relocate block kHole: LFS appends the new version to the log, so the
+    // file is no longer physically contiguous at that point.
+    memset(page.data(), 'Z', kBlockSize);
+    ASSERT_TRUE(fs.Write(ino, kHole * kBlockSize, page).ok());
+    ASSERT_TRUE(fs.SyncAll().ok());
+    cache.Clear();
+
+    // The cold read of block 0 prefetches only up to the discontinuity.
+    char out[kBlockSize];
+    ASSERT_EQ(fs.Read(ino, 0, kBlockSize, out).value(), kBlockSize);
+    for (uint64_t b = 1; b < kHole; b++) {
+      EXPECT_TRUE(cache.Resident(BufferKey{ino, b})) << b;
+    }
+    EXPECT_FALSE(cache.Resident(BufferKey{ino, kHole}));
+
+    // Every block reads back its current contents — including the
+    // relocated one.
+    for (uint64_t b = 0; b < kBlocks; b++) {
+      ASSERT_EQ(fs.Read(ino, b * kBlockSize, kBlockSize, out).value(),
+                kBlockSize);
+      char want = b == kHole ? 'Z' : static_cast<char>('a' + b);
+      EXPECT_EQ(out[0], want) << b;
+      EXPECT_EQ(out[kBlockSize - 1], want) << b;
+    }
+
+    // Overwrite a *resident prefetched* block, then re-read: the write must
+    // claim the frame (a reference) and the read must see the new bytes.
+    cache.Clear();
+    ASSERT_EQ(fs.Read(ino, 0, kBlockSize, out).value(), kBlockSize);
+    ASSERT_TRUE(cache.Resident(BufferKey{ino, 2}));
+    memset(page.data(), 'Q', kBlockSize);
+    ASSERT_TRUE(fs.Write(ino, 2 * kBlockSize, page).ok());
+    ASSERT_EQ(fs.Read(ino, 2 * kBlockSize, kBlockSize, out).value(),
+              kBlockSize);
+    EXPECT_EQ(out[0], 'Q');
+    EXPECT_EQ(out[kBlockSize - 1], 'Q');
+    ASSERT_TRUE(fs.SyncAll().ok());
+  });
+  env.Run();
+}
+
+// (d) Identical runs produce byte-identical cache.readahead.* metrics (and
+// an identical whole-registry snapshot).
+TEST(ReadaheadTest, MetricsAreDeterministicAcrossRuns) {
+  auto run_once = [](std::string* json) {
+    SimEnv env;
+    SimDisk disk(&env, SimDisk::Options{});
+    BufferCache cache(&env, 128, "lfs");
+    Lfs fs(&env, &disk, &cache);
+    cache.set_writeback(&fs);
+    env.Spawn("main", [&] {
+      ASSERT_TRUE(fs.Format().ok());
+      InodeNum ino = fs.Create("/f").value();
+      std::string page(kBlockSize, 'd');
+      for (uint64_t b = 0; b < 40; b++) {
+        ASSERT_TRUE(fs.Write(ino, b * kBlockSize, page).ok());
+      }
+      ASSERT_TRUE(fs.SyncAll().ok());
+      cache.Clear();
+      char out[kBlockSize];
+      for (uint64_t b = 0; b < 40; b++) {
+        ASSERT_EQ(fs.Read(ino, b * kBlockSize, kBlockSize, out).value(),
+                  kBlockSize);
+      }
+    });
+    env.Run();
+    *json = env.metrics()->ToJson();
+    EXPECT_GT(cache.stats().readahead_issued, 0u);
+  };
+  std::string a, b;
+  run_once(&a);
+  run_once(&b);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"lfs.readahead.issued\""), std::string::npos) << a;
+}
+
+}  // namespace
+}  // namespace lfstx
