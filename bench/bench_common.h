@@ -19,6 +19,20 @@
 //                    table: per-transaction phase attribution from the
 //                    virtual-clock profiler (sim/profiler.h), plus disk
 //                    time by cause (txn/cleaner/checkpoint/syncer)
+//   --users=N        concurrent TPC-B terminals during the measured
+//                    window (default 1; load and warmup stay single-user)
+//   --blame          print causal wait-blame attribution — blame.*
+//                    histogram deltas over the measured window (who held
+//                    the locks, whose I/O was ahead in the disk queue,
+//                    which commit led the group flush) — and include a
+//                    "blame" object per configuration in --summary output
+//   --sample-interval=MS  start the virtual-time metrics sampler: emit a
+//                    metric_sample trace event for every metric that
+//                    changed, every MS simulated milliseconds
+//   --cleaner=MODE   cleaner placement: "kernel" (default; locks files
+//                    while cleaning) or "user" (section 5.4: interferes
+//                    only through the disk arm, so contention shows up as
+//                    disk-queue blame instead of lock blame)
 //   --summary=F      (fig4_tps) write a machine-readable JSON summary —
 //                    TPS + profile breakdown per architecture — to F;
 //                    consumed by tools/bench_summary.py
@@ -32,6 +46,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 
 #include "check/registry.h"
@@ -47,8 +62,12 @@ struct BenchConfig {
   uint64_t scale = 4;
   uint64_t txns = 0;  // 0 = bench default
   int64_t readahead = -1;  // -1 = machine default window
+  uint64_t users = 1;
+  uint64_t sample_interval_ms = 0;
   bool fsck = false;
   bool profile = false;
+  bool blame = false;
+  std::string cleaner_mode;  // "", "kernel", or "user"
   std::string metrics_dir;
   std::string trace;
   std::string trace_file;
@@ -63,6 +82,17 @@ struct BenchConfig {
         c.txns = strtoull(argv[i] + 7, nullptr, 10);
       } else if (strncmp(argv[i], "--readahead=", 12) == 0) {
         c.readahead = strtoll(argv[i] + 12, nullptr, 10);
+      } else if (strncmp(argv[i], "--users=", 8) == 0) {
+        c.users = std::max<uint64_t>(1, strtoull(argv[i] + 8, nullptr, 10));
+      } else if (strncmp(argv[i], "--sample-interval=", 18) == 0) {
+        c.sample_interval_ms = strtoull(argv[i] + 18, nullptr, 10);
+      } else if (strncmp(argv[i], "--cleaner=", 10) == 0) {
+        c.cleaner_mode = argv[i] + 10;
+        if (c.cleaner_mode != "kernel" && c.cleaner_mode != "user") {
+          fprintf(stderr, "bad --cleaner=%s (kernel|user)\n",
+                  c.cleaner_mode.c_str());
+          exit(2);
+        }
       } else if (strncmp(argv[i], "--metrics-dir=", 14) == 0) {
         c.metrics_dir = argv[i] + 14;
       } else if (strncmp(argv[i], "--trace=", 8) == 0) {
@@ -75,6 +105,8 @@ struct BenchConfig {
         c.fsck = true;
       } else if (strcmp(argv[i], "--profile") == 0) {
         c.profile = true;
+      } else if (strcmp(argv[i], "--blame") == 0) {
+        c.blame = true;
       }
     }
     return c;
@@ -92,6 +124,12 @@ struct BenchConfig {
         static_cast<uint32_t>(std::max<uint64_t>(96, 1280 / scale));
     o.trace_categories = trace;
     o.trace_path = trace_file;
+    o.sample_interval = sample_interval_ms * kMillisecond;
+    if (cleaner_mode == "user") {
+      o.cleaner.mode = Cleaner::Mode::kUserSpace;
+    } else if (cleaner_mode == "kernel") {
+      o.cleaner.mode = Cleaner::Mode::kKernel;
+    }
     if (readahead >= 0) {
       o.readahead_blocks = static_cast<uint32_t>(readahead);
     }
@@ -157,6 +195,11 @@ struct TpcbMeasurement {
   Profiler::SpanAgg prof;
   Profiler::DiskAgg disk_cause[kNumIoCauses];
   double coverage = 0;
+  /// Concurrent terminals during the measured window.
+  uint64_t users = 1;
+  /// blame.* histogram deltas over the measured window as a JSON object
+  /// ({"blame.lock.kernel.txn_us.count": N, ...}); empty without --blame.
+  std::string blame_json;
 };
 
 /// `after - before` for windowed span aggregates.
@@ -180,6 +223,69 @@ inline Profiler::DiskAgg DiskAggDelta(const Profiler::DiskAgg& after,
   d.wait_us = after.wait_us - before.wait_us;
   d.service_us = after.service_us - before.service_us;
   return d;
+}
+
+/// All blame.* metrics (histogram `.count`/`.sum` pairs, in microseconds)
+/// currently in the registry. The registered set is fixed per architecture
+/// at machine build time, so windowed deltas are schema-stable.
+inline std::map<std::string, double> BlameSnapshot(MetricsRegistry* m) {
+  std::map<std::string, double> out;
+  for (const auto& kv : m->SampleNumeric()) {
+    if (kv.first.rfind("blame.", 0) == 0) out[kv.first] = kv.second;
+  }
+  return out;
+}
+
+/// `now - before` per blame metric; metrics absent from `before` count
+/// from zero (whole-run blame = delta against an empty baseline).
+inline std::map<std::string, double> BlameDelta(
+    MetricsRegistry* m, const std::map<std::string, double>& before) {
+  std::map<std::string, double> d;
+  for (const auto& kv : BlameSnapshot(m)) {
+    auto it = before.find(kv.first);
+    d[kv.first] = kv.second - (it != before.end() ? it->second : 0);
+  }
+  return d;
+}
+
+/// JSON object for a blame delta, keys sorted (std::map order).
+inline std::string BlameJson(const std::map<std::string, double>& delta) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& kv : delta) {
+    out += Fmt("%s\"%s\": %.0f", first ? "" : ", ", kv.first.c_str(),
+               kv.second);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+/// One row per blame source: how many wait edges were attributed to it and
+/// how much blocked time they carry. Registered-but-idle sources print as
+/// zero rows on purpose — "the cleaner caused no blame" is a result.
+inline void PrintBlameTable(const std::string& config,
+                            const std::map<std::string, double>& delta) {
+  printf("\n[blame] %s wait-edge attribution:\n", config.c_str());
+  ResultTable t({"source", "edges", "total (us)"});
+  bool any = false;
+  for (const auto& kv : delta) {
+    const std::string& name = kv.first;
+    if (name.size() < 4 || name.compare(name.size() - 4, 4, ".sum") != 0) {
+      continue;
+    }
+    std::string base = name.substr(0, name.size() - 4);
+    auto cnt = delta.find(base + ".count");
+    t.AddRow({base,
+              Fmt("%.0f", cnt != delta.end() ? cnt->second : 0),
+              Fmt("%.0f", kv.second)});
+    any = true;
+  }
+  if (any) {
+    t.Print();
+  } else {
+    printf("  (no blame histograms registered)\n");
+  }
 }
 
 /// Print the "where did the time go" attribution table for one manager's
@@ -246,22 +352,29 @@ inline void PrintDiskCauseLine(const std::string& config,
 /// (inside or right after its Run block); no-op without --profile.
 inline void PrintRigProfile(const BenchConfig& cfg, ArchRig* rig,
                             const std::string& config) {
-  if (!cfg.profile) return;
+  if (!cfg.profile && !cfg.blame) return;
   Profiler* prof = rig->env()->profiler();
-  std::vector<std::string> tags = prof->SpanTags();
-  if (tags.empty()) {
-    printf("\n[profile] %s: no transaction spans recorded\n", config.c_str());
+  if (cfg.profile) {
+    std::vector<std::string> tags = prof->SpanTags();
+    if (tags.empty()) {
+      printf("\n[profile] %s: no transaction spans recorded\n",
+             config.c_str());
+    }
+    for (const std::string& tag : tags) {
+      // Whole-run window (includes load/warmup), so coverage here reads as
+      // "fraction of the run spent inside transactions".
+      PrintProfileTable(config, tag, prof->AggFor(tag), rig->env()->Now());
+    }
+    Profiler::DiskAgg cause[kNumIoCauses];
+    for (int i = 0; i < kNumIoCauses; i++) {
+      cause[i] = prof->DiskCauseAgg(static_cast<IoCause>(i));
+    }
+    PrintDiskCauseLine(config, cause);
   }
-  for (const std::string& tag : tags) {
-    // Whole-run window (includes load/warmup), so coverage here reads as
-    // "fraction of the run spent inside transactions".
-    PrintProfileTable(config, tag, prof->AggFor(tag), rig->env()->Now());
+  if (cfg.blame) {
+    // Whole-run blame: delta against an empty baseline.
+    PrintBlameTable(config, BlameDelta(rig->env()->metrics(), {}));
   }
-  Profiler::DiskAgg cause[kNumIoCauses];
-  for (int i = 0; i < kNumIoCauses; i++) {
-    cause[i] = prof->DiskCauseAgg(static_cast<IoCause>(i));
-  }
-  PrintDiskCauseLine(config, cause);
 }
 
 /// JSON object for a span aggregate: {"spans":N,...,"phases":{...}}.
@@ -337,15 +450,55 @@ inline TpcbMeasurement MeasureTpcb(Arch arch, const BenchConfig& cfg,
     for (int i = 0; i < kNumIoCauses; i++) {
       disk0[i] = prof->DiskCauseAgg(static_cast<IoCause>(i));
     }
+    std::map<std::string, double> blame0;
+    if (cfg.blame) blame0 = BlameSnapshot(rig->env()->metrics());
     fprintf(stderr, "[bench] %s: measuring...\n", ArchName(arch));
-    auto r = driver.Run(measure_txns);
-    if (!r.ok()) {
-      out.error = r.status().ToString();
-      return;
+    out.users = cfg.users;
+    if (cfg.users <= 1) {
+      auto r = driver.Run(measure_txns);
+      if (!r.ok()) {
+        out.error = r.status().ToString();
+        return;
+      }
+      out.tps = r.value().tps();
+      out.elapsed = r.value().elapsed;
+      out.txns = r.value().transactions;
+    } else {
+      // Multi-user measured window: `users` concurrent terminals splitting
+      // the transaction count (remainder to terminal 0), distinct seeds.
+      uint64_t per = measure_txns / cfg.users;
+      uint64_t rem = measure_txns % cfg.users;
+      SimTime t0 = rig->env()->Now();
+      uint64_t finished = 0;
+      uint64_t done_txns = 0;
+      std::string term_error;
+      for (uint64_t p = 0; p < cfg.users; p++) {
+        uint64_t quota = per + (p == 0 ? rem : 0);
+        rig->env()->Spawn(
+            Fmt("terminal%llu", static_cast<unsigned long long>(p)),
+            [&, quota, p] {
+              TpcbDriver term(rig->backend.get(), &db.value(), tpcb,
+                              /*seed=*/17 + p);
+              auto r = term.Run(quota);
+              if (r.ok()) {
+                done_txns += r.value().transactions;
+              } else if (term_error.empty()) {
+                term_error = r.status().ToString();
+              }
+              finished++;
+            });
+      }
+      while (finished < cfg.users) rig->env()->SleepFor(kMillisecond);
+      if (!term_error.empty()) {
+        out.error = term_error;
+        return;
+      }
+      out.elapsed = rig->env()->Now() - t0;
+      out.txns = done_txns;
+      out.tps = out.elapsed > 0 ? 1e6 * static_cast<double>(out.txns) /
+                                      static_cast<double>(out.elapsed)
+                                : 0;
     }
-    out.tps = r.value().tps();
-    out.elapsed = r.value().elapsed;
-    out.txns = r.value().transactions;
     out.syscalls = rig->env()->stats().syscalls - syscalls0;
     out.prof = SpanAggDelta(prof->AggFor(out.prof_mgr), prof0);
     for (int i = 0; i < kNumIoCauses; i++) {
@@ -359,6 +512,12 @@ inline TpcbMeasurement MeasureTpcb(Arch arch, const BenchConfig& cfg,
     if (cfg.profile) {
       PrintProfileTable(ArchSlug(arch), out.prof_mgr, out.prof, out.elapsed);
       PrintDiskCauseLine(ArchSlug(arch), out.disk_cause);
+    }
+    if (cfg.blame) {
+      std::map<std::string, double> delta =
+          BlameDelta(rig->env()->metrics(), blame0);
+      out.blame_json = BlameJson(delta);
+      PrintBlameTable(ArchSlug(arch), delta);
     }
     if (rig->machine->cleaner != nullptr) {
       out.cleaner_cleaned = rig->machine->cleaner->stats().segments_cleaned;

@@ -27,8 +27,10 @@ int main(int argc, char** argv) {
          (unsigned long long)cfg.scale,
          (unsigned long long)cfg.Tpcb().accounts,
          (unsigned)cfg.MachineOptions().cache_blocks);
-  printf("measuring %llu txns after %llu warm-up txns per configuration...\n\n",
-         (unsigned long long)txns, (unsigned long long)warmup);
+  printf("measuring %llu txns after %llu warm-up txns per configuration "
+         "(%llu user%s)...\n\n",
+         (unsigned long long)txns, (unsigned long long)warmup,
+         (unsigned long long)cfg.users, cfg.users == 1 ? "" : "s");
 
   struct Row {
     Arch arch;
@@ -65,6 +67,10 @@ int main(int argc, char** argv) {
       summary_configs += SpanAggJson(m.prof);
       summary_configs += ",\n     \"disk_cause\": ";
       summary_configs += DiskCauseJson(m.disk_cause);
+      if (!m.blame_json.empty()) {
+        summary_configs += ",\n     \"blame\": ";
+        summary_configs += m.blame_json;
+      }
       summary_configs += "}";
     }
     tps[i++] = m.tps;
@@ -81,9 +87,10 @@ int main(int argc, char** argv) {
     std::string json = Fmt(
         "{\n  \"bench\": \"fig4_tps\",\n  \"scale\": %llu,\n"
         "  \"warmup_txns\": %llu,\n  \"measured_txns\": %llu,\n"
+        "  \"users\": %llu,\n"
         "  \"configs\": [\n",
         (unsigned long long)cfg.scale, (unsigned long long)warmup,
-        (unsigned long long)txns);
+        (unsigned long long)txns, (unsigned long long)cfg.users);
     json += summary_configs;
     json += "\n  ]\n}\n";
     FILE* f = fopen(cfg.summary.c_str(), "w");

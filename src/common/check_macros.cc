@@ -8,6 +8,12 @@ namespace lfstx {
 
 namespace {
 const uint64_t* g_check_clock = nullptr;
+const void* g_dumper_token = nullptr;
+std::function<void()>& Dumper() {
+  static std::function<void()> fn;
+  return fn;
+}
+bool g_dumping = false;  // a check failing inside the dumper must not recurse
 
 /// "src/cache/buffer_cache.cc" -> "cache/buffer_cache.cc": the subsystem
 /// directory plus file is the useful part of a __FILE__ path.
@@ -23,11 +29,27 @@ void ClearCheckClock(const uint64_t* now) {
   if (g_check_clock == now) g_check_clock = nullptr;
 }
 
+void SetCheckDumper(const void* token, std::function<void()> fn) {
+  g_dumper_token = token;
+  Dumper() = std::move(fn);
+}
+
+void ClearCheckDumper(const void* token) {
+  if (g_dumper_token == token) {
+    g_dumper_token = nullptr;
+    Dumper() = nullptr;
+  }
+}
+
 void CheckFailed(const char* file, int line, const char* cond,
                  const char* msg) {
   unsigned long long t = g_check_clock != nullptr ? *g_check_clock : 0;
   fprintf(stderr, "[LFSTX_CHECK] %s:%d t=%lluus — %s: %s\n",
           SubsystemPath(file), line, t, cond, msg);
+  if (Dumper() && !g_dumping) {
+    g_dumping = true;
+    Dumper()();
+  }
   fflush(stderr);
   abort();
 }

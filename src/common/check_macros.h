@@ -16,6 +16,7 @@
 #define LFSTX_COMMON_CHECK_MACROS_H_
 
 #include <cstdint>
+#include <functional>
 
 namespace lfstx {
 
@@ -25,6 +26,15 @@ void SetCheckClock(const uint64_t* now);
 /// Clears the clock only if `now` is still the registered one (so a
 /// shorter-lived env destructed out of order cannot null a live clock).
 void ClearCheckClock(const uint64_t* now);
+
+/// Registers a callback run after a failed check prints but before it
+/// aborts. SimEnv installs one that dumps the tracer's flight-recorder
+/// tail and a metrics snapshot, so invariant aborts come with their
+/// immediate history. Same token discipline as the clock: last setter
+/// wins, and Clear is a no-op unless `token` still owns the slot. A
+/// check failing *inside* the dumper does not recurse.
+void SetCheckDumper(const void* token, std::function<void()> fn);
+void ClearCheckDumper(const void* token);
 
 /// Prints "[LFSTX_CHECK] <file>:<line> t=<virtual us> — <cond>: <msg>" to
 /// stderr and aborts.

@@ -53,6 +53,15 @@ MetricHistogram* MetricsRegistry::GetHistogram(const std::string& name,
   return it->second.histogram.get();
 }
 
+const MetricHistogram* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.kind != Entry::Kind::kHistogram) {
+    return nullptr;
+  }
+  return it->second.histogram.get();
+}
+
 void MetricsRegistry::AddGauge(const void* owner, const std::string& name,
                                const char* unit, const char* help,
                                std::function<double()> fn) {
@@ -107,6 +116,7 @@ std::string MetricsRegistry::ToJson() const {
       case Entry::Kind::kHistogram: {
         const MetricHistogram* h = e.histogram.get();
         out += "{\"count\": " + FormatNumber(static_cast<double>(h->count()));
+        out += ", \"sum\": " + FormatNumber(h->sum());
         out += ", \"mean\": " + FormatNumber(h->mean());
         out += ", \"p50\": " + FormatNumber(h->Percentile(50));
         out += ", \"p90\": " + FormatNumber(h->Percentile(90));
@@ -120,6 +130,28 @@ std::string MetricsRegistry::ToJson() const {
   }
   if (!first_section) out += "\n  }";
   out += "\n}\n";
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::SampleNumeric()
+    const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Entry::Kind::kCounter:
+        out.emplace_back(name, static_cast<double>(e.counter->value()));
+        break;
+      case Entry::Kind::kGauge:
+        out.emplace_back(name, e.fn ? e.fn() : 0.0);
+        break;
+      case Entry::Kind::kHistogram:
+        out.emplace_back(name + ".count",
+                         static_cast<double>(e.histogram->count()));
+        out.emplace_back(name + ".sum", e.histogram->sum());
+        break;
+    }
+  }
   return out;
 }
 

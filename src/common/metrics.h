@@ -28,6 +28,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.h"
@@ -51,6 +52,7 @@ class MetricHistogram {
  public:
   void Add(uint64_t v) { h_.Add(v); }
   uint64_t count() const { return h_.count(); }
+  double sum() const { return h_.sum(); }
   double mean() const { return h_.mean(); }
   double Percentile(double p) const { return h_.Percentile(p); }
   uint64_t min() const { return h_.min(); }
@@ -77,6 +79,12 @@ class MetricsRegistry {
   MetricHistogram* GetHistogram(const std::string& name, const char* unit,
                                 const char* help);
 
+  /// Read-only lookup that never creates: the histogram under `name`, or
+  /// null if absent or not a histogram. Lets reporting code (e.g. the
+  /// bench --blame tables) read instance-specific metrics without
+  /// materializing them on rigs that would never populate them.
+  const MetricHistogram* FindHistogram(const std::string& name) const;
+
   /// Registers a lazily-sampled gauge. `fn` is called at snapshot time.
   /// First-wins: if `name` is taken the call is a no-op. The registrant
   /// must `DropOwner(owner)` before `fn`'s captures dangle.
@@ -89,8 +97,14 @@ class MetricsRegistry {
 
   /// Snapshot of every metric as pretty-printed JSON, nested by the first
   /// dot component of the name ("disk.seeks" -> {"disk": {"seeks": ...}}).
-  /// Histograms serialize as {count, mean, p50, p90, p99, min, max}.
+  /// Histograms serialize as {count, sum, mean, p50, p90, p99, min, max}.
   std::string ToJson() const;
+
+  /// Flat numeric view for the virtual-time sampler: counters and gauges
+  /// contribute their value under their own name; histograms contribute
+  /// `<name>.count` and `<name>.sum` (the two fields whose deltas are
+  /// meaningful over a sampling window). Sorted by name.
+  std::vector<std::pair<std::string, double>> SampleNumeric() const;
 
   /// All registered names, sorted (for docs/tests).
   std::vector<std::string> Names() const;

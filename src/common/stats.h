@@ -34,6 +34,9 @@ class Histogram {
   Histogram();
   void Add(uint64_t micros);
   uint64_t count() const { return count_; }
+  /// Cumulative total of every added value (exact for integer inputs well
+  /// below 2^53, which virtual-microsecond latencies always are).
+  double sum() const { return sum_; }
   double mean() const;
   /// Percentile in [0,100]; linear interpolation within a bucket.
   double Percentile(double p) const;

@@ -31,6 +31,14 @@ struct DiskRequest {
   SimTime submit_time = 0;  ///< for the disk.request_latency_us histogram
   SimTime wait_us = 0;      ///< queue wait, filled in when service starts
   IoCause cause = IoCause::kTxn;  ///< submitting process's attribution tag
+  uint64_t txn = 0;         ///< submitter's open span, 0 for daemons
+  // Blame for the queue wait: the request that was in service when this
+  // one arrived (the head of the line it queued behind). Unset when the
+  // disk was idle at submit (wait_us is then 0).
+  bool queued = false;            ///< submitted while the disk was busy
+  IoCause ahead_cause = IoCause::kTxn;
+  uint64_t ahead_seq = 0;
+  uint64_t ahead_txn = 0;
 };
 
 /// \brief Request queue with pluggable scheduling policy.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
 
 namespace lfstx {
 
@@ -16,6 +17,13 @@ SimDisk::SimDisk(SimEnv* env, Options options)
   MetricsRegistry* m = env_->metrics();
   latency_hist_ = m->GetHistogram("disk.request_latency_us", "us",
                                   "submit-to-completion latency per request");
+  for (int i = 0; i < kNumIoCauses; i++) {
+    blame_hist_[i] = m->GetHistogram(
+        std::string("blame.disk.") + IoCauseName(static_cast<IoCause>(i)) +
+            "_us",
+        "us",
+        "queue wait blamed on the in-service request with this cause tag");
+  }
   auto g = [&](const char* name, const char* unit, const char* help,
                std::function<double()> fn) {
     m->AddGauge(this, name, unit, help, std::move(fn));
@@ -74,6 +82,16 @@ void SimDisk::Submit(std::unique_ptr<DiskRequest> req) {
   req->seq = next_seq_++;
   req->submit_time = env_->Now();
   req->cause = env_->profiler()->CurrentCause();
+  req->txn = env_->profiler()->CurrentSpanTxn();
+  if (busy_) {
+    // Queued behind whoever is on the platter right now: that request is
+    // the blame target for this one's wait (stamped now, emitted as a
+    // wait_edge when service finally starts).
+    req->queued = true;
+    req->ahead_cause = cur_cause_;
+    req->ahead_seq = cur_seq_;
+    req->ahead_txn = cur_txn_;
+  }
   if (req->kind == DiskRequest::Kind::kRead) {
     stats_.reads++;
     if (req->nblocks > 1) stats_.clustered_reads++;
@@ -92,7 +110,18 @@ void SimDisk::Submit(std::unique_ptr<DiskRequest> req) {
 
 void SimDisk::StartService(std::unique_ptr<DiskRequest> req) {
   busy_ = true;
+  cur_cause_ = req->cause;
+  cur_seq_ = req->seq;
+  cur_txn_ = req->txn;
   req->wait_us = env_->Now() - req->submit_time;
+  if (req->queued && req->wait_us > 0) {
+    blame_hist_[static_cast<int>(req->ahead_cause)]->Add(req->wait_us);
+    LFSTX_TRACE(env_->tracer(), TraceCat::kBlame, "wait_edge",
+                {"kind", "disk"}, {"src", IoCauseName(req->ahead_cause)},
+                {"waiter", req->txn}, {"ahead_txn", req->ahead_txn},
+                {"ahead_seq", req->ahead_seq}, {"block", req->block},
+                {"since", req->submit_time}, {"waited_us", req->wait_us});
+  }
   LFSTX_TRACE(env_->tracer(), TraceCat::kDisk, "io_begin",
               {"op", req->kind == DiskRequest::Kind::kRead ? "read" : "write"},
               {"block", req->block}, {"nblocks", req->nblocks},

@@ -91,6 +91,12 @@ class SimDisk {
   uint64_t next_seq_ = 0;
   Stats stats_;
   MetricHistogram* latency_hist_ = nullptr;  // owned by env's registry
+  // The request currently in service: requests submitted while the disk is
+  // busy queue behind it and blame their wait on it (wait_edge events).
+  IoCause cur_cause_ = IoCause::kTxn;
+  uint64_t cur_seq_ = 0;
+  uint64_t cur_txn_ = 0;
+  MetricHistogram* blame_hist_[kNumIoCauses] = {};  // blame.disk.<cause>_us
 
   bool crashed_ = false;
   uint64_t persist_budget_ = 0;

@@ -9,6 +9,9 @@ GroupCommit::GroupCommit(SimEnv* env, Lfs* lfs, GroupCommitOptions options)
   MetricsRegistry* m = env_->metrics();
   batch_hist_ = m->GetHistogram("txn.embedded.group_commit_batch", "txns",
                                 "commits flushed per segment write");
+  blame_hist_ = m->GetHistogram(
+      "blame.group_commit.leader_us", "us",
+      "follower commit-flush wait absorbed by another commit's flush");
   m->AddGauge(this, "txn.embedded.group_commit_flushes", "count",
               "group-commit segment writes",
               [this] { return static_cast<double>(stats_.flushes); });
@@ -26,6 +29,8 @@ Status GroupCommit::CommitFlush(TxnId txn, bool others_active) {
   // Everything from here to durability — waiting for company, the segment
   // write itself, or piggybacking on another commit's flush — is the
   // commit-flush phase of this transaction.
+  SimTime since = env_->Now();
+  uint64_t log_us0 = env_->profiler()->PhaseTotal(Phase::kLogWait);
   ProfPhaseScope prof_phase(env_->profiler(), Phase::kLogWait);
   // A flush that *starts* after this point is guaranteed to pick up our
   // (already dirty) buffers.
@@ -50,6 +55,7 @@ Status GroupCommit::CommitFlush(TxnId txn, bool others_active) {
       uint64_t batch = pending_;
       result = lfs_->Flush(txn);
       completed_start_epoch_ = this_start;
+      last_leader_ = txn;
       stats_.flushes++;
       stats_.txns_flushed += batch;
       stats_.batched += batch - 1;
@@ -69,7 +75,19 @@ Status GroupCommit::CommitFlush(TxnId txn, bool others_active) {
     }
   }
   pending_--;
-  (void)led;
+  // A commit that never led rode someone else's segment write: blame the
+  // leader for the whole commit-flush wait (exactly the log_wait phase
+  // this call charged, so blame_report can subtract it from the span).
+  if (!led && result.ok() && last_leader_ != kNoTxn && last_leader_ != txn) {
+    uint64_t edge_us = env_->profiler()->PhaseTotal(Phase::kLogWait) - log_us0;
+    if (edge_us > 0) {
+      blame_hist_->Add(edge_us);
+      LFSTX_TRACE(env_->tracer(), TraceCat::kBlame, "wait_edge",
+                  {"kind", "group_commit"}, {"src", "leader"},
+                  {"waiter", txn}, {"holder", last_leader_},
+                  {"since", since}, {"waited_us", edge_us});
+    }
+  }
   return result;
 }
 

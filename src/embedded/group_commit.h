@@ -47,6 +47,8 @@ class GroupCommit {
   Lfs* lfs_;
   GroupCommitOptions options_;
   MetricHistogram* batch_hist_ = nullptr;  // owned by env's registry
+  MetricHistogram* blame_hist_ = nullptr;  // blame.group_commit.leader_us
+  TxnId last_leader_ = kNoTxn;  ///< leader of the most recent flush
   bool flushing_ = false;
   uint64_t start_epoch_ = 0;            ///< flush-start counter
   uint64_t completed_start_epoch_ = 0;  ///< start epoch of last finished flush

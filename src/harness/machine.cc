@@ -124,6 +124,21 @@ std::unique_ptr<Machine> Machine::Build(const Options& options) {
       }
     }
   }
+  // Flight recorder: when nobody is watching the trace stream, keep a
+  // short in-memory tail per category so an LFSTX_CHECK failure still has
+  // context to print. An active trace spec disables the default (the real
+  // sink already has everything).
+  int64_t flight = options.flight_events;
+  if (flight < 0) {
+    if (const char* e = getenv("LFSTX_FLIGHT")) {
+      flight = strtoll(e, nullptr, 10);
+    } else {
+      flight = spec.empty() ? 64 : 0;
+    }
+  }
+  if (flight > 0) {
+    m->env->tracer()->EnableFlightRecorder(static_cast<size_t>(flight));
+  }
   m->disk = std::make_unique<SimDisk>(m->env.get(), options.disk);
   // Instance-named cache metrics (cache.lfs.* / cache.ffs.*): a rig hosting
   // both file systems would otherwise lose one cache's counters to the
@@ -152,6 +167,18 @@ std::unique_ptr<Machine> Machine::Build(const Options& options) {
                                          options.sync_interval);
   }
   m->kernel = std::make_unique<Kernel>(m->env.get(), m->fs.get());
+  // Metrics sampler: started last so the first tick sees every component's
+  // gauges and histograms registered.
+  SimTime interval = options.sample_interval;
+  if (interval == 0) {
+    if (const char* e = getenv("LFSTX_SAMPLE_MS")) {
+      interval = strtoull(e, nullptr, 10) * kMillisecond;
+    }
+  }
+  if (interval > 0) {
+    m->env->tracer()->Enable(TraceCat::kMetrics);
+    m->sampler = std::make_unique<MetricsSampler>(m->env.get(), interval);
+  }
   return m;
 }
 

@@ -91,24 +91,41 @@ void Cleaner::UnlockFiles(const std::vector<Inode*>& locked) {
 
 Status Cleaner::CleanOne() {
   SimTime t0 = env_->Now();
-  if (!lfs_->flush_lock_.Lock()) return Status::Busy("stopped");
-  lfs_->flush_owner_ = SimEnv::Current();
-  lfs_->cleaning_in_progress_ = true;
-  // The cleaner owns the log for the whole pass; a cache miss during its
-  // copy-forward phase must not recurse into a flush.
-  lfs_->cache()->PushNoDirtyEviction();
+  bool locked_log = false;
   std::vector<Inode*> locked;
+
+  auto lock_log = [&]() -> bool {
+    if (!lfs_->flush_lock_.Lock()) return false;
+    lfs_->flush_owner_ = SimEnv::Current();
+    lfs_->cleaning_in_progress_ = true;
+    // The cleaner owns the log for the rest of the pass; a cache miss
+    // during its copy-forward phase must not recurse into a flush.
+    lfs_->cache()->PushNoDirtyEviction();
+    locked_log = true;
+    return true;
+  };
 
   auto finish = [&](Status s) {
     UnlockFiles(locked);
-    lfs_->cache()->PopNoDirtyEviction();
-    lfs_->cleaning_in_progress_ = false;
-    lfs_->flush_owner_ = nullptr;
-    lfs_->flush_lock_.Unlock();
-    lfs_->clean_wait_.WakeAll();
+    if (locked_log) {
+      lfs_->cache()->PopNoDirtyEviction();
+      lfs_->cleaning_in_progress_ = false;
+      lfs_->flush_owner_ = nullptr;
+      lfs_->flush_lock_.Unlock();
+      lfs_->clean_wait_.WakeAll();
+    }
     stats_.busy_us += env_->Now() - t0;
     return s;
   };
+
+  // The kernel-mode cleaner owns the log for the whole pass, victim read
+  // included (the behavior behind the TPC-B throughput dips, section 5.1).
+  // The user-space cleaner reads the victim with no locks held — regular
+  // transactions keep running and contend only for the disk arm (section
+  // 5.4) — then takes the log lock for the copy-forward "system call".
+  if (options_.mode == Mode::kKernel && !lock_log()) {
+    return Status::Busy("stopped");
+  }
 
   auto victim_r = lfs_->usage_.PickVictim(options_.policy, env_->Now(),
                                           lfs_->segment_blocks());
@@ -129,6 +146,19 @@ Status Cleaner::CleanOne() {
   }
   stats_.segment_reads++;
   stats_.blocks_read += seg_blocks;
+
+  if (!locked_log) {
+    if (!lock_log()) return finish(Status::Busy("stopped"));
+    // The log moved on while the victim was being read. A dirty segment
+    // cannot be reactivated, so the buffer is still this incarnation's
+    // bytes; revalidate anyway and drop the pass if the segment changed
+    // state under us (the per-block liveness checks below handle blocks
+    // that merely died in the meantime).
+    if (lfs_->usage_.state(victim) != SegState::kDirty ||
+        lfs_->usage_.generation(victim) != gen) {
+      return finish(Status::OK());
+    }
+  }
 
   // Parse this incarnation's chunks.
   struct Chunk {

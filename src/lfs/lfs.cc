@@ -45,6 +45,9 @@ Lfs::Lfs(SimEnv* env, SimDisk* disk, BufferCache* cache, Options options)
   usage_ = SegmentUsage(geo_.nsegments);
 
   MetricsRegistry* m = env_->metrics();
+  stall_blame_hist_ = m->GetHistogram(
+      "blame.lfs.cleaner_us", "us",
+      "writer stall time blamed on the cleaner (one wait_edge each)");
   m->AddGauge(this, "lfs.partial_segments", "count", "log chunks written",
               [this] { return static_cast<double>(lfs_stats_.partial_segments); });
   m->AddGauge(this, "lfs.segments_activated", "count",

@@ -160,6 +160,7 @@ class Lfs : public FsCore {
   Cleaner* cleaner_ = nullptr;
   bool cleaning_in_progress_ = false;
   LfsStats lfs_stats_;
+  MetricHistogram* stall_blame_hist_ = nullptr;  // blame.lfs.cleaner_us
 
   /// Inodes are packed 16 to a block; a block stays live while any of its
   /// inodes is current. Rebuilt from the inode map at mount.

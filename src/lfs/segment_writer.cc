@@ -279,14 +279,28 @@ Status Lfs::AdvanceSegment() {
     lfs_stats_.writer_stalls++;
     LFSTX_TRACE(env_->tracer(), TraceCat::kLfs, "writer_stall",
                 {"clean_left", usage_.clean_count()});
+    SimTime since = env_->Now();
+    uint64_t stall_us0 = env_->profiler()->PhaseTotal(Phase::kCleanerStall);
+    bool stopped = false;
     {
       ProfPhaseScope prof_phase(env_->profiler(), Phase::kCleanerStall);
       cleaner_->Poke();
       flush_lock_.Unlock();
       clean_wait_.SleepFor(kSecond);
-      if (!flush_lock_.Lock() || env_->stop_requested()) {
-        return Status::Busy("simulation stopped while waiting for cleaner");
-      }
+      stopped = !flush_lock_.Lock() || env_->stop_requested();
+    }
+    uint64_t edge_us =
+        env_->profiler()->PhaseTotal(Phase::kCleanerStall) - stall_us0;
+    if (edge_us > 0) {
+      stall_blame_hist_->Add(edge_us);
+      LFSTX_TRACE(env_->tracer(), TraceCat::kBlame, "wait_edge",
+                  {"kind", "lfs"}, {"src", "cleaner"},
+                  {"waiter", env_->profiler()->CurrentSpanTxn()},
+                  {"since", since}, {"waited_us", edge_us},
+                  {"clean_left", usage_.clean_count()});
+    }
+    if (stopped) {
+      return Status::Busy("simulation stopped while waiting for cleaner");
     }
     flush_owner_ = SimEnv::Current();
   }

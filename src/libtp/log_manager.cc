@@ -23,6 +23,9 @@ LogManager::LogManager(Kernel* kernel) : LogManager(kernel, Options{}) {}
 LogManager::LogManager(Kernel* kernel, Options options)
     : kernel_(kernel), options_(options), flushed_(kernel->env()) {
   MetricsRegistry* m = kernel_->env()->metrics();
+  blame_hist_ = m->GetHistogram(
+      "blame.log.leader_us", "us",
+      "commit log-flush wait absorbed by another commit's fsync");
   m->AddGauge(this, "log.records", "count", "WAL records appended",
               [this] { return static_cast<double>(stats_.records); });
   m->AddGauge(this, "log.flushes", "count", "fsync batches",
@@ -136,7 +139,7 @@ Result<Lsn> LogManager::Append(const LogRecord& rec) {
   return lsn;
 }
 
-Status LogManager::FlushTo(Lsn lsn) {
+Status LogManager::FlushTo(Lsn lsn, TxnId txn) {
   SimEnv* env = kernel_->env();
   if (next_lsn_ == 0) return Status::OK();  // nothing ever appended
   // Everything until the WAL is durable — group-commit hold, the log
@@ -146,16 +149,31 @@ Status LogManager::FlushTo(Lsn lsn) {
   lsn = std::min(lsn, next_lsn_ - 1);
   while (durable_lsn_ < lsn + 1) {
     if (flusher_active_) {
-      // Piggyback on the in-flight flush.
+      // Piggyback on the in-flight flush; one wait_edge per sleep blames
+      // the transaction leading it (kNoTxn leaders — checkpoint or buffer
+      // pool flushes — emit no edge; that wait stays span self-time).
+      TxnId leader = flusher_txn_;
+      SimTime since = env->Now();
+      uint64_t log_us0 = env->profiler()->PhaseTotal(Phase::kLogWait);
       pending_commits_++;
       WakeReason r = flushed_.Sleep();
       pending_commits_--;
+      uint64_t edge_us =
+          env->profiler()->PhaseTotal(Phase::kLogWait) - log_us0;
+      if (edge_us > 0 && leader != kNoTxn && leader != txn) {
+        blame_hist_->Add(edge_us);
+        LFSTX_TRACE(env->tracer(), TraceCat::kBlame, "wait_edge",
+                    {"kind", "log"}, {"src", "leader"}, {"waiter", txn},
+                    {"holder", leader}, {"since", since},
+                    {"waited_us", edge_us});
+      }
       if (r == WakeReason::kStopped) {
         return Status::Busy("simulation stopped during log flush");
       }
       continue;
     }
     flusher_active_ = true;
+    flusher_txn_ = txn;
     if (options_.group_commit_wait > 0) {
       // Hold the flush briefly so concurrent commits share the fsync.
       stats_.group_commit_waits++;

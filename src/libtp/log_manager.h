@@ -49,8 +49,12 @@ class LogManager {
   /// the caller; returns the record's LSN.
   Result<Lsn> Append(const LogRecord& rec);
 
-  /// Make everything up to and including `lsn` durable.
-  Status FlushTo(Lsn lsn);
+  /// Make everything up to and including `lsn` durable. `txn` identifies
+  /// the committing transaction (kNoTxn for non-commit flushes: buffer
+  /// pool WAL pushes, truncation, close); it names the group-commit
+  /// leader in blame attribution (wait_edge events,
+  /// blame.log.leader_us).
+  Status FlushTo(Lsn lsn, TxnId txn = kNoTxn);
 
   /// Read one record at `lsn` (served from the user-space tail when not
   /// yet flushed).
@@ -83,8 +87,10 @@ class LogManager {
   Lsn next_lsn_ = 0;
   Lsn durable_lsn_ = 0;
   bool flusher_active_ = false;
+  TxnId flusher_txn_ = kNoTxn;  ///< txn leading the in-flight flush
   uint32_t pending_commits_ = 0;
   WaitQueue flushed_;
+  MetricHistogram* blame_hist_ = nullptr;  // blame.log.leader_us
   Stats stats_;
 };
 

@@ -74,7 +74,7 @@ Status LibTp::Commit(TxnId txn) {
   env->LatchOp();  // log latch
   LFSTX_ASSIGN_OR_RETURN(Lsn lsn, log_.Append(rec));
   env->LatchOp();
-  LFSTX_RETURN_IF_ERROR(log_.FlushTo(lsn));
+  LFSTX_RETURN_IF_ERROR(log_.FlushTo(lsn, txn));
   env->LatchOp();  // lock-manager latch for the release pass
   locks_.UnlockAll(txn);
   env->LatchOp();

@@ -144,6 +144,18 @@ void Profiler::EndSpan(const char* mgr, uint64_t txn, bool committed) {
               {kPhaseNames[6], delta[6]});
 }
 
+uint64_t Profiler::PhaseTotal(Phase ph) {
+  SimProc* p = SimEnv::Current();
+  if (p == nullptr) return 0;
+  Charge(p);  // fold the open interval in so before/after deltas are exact
+  return p->prof_.us[static_cast<int>(ph)];
+}
+
+uint64_t Profiler::CurrentSpanTxn() const {
+  SimProc* p = SimEnv::Current();
+  return p != nullptr && p->prof_.span_open ? p->prof_.span_txn : 0;
+}
+
 IoCause Profiler::CurrentCause() const {
   SimProc* p = SimEnv::Current();
   return p != nullptr ? p->prof_.cause : IoCause::kTxn;

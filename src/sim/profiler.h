@@ -122,6 +122,20 @@ class Profiler {
   /// the deltas into the per-mgr aggregate.
   void EndSpan(const char* mgr, uint64_t txn, bool committed);
 
+  // ---- Blame-edge support (wait_edge emitters) ----
+  /// Lifetime total the current process has been charged for `ph`,
+  /// *including* the still-open interval (charges it first). Reading this
+  /// before and after a blocking scope yields the exact number of
+  /// microseconds the scope contributed to the phase — the quantity a
+  /// wait_edge must carry so per-span edges sum to the span's phase total
+  /// (wall time would over-count: the post-wakeup run-queue delay is
+  /// charged to runq_wait, not to the blocking phase). Returns 0 on the
+  /// scheduler thread.
+  uint64_t PhaseTotal(Phase ph);
+  /// Transaction id of the current process's open span (0 when none / on
+  /// the scheduler thread) — the `waiter` identity for wait_edge events.
+  uint64_t CurrentSpanTxn() const;
+
   // ---- Disk-request cause attribution ----
   /// Cause tag of the current process (kTxn on the scheduler thread).
   IoCause CurrentCause() const;

@@ -1,0 +1,42 @@
+#include "sim/sampler.h"
+
+#include <cmath>
+
+#include "sim/sim_env.h"
+
+namespace lfstx {
+
+MetricsSampler::MetricsSampler(SimEnv* env, SimTime interval)
+    : env_(env), interval_(interval) {
+  env_->After(interval_, [this] { Tick(); });
+}
+
+void MetricsSampler::Tick() {
+  ticks_++;
+  Tracer* tracer = env_->tracer();
+  for (const auto& [name, v] : env_->metrics()->SampleNumeric()) {
+    auto it = prev_.find(name);
+    double before = it == prev_.end() ? 0.0 : it->second;
+    if (v == before && it != prev_.end()) continue;
+    if (v == before && v == 0.0) continue;  // never-moved metric: stay quiet
+    double d = v - before;
+    prev_[name] = v;
+    // Counters and microsecond totals must round-trip exactly; TraceField
+    // doubles print with %.6g, so emit integral values as integers.
+    bool integral = v == std::floor(v) && d == std::floor(d) &&
+                    std::fabs(v) < 9.0e15 && std::fabs(d) < 9.0e15;
+    if (integral) {
+      LFSTX_TRACE(tracer, TraceCat::kMetrics, "metric_sample",
+                  {"name", name.c_str()}, {"v", static_cast<int64_t>(v)},
+                  {"d", static_cast<int64_t>(d)});
+    } else {
+      LFSTX_TRACE(tracer, TraceCat::kMetrics, "metric_sample",
+                  {"name", name.c_str()}, {"v", v}, {"d", d});
+    }
+  }
+  if (!env_->stop_requested()) {
+    env_->After(interval_, [this] { Tick(); });
+  }
+}
+
+}  // namespace lfstx

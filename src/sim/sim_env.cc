@@ -14,6 +14,15 @@ thread_local SimProc* tls_current = nullptr;
 
 SimEnv::SimEnv(CostModel costs) : costs_(costs) {
   SetCheckClock(&now_);
+  // On an LFSTX_CHECK failure, dump the flight-recorder tail (when the
+  // machine enabled it) and a metrics snapshot before aborting, so
+  // invariant violations arrive with their immediate history attached.
+  SetCheckDumper(this, [this] {
+    if (!tracer_.flight_enabled()) return;
+    tracer_.DumpFlight(stderr);
+    std::string json = metrics_.ToJson();
+    fprintf(stderr, "[flight] metrics at failure:\n%s", json.c_str());
+  });
   metrics_.AddGauge(this, "sim.now_us", "us", "current virtual time",
                     [this] { return static_cast<double>(now_); });
   metrics_.AddGauge(this, "sim.context_switches", "count",
@@ -38,6 +47,7 @@ SimEnv::~SimEnv() {
   for (auto& p : procs_) {
     if (p->thread_.joinable()) p->thread_.join();
   }
+  ClearCheckDumper(this);
   ClearCheckClock(&now_);
 }
 

@@ -1,5 +1,6 @@
 #include "sim/trace.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <map>
@@ -43,7 +44,19 @@ constexpr CatName kCatNames[] = {
     {TraceCat::kTxn, "txn"},             {TraceCat::kLock, "lock"},
     {TraceCat::kLog, "log"},             {TraceCat::kSync, "sync"},
     {TraceCat::kCheck, "check"},         {TraceCat::kProf, "prof"},
+    {TraceCat::kBlame, "blame"},         {TraceCat::kMetrics, "metrics"},
 };
+
+/// Index of a category's bit (for the flight rings).
+int CatIndex(TraceCat c) {
+  uint32_t bits = static_cast<uint32_t>(c);
+  int i = 0;
+  while (bits > 1) {
+    bits >>= 1;
+    i++;
+  }
+  return i;
+}
 
 void AppendEscaped(std::string* out, const char* s) {
   for (; *s; s++) {
@@ -129,6 +142,31 @@ Status Tracer::OpenFile(const std::string& path) {
   return Status::OK();
 }
 
+void Tracer::EnableFlightRecorder(size_t per_cat) {
+  flight_per_cat_ = per_cat;
+  flight_mask_ = per_cat > 0 ? kTraceAll : 0;
+  flight_.clear();
+  if (per_cat > 0) {
+    flight_.resize(sizeof(kCatNames) / sizeof(kCatNames[0]));
+  }
+}
+
+void Tracer::DumpFlight(FILE* out) const {
+  if (flight_mask_ == 0) return;
+  // Merge the per-category rings back into emission order.
+  std::vector<const std::pair<uint64_t, std::string>*> all;
+  for (const auto& ring : flight_) {
+    for (const auto& e : ring) all.push_back(&e);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  fprintf(out, "[flight] last %zu events (<= %zu per category):\n",
+          all.size(), flight_per_cat_);
+  for (const auto* e : all) {
+    fwrite(e->second.data(), 1, e->second.size(), out);
+  }
+}
+
 void Tracer::Emit(TraceCat c, const char* event,
                   std::initializer_list<TraceField> fields) {
   std::string line;
@@ -179,6 +217,14 @@ void Tracer::Emit(TraceCat c, const char* event,
     }
   }
   line += "}\n";
+  if ((flight_mask_ & static_cast<uint32_t>(c)) != 0) {
+    auto& ring = flight_[CatIndex(c)];
+    if (ring.size() >= flight_per_cat_) ring.pop_front();
+    ring.emplace_back(flight_seq_++, line);
+  }
+  // User sinks (and the emitted counter) see only user-enabled categories;
+  // flight-only events must not perturb a capture test's byte-exact output.
+  if ((mask_ & static_cast<uint32_t>(c)) == 0) return;
   emitted_++;
   if (capture_ != nullptr) {
     *capture_ += line;

@@ -19,8 +19,11 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <deque>
 #include <initializer_list>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "sim/clock.h"
@@ -41,9 +44,11 @@ enum class TraceCat : uint32_t {
   kSync = 1u << 9,        ///< sync-daemon rounds
   kCheck = 1u << 10,      ///< invariant-checker runs and failures
   kProf = 1u << 11,       ///< profiler per-transaction phase breakdowns
+  kBlame = 1u << 12,      ///< wait_edge causal blame events (who held me up)
+  kMetrics = 1u << 13,    ///< metric_sample virtual-time sampler deltas
 };
 
-constexpr uint32_t kTraceAll = (1u << 12) - 1;
+constexpr uint32_t kTraceAll = (1u << 14) - 1;
 
 /// One key/value in a trace event. Implicit constructors let call sites
 /// write `{"block", addr}, {"op", "read"}`.
@@ -79,9 +84,10 @@ class Tracer {
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
-  /// Hot-path gate: is this category being recorded?
+  /// Hot-path gate: is this category being recorded (by a user sink or by
+  /// the flight recorder)?
   bool enabled(TraceCat c) const {
-    return (mask_ & static_cast<uint32_t>(c)) != 0;
+    return ((mask_ | flight_mask_) & static_cast<uint32_t>(c)) != 0;
   }
   uint32_t mask() const { return mask_; }
 
@@ -110,6 +116,19 @@ class Tracer {
   /// Pass nullptr to revert to the file / stderr sink.
   void SetCapture(std::string* sink) { capture_ = sink; }
 
+  /// Flight-recorder mode: buffer the last `per_cat` events of every
+  /// category in memory, independently of any user sink or mask, so a
+  /// failed LFSTX_CHECK can dump the immediate history of an otherwise
+  /// untraced run (see SimEnv's check dumper). Events that the user mask
+  /// also matches still go to the normal sink and still count in
+  /// events_emitted(); buffered-only events do neither. Pass 0 to turn
+  /// the recorder off and free the buffers.
+  void EnableFlightRecorder(size_t per_cat);
+  bool flight_enabled() const { return flight_mask_ != 0; }
+  /// Prints the buffered events to `out`, oldest first, across all
+  /// categories in original emission order.
+  void DumpFlight(FILE* out) const;
+
   /// Appends one JSONL event. Call through LFSTX_TRACE so disabled
   /// categories never reach here.
   void Emit(TraceCat c, const char* event,
@@ -124,11 +143,18 @@ class Tracer {
 
   const SimTime* clock_;
   uint32_t mask_ = 0;
+  uint32_t flight_mask_ = 0;  // kTraceAll when the flight recorder is on
   FILE* file_ = nullptr;  // shared via the process-wide sink registry
   std::string path_;      // registry key; empty -> stderr sink
   uint32_t machine_ = 0;  // attachment order on the shared file, 1-based
   std::string* capture_ = nullptr;
   uint64_t emitted_ = 0;
+  // Flight rings: one per category bit, each holding the last
+  // `flight_per_cat_` (seq, line) pairs; seq merges them back into
+  // emission order at dump time.
+  size_t flight_per_cat_ = 0;
+  uint64_t flight_seq_ = 0;
+  std::vector<std::deque<std::pair<uint64_t, std::string>>> flight_;
 };
 
 #ifdef LFSTX_DISABLE_TRACING

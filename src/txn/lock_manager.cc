@@ -6,11 +6,15 @@
 
 namespace lfstx {
 
-LockManager::LockManager(SimEnv* env, const char* metric_prefix) : env_(env) {
-  std::string p = metric_prefix;
+LockManager::LockManager(SimEnv* env, const char* metric_prefix)
+    : env_(env), prefix_(metric_prefix) {
+  const std::string& p = prefix_;
   MetricsRegistry* m = env_->metrics();
   wait_hist_ = m->GetHistogram(p + ".wait_us", "us",
                                "time blocked per lock wait");
+  blame_hist_ = m->GetHistogram(
+      "blame." + p + ".txn_us", "us",
+      "lock-wait time blamed on a holding transaction (one wait_edge each)");
   m->AddGauge(this, p + ".acquisitions", "count", "locks granted",
               [this] { return static_cast<double>(stats_.acquisitions); });
   m->AddGauge(this, p + ".waits", "count", "requests that had to block",
@@ -82,10 +86,29 @@ Status LockManager::Lock(TxnId txn, LockId id, LockMode mode) {
     }
     if (e.waiters == nullptr) e.waiters = std::make_unique<WaitQueue>(env_);
     e.waiter_count++;
+    // One wait_edge per blocked sleep, blaming the lowest-id conflicting
+    // holder (deterministic; a convoy shows up as a chain of such edges).
+    // The edge carries the *phase-charged* microseconds of this sleep, not
+    // wall time, so a span's lock edges sum exactly to its lock_wait phase
+    // (see Profiler::PhaseTotal).
+    TxnId holder = conflicts.front();
+    SimTime since = env_->Now();
+    uint64_t lock_us0 = env_->profiler()->PhaseTotal(Phase::kLockWait);
     WakeReason r;
     {
       ProfPhaseScope ph(env_->profiler(), Phase::kLockWait);
       r = e.waiters->Sleep();
+    }
+    uint64_t edge_us =
+        env_->profiler()->PhaseTotal(Phase::kLockWait) - lock_us0;
+    if (edge_us > 0) {
+      blame_hist_->Add(edge_us);
+      LFSTX_TRACE(env_->tracer(), TraceCat::kBlame, "wait_edge",
+                  {"kind", prefix_.c_str()}, {"src", "txn"},
+                  {"waiter", txn}, {"holder", holder}, {"file", id.file},
+                  {"page", id.page},
+                  {"mode", mode == LockMode::kExclusive ? "X" : "S"},
+                  {"since", since}, {"waited_us", edge_us});
     }
     e.waiter_count--;
     waits_for_.RemoveWaiter(txn);

@@ -96,7 +96,9 @@ class LockManager {
                                         LockMode mode) const;
 
   SimEnv* env_;
-  MetricHistogram* wait_hist_ = nullptr;  // owned by env's registry
+  std::string prefix_;  ///< metric prefix; also the wait_edge "kind" tag
+  MetricHistogram* wait_hist_ = nullptr;   // owned by env's registry
+  MetricHistogram* blame_hist_ = nullptr;  // blame.<prefix>.txn_us
   std::map<LockId, Entry> table_;                       // chained by object
   std::unordered_map<TxnId, std::set<LockId>> by_txn_;  // chained by txn
   WaitsForGraph waits_for_;

@@ -3,9 +3,9 @@
 
 CI runs this after every build as a cheap performance-tracking step: a
 tiny TPC-B measurement per architecture (seconds of wall time), with the
-profiler's headline "where did the time go" breakdown attached, so a
-regression shows up not just as a TPS delta but as the phase that ate
-the time.
+profiler's headline "where did the time go" breakdown and the causal
+wait-blame counters attached, so a regression shows up not just as a TPS
+delta but as the phase — and the blamed resource — that ate the time.
 
 The output is deterministic — the simulation is virtual-time and seeded,
 and no wall-clock timestamps are recorded — so the committed
@@ -14,8 +14,8 @@ BENCH_fig4.json only changes when behaviour changes.
 Usage:
     python3 tools/bench_summary.py [--bench build/bench/fig4_tps]
                                    [--out BENCH_fig4.json]
-                                   [--scale 64] [--txns 40]
-                                   [--min-coverage 0.95]
+                                   [--scale 64] [--txns 40] [--users 1]
+                                   [--min-coverage 0.95] [--no-blame]
 """
 import argparse
 import json
@@ -24,16 +24,21 @@ import subprocess
 import sys
 import tempfile
 
+import tracelib
+
 EXPECTED_ARCHS = ["user_ffs", "user_lfs", "embedded_lfs"]
 
 
-def run_bench(bench, scale, txns, summary_path):
+def run_bench(bench, scale, txns, users, blame, summary_path):
     cmd = [
         bench,
         f"--scale={scale}",
         f"--txns={txns}",
+        f"--users={users}",
         f"--summary={summary_path}",
     ]
+    if blame:
+        cmd.append("--blame")
     print("+ " + " ".join(cmd), flush=True)
     proc = subprocess.run(cmd, stdout=subprocess.PIPE,
                           stderr=subprocess.STDOUT, text=True)
@@ -42,7 +47,7 @@ def run_bench(bench, scale, txns, summary_path):
         sys.exit(f"bench failed with exit code {proc.returncode}")
 
 
-def validate(summary, min_coverage):
+def validate(summary, min_coverage, blame):
     configs = summary.get("configs", [])
     archs = [c.get("arch") for c in configs]
     if archs != EXPECTED_ARCHS:
@@ -52,6 +57,9 @@ def validate(summary, min_coverage):
         if not c["tps"] > 0:
             sys.exit(f"{arch}: non-positive TPS {c['tps']}")
         prof = c["prof"]
+        if sorted(prof["phases"]) != sorted(tracelib.PHASES):
+            sys.exit(f"{arch}: phase set {sorted(prof['phases'])} does not "
+                     f"match the profiler's ({sorted(tracelib.PHASES)})")
         phase_sum = sum(prof["phases"].values())
         if phase_sum != prof["elapsed_us"]:
             sys.exit(f"{arch}: phases sum to {phase_sum}, span elapsed is "
@@ -60,6 +68,21 @@ def validate(summary, min_coverage):
             sys.exit(f"{arch}: only {c['coverage']:.1%} of the measured "
                      f"window attributed to transaction spans "
                      f"(floor {min_coverage:.0%})")
+        if blame:
+            if "blame" not in c:
+                sys.exit(f"{arch}: no blame object in the summary "
+                         f"(bench too old for --blame?)")
+            # Lock-wait blame is exact by construction: every lock-wait
+            # microsecond inside a measured span carries exactly one
+            # wait_edge naming the holder, so the histogram's windowed sum
+            # must equal the windowed lock_wait phase.
+            lock_sum = sum(v for k, v in c["blame"].items()
+                           if k.startswith("blame.lock.")
+                           and k.endswith(".sum"))
+            if lock_sum != prof["phases"]["lock_wait"]:
+                sys.exit(f"{arch}: blame.lock.* sums to {lock_sum} but the "
+                         f"lock_wait phase is "
+                         f"{prof['phases']['lock_wait']} — blame bug")
         print(f"  {arch}: {c['tps']:.2f} TPS, "
               f"coverage {c['coverage']:.1%}, "
               f"{prof['phases']['log_wait']} us in log_wait")
@@ -71,7 +94,10 @@ def main():
     ap.add_argument("--out", default="BENCH_fig4.json")
     ap.add_argument("--scale", type=int, default=64)
     ap.add_argument("--txns", type=int, default=40)
+    ap.add_argument("--users", type=int, default=1)
     ap.add_argument("--min-coverage", type=float, default=0.95)
+    ap.add_argument("--no-blame", dest="blame", action="store_false",
+                    help="omit the wait-blame section")
     args = ap.parse_args()
 
     if not os.path.exists(args.bench):
@@ -80,13 +106,14 @@ def main():
     fd, tmp = tempfile.mkstemp(suffix=".json")
     os.close(fd)
     try:
-        run_bench(args.bench, args.scale, args.txns, tmp)
+        run_bench(args.bench, args.scale, args.txns, args.users, args.blame,
+                  tmp)
         with open(tmp, "r", encoding="utf-8") as f:
             summary = json.load(f)
     finally:
         os.unlink(tmp)
 
-    validate(summary, args.min_coverage)
+    validate(summary, args.min_coverage, args.blame)
 
     # Re-serialize with sorted keys so the file is canonical regardless of
     # the emitting code's field order.

@@ -1,0 +1,344 @@
+#!/usr/bin/env python3
+"""Per-transaction blame attribution and critical-path analysis.
+
+Reconstructs, from a saved trace, *why* each transaction spent time
+blocked: which transaction held the lock it wanted, whose I/O was ahead
+of it in the disk queue, which commit's fsync it piggybacked on, and
+whether the segment writer was stuck waiting for the cleaner.
+
+    ./build/bench/fig4_tps --users=10 --trace=prof,blame \\
+        --trace-file=/tmp/trace.jsonl
+    python3 tools/blame_report.py /tmp/trace.jsonl
+
+Inputs are `txn_profile` span events (category `prof`) and `wait_edge`
+blame events (category `blame`); see OBSERVABILITY.md for both schemas.
+
+The critical path of a span is its exact phase partition with the
+blocking phases decomposed into blame edges:
+
+  - `lock_wait` decomposes *exactly*: every microsecond the profiler
+    charged to lock waiting carries a wait_edge naming the holder, so
+    the per-holder pieces sum to the phase with no remainder. A span
+    where they do not is reported (and fails --check) — that would be
+    an instrumentation bug, not noise.
+  - `log_wait` decomposes into group-commit / log-flush leader edges
+    plus a "self" remainder (the transaction's own flush work).
+  - `cleaner_stall` decomposes into cleaner edges plus a remainder.
+  - `run`, `runq_wait` and the disk phases stay self time.
+
+Segment totals therefore sum exactly (integer microseconds, no epsilon)
+to the span's elapsed time, and the report says so per manager.
+
+Everything printed is derived from integer virtual-time microseconds
+with deterministic tie-breaking, so two runs of the same seeded bench
+produce byte-identical reports — CI diffs them.
+
+Exit status: 0, or 1 under --check when an invariant fails (inexact
+critical path, lock-blame share below --min-lock-share, or a required
+disk blame source missing).
+"""
+import argparse
+import signal
+import sys
+from collections import defaultdict
+
+import tracelib
+
+# Die quietly when piped into `head`.
+signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+LOCK_KINDS = ("lock.kernel", "lock.libtp")
+COMMIT_KINDS = ("group_commit", "log")
+
+
+def load(path):
+    """Returns (spans_by_machine, edges_by_machine)."""
+    spans = defaultdict(list)
+    edges = defaultdict(list)
+    for lineno, ev in tracelib.read_events(path):
+        if ev.get("ev") == "txn_profile":
+            tracelib.validate_span(ev, f"{path}:{lineno}")
+            spans[tracelib.machine_of(ev)].append(ev)
+        elif ev.get("ev") == "wait_edge":
+            edges[tracelib.machine_of(ev)].append(ev)
+    return spans, edges
+
+
+def span_interval(ev):
+    return ev["t"] - ev["elapsed_us"], ev["t"]
+
+
+def attach_edges(span_events, edge_events):
+    """Maps each waiter edge onto the span whose interval covers it.
+
+    Returns {id(span): [edge, ...]} plus the edges that matched no span
+    (daemon waiters — the syncer and cleaner run outside transaction
+    spans and stamp waiter 0).
+    """
+    by_txn = defaultdict(list)
+    for s in span_events:
+        by_txn[s["txn"]].append(s)
+    for lst in by_txn.values():
+        lst.sort(key=lambda s: s["t"])
+    attached = defaultdict(list)
+    orphans = []
+    for e in edge_events:
+        waiter = e.get("waiter", 0)
+        home = None
+        if waiter:
+            for s in by_txn.get(waiter, ()):
+                begin, end = span_interval(s)
+                if begin <= e["since"] < end:
+                    home = s
+                    break
+        if home is None:
+            orphans.append(e)
+        else:
+            attached[id(home)].append(e)
+    return attached, orphans
+
+
+def critical_path(span, span_edges):
+    """Exact decomposition of one span into (segment, us) pieces.
+
+    Returns (segments, lock_exact) where segments is a sorted list of
+    ((label, blamed), us) and lock_exact says whether the lock edges
+    summed exactly to the lock_wait phase (they must).
+    """
+    segs = defaultdict(int)
+    lock_us = commit_us = stall_us = 0
+    for e in span_edges:
+        kind = e["kind"]
+        if kind in LOCK_KINDS:
+            segs[("lock_wait", f"txn {e['holder']}")] += e["waited_us"]
+            lock_us += e["waited_us"]
+        elif kind in COMMIT_KINDS:
+            segs[("log_wait", f"leader txn {e['holder']}")] += e["waited_us"]
+            commit_us += e["waited_us"]
+        elif kind == "lfs":
+            segs[("cleaner_stall", "cleaner")] += e["waited_us"]
+            stall_us += e["waited_us"]
+        # kind == "disk" edges explain time *inside* the disk phases
+        # rather than partitioning them; they are reported separately.
+    lock_exact = lock_us == span.get("lock_wait", 0)
+    for phase in tracelib.PHASES:
+        if phase == "lock_wait":
+            rest = span.get(phase, 0) - lock_us
+        elif phase == "log_wait":
+            rest = span.get(phase, 0) - commit_us
+        elif phase == "cleaner_stall":
+            rest = span.get(phase, 0) - stall_us
+        else:
+            rest = span.get(phase, 0)
+        if rest:
+            segs[(phase, "self")] += rest
+    return sorted(segs.items()), lock_exact
+
+
+def find_cycles(edge_events):
+    """Mutual-blame pairs with overlapping wait intervals.
+
+    Two transactions blocked on each other at the same time would be a
+    deadlock the lock manager failed to see; expected count is zero and
+    any hit is printed as an anomaly.
+    """
+    blames = defaultdict(list)  # (waiter, holder) -> [(since, until)]
+    for e in edge_events:
+        w, h = e.get("waiter", 0), e.get("holder", 0)
+        if w and h:
+            blames[(w, h)].append((e["since"], e["since"] + e["waited_us"]))
+    hits = []
+    for (w, h), ivals in sorted(blames.items()):
+        if w >= h:  # count each unordered pair once
+            continue
+        for s0, u0 in ivals:
+            for s1, u1 in blames.get((h, w), ()):
+                if s0 < u1 and s1 < u0:
+                    hits.append((w, h, max(s0, s1), min(u0, u1)))
+    return hits
+
+
+def pct(part, whole):
+    return 100.0 * part / whole if whole else 0.0
+
+
+def report_machine(machine, mgr, span_events, edge_events, top):
+    """Prints one machine's report; returns (paths_exact, lock_share)."""
+    span_events = sorted(span_events, key=lambda s: s["t"])
+    spans = len(span_events)
+    committed = sum(1 for s in span_events if s.get("committed"))
+    elapsed = sum(s["elapsed_us"] for s in span_events)
+    lock_wait = sum(s.get("lock_wait", 0) for s in span_events)
+    print(f"\n[blame] machine={machine} mgr={mgr}: {spans} spans "
+          f"({committed} committed), {elapsed} us inside transactions")
+
+    attached, orphans = attach_edges(span_events, edge_events)
+
+    # ---- edge totals by (kind, src) --------------------------------------
+    totals = defaultdict(lambda: [0, 0])
+    for e in edge_events:
+        t = totals[(e["kind"], e["src"])]
+        t[0] += 1
+        t[1] += e["waited_us"]
+    rows = [("edge", "count", "total (us)")]
+    for (kind, src), (n, us) in sorted(totals.items()):
+        rows.append((f"{kind}/{src}", str(n), str(us)))
+    if len(rows) > 1:
+        tracelib.print_table(rows)
+    else:
+        print("  (no wait edges recorded)")
+
+    # ---- lock blame ------------------------------------------------------
+    holders = defaultdict(lambda: [0, 0, set()])   # txn -> n, us, waiters
+    resources = defaultdict(lambda: [0, 0, set()])  # (file,page) -> same
+    lock_attr = 0
+    for span_id, es in attached.items():
+        for e in es:
+            if e["kind"] not in LOCK_KINDS:
+                continue
+            lock_attr += e["waited_us"]
+            h = holders[e["holder"]]
+            h[0] += 1
+            h[1] += e["waited_us"]
+            h[2].add(e["waiter"])
+            r = resources[(e["file"], e["page"])]
+            r[0] += 1
+            r[1] += e["waited_us"]
+            r[2].add(e["waiter"])
+    lock_share = lock_attr / lock_wait if lock_wait else 1.0
+    print(f"  lock blame: {lock_attr} of {lock_wait} us of lock_wait "
+          f"attributed to identified holders ({pct(lock_attr, lock_wait):.1f}%)")
+    if holders:
+        rows = [("holder", "edges", "blamed (us)", "distinct waiters")]
+        ranked = sorted(holders.items(), key=lambda kv: (-kv[1][1], kv[0]))
+        for txn, (n, us, waiters) in ranked[:top]:
+            rows.append((f"txn {txn}", str(n), str(us), str(len(waiters))))
+        tracelib.print_table(rows)
+        rows = [("resource", "edges", "blamed (us)", "waiters", "shape")]
+        ranked = sorted(resources.items(), key=lambda kv: (-kv[1][1], kv[0]))
+        total_lock = sum(v[1] for v in resources.values())
+        for (fileno, page), (n, us, waiters) in ranked[:top]:
+            shape = ("convoy" if len(waiters) >= 3
+                     and us * 2 >= total_lock else "")
+            rows.append((f"file {fileno} page {page}", str(n), str(us),
+                         str(len(waiters)), shape))
+        tracelib.print_table(rows)
+
+    # ---- critical paths --------------------------------------------------
+    path_totals = defaultdict(int)
+    inexact = 0
+    for s in span_events:
+        segs, lock_exact = critical_path(s, attached.get(id(s), []))
+        if not lock_exact:
+            inexact += 1
+        for key, us in segs:
+            path_totals[key] += us
+    check_sum = sum(path_totals.values())
+    print(f"  critical path: segment totals sum to {check_sum} us over "
+          f"{elapsed} us of span time "
+          f"({'exact' if check_sum == elapsed and not inexact else 'INEXACT'})")
+    if inexact:
+        print(f"  WARNING: {inexact} spans whose lock edges do not sum to "
+              f"their lock_wait phase")
+    rows = [("segment", "total (us)", "% of txn time")]
+    ranked = sorted(path_totals.items(), key=lambda kv: (-kv[1], kv[0]))
+    for (phase, blamed), us in ranked[:top + 5]:
+        rows.append((f"{phase}[{blamed}]", str(us),
+                     f"{pct(us, elapsed):.1f}"))
+    tracelib.print_table(rows)
+
+    # ---- most-blamed transactions (any mechanism) ------------------------
+    blamed_txns = defaultdict(int)
+    for e in edge_events:
+        if e["kind"] in LOCK_KINDS or e["kind"] in COMMIT_KINDS:
+            blamed_txns[e["holder"]] += e["waited_us"]
+        elif e["kind"] == "disk" and e.get("ahead_txn"):
+            blamed_txns[e["ahead_txn"]] += e["waited_us"]
+    if blamed_txns:
+        ranked = sorted(blamed_txns.items(), key=lambda kv: (-kv[1], kv[0]))
+        head = ", ".join(f"txn {t}={us} us" for t, us in ranked[:top])
+        print(f"  most-blamed transactions: {head}")
+
+    # ---- daemon / orphan edges ------------------------------------------
+    if orphans:
+        by_kind = defaultdict(lambda: [0, 0])
+        for e in orphans:
+            t = by_kind[(e["kind"], e["src"])]
+            t[0] += 1
+            t[1] += e["waited_us"]
+        parts = ", ".join(f"{k}/{s}: {n} edges {us} us"
+                          for (k, s), (n, us) in sorted(by_kind.items()))
+        print(f"  outside transaction spans (daemons): {parts}")
+
+    # ---- anomalies -------------------------------------------------------
+    cycles = find_cycles(edge_events)
+    if cycles:
+        print(f"  ANOMALY: {len(cycles)} mutual-blame interval overlaps "
+              f"(possible undetected deadlock):")
+        for w, h, s, u in cycles[:top]:
+            print(f"    txn {w} <-> txn {h} overlapping [{s}, {u}] us")
+    else:
+        print("  no mutual-blame cycles (no overlapping A<->B waits)")
+
+    return check_sum == elapsed and not inexact, lock_share
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Causal wait-blame attribution from a trace file.")
+    ap.add_argument("trace", help="JSONL written with --trace=prof,blame")
+    ap.add_argument("--mgr", help="only this manager tag (embedded, libtp)")
+    ap.add_argument("--top", type=int, default=5,
+                    help="rows per ranking table (default 5)")
+    ap.add_argument("--check", action="store_true",
+                    help="exit 1 unless every invariant below holds")
+    ap.add_argument("--min-lock-share", type=float, default=0.9,
+                    help="with --check: minimum fraction of lock_wait that "
+                         "must carry a holder (default 0.9)")
+    ap.add_argument("--require-disk-blame", action="append", default=[],
+                    metavar="SRC",
+                    help="with --check: require disk wait edges blamed on "
+                         "this cause (e.g. cleaner); repeatable")
+    args = ap.parse_args()
+
+    spans, edges = load(args.trace)
+    if not spans:
+        sys.exit(f"{args.trace}: no txn_profile events "
+                 "(run the bench with --trace=prof,blame)")
+
+    failures = []
+    for machine in sorted(set(spans) | set(edges)):
+        mgr_spans = defaultdict(list)
+        for s in spans.get(machine, ()):
+            mgr_spans[s["mgr"]].append(s)
+        if args.mgr:
+            mgr_spans = {m: v for m, v in mgr_spans.items() if m == args.mgr}
+        for mgr in sorted(mgr_spans):
+            exact, lock_share = report_machine(
+                machine, mgr, mgr_spans[mgr], edges.get(machine, []),
+                args.top)
+            if not exact:
+                failures.append(f"machine {machine} mgr {mgr}: critical "
+                                f"paths do not sum exactly")
+            if lock_share < args.min_lock_share:
+                failures.append(
+                    f"machine {machine} mgr {mgr}: lock blame covers only "
+                    f"{lock_share:.1%} of lock_wait "
+                    f"(floor {args.min_lock_share:.0%})")
+
+    for src in args.require_disk_blame:
+        n = sum(1 for machine in edges for e in edges[machine]
+                if e["kind"] == "disk" and e["src"] == src)
+        if n == 0:
+            failures.append(f"no disk wait edges blamed on '{src}'")
+        else:
+            print(f"\ndisk blame on '{src}': {n} edges")
+
+    if args.check and failures:
+        for f in failures:
+            print(f"CHECK FAILED: {f}", file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

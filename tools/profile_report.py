@@ -20,48 +20,13 @@ to its elapsed time (that would be a profiler bug — the sum is exact by
 construction, no epsilon).
 """
 import argparse
-import json
 import signal
 import sys
 
+import tracelib
+
 # Die quietly when piped into `head`.
 signal.signal(signal.SIGPIPE, signal.SIG_DFL)
-
-# Must match kPhaseNames in src/sim/profiler.cc.
-PHASES = [
-    "run",
-    "runq_wait",
-    "disk_read_wait",
-    "disk_write_wait",
-    "lock_wait",
-    "log_wait",
-    "cleaner_stall",
-]
-
-
-def load_spans(path):
-    """Returns {(machine, mgr): [event, ...]} for txn_profile events."""
-    groups = {}
-    with open(path, "r", encoding="utf-8") as f:
-        for lineno, line in enumerate(f, 1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                ev = json.loads(line)
-            except json.JSONDecodeError as e:
-                sys.exit(f"{path}:{lineno}: not JSON: {e}")
-            if ev.get("ev") != "txn_profile":
-                continue
-            phase_sum = sum(ev.get(p, 0) for p in PHASES)
-            if phase_sum != ev["elapsed_us"]:
-                sys.exit(
-                    f"{path}:{lineno}: phases sum to {phase_sum} "
-                    f"but elapsed_us is {ev['elapsed_us']} — profiler bug"
-                )
-            key = (ev.get("m", 0), ev["mgr"])
-            groups.setdefault(key, []).append(ev)
-    return groups
 
 
 def print_table(machine, mgr, events):
@@ -71,20 +36,17 @@ def print_table(machine, mgr, events):
     print(f"\n[profile] machine={machine} mgr={mgr}: "
           f"{spans} spans ({committed} committed)")
     rows = []
-    for p in PHASES:
+    for p in tracelib.PHASES:
         total = sum(e.get(p, 0) for e in events)
         share = 100.0 * total / elapsed if elapsed else 0.0
         rows.append((p, total, total / spans, share))
     rows.append(("total", elapsed, elapsed / spans, 100.0))
 
-    headers = ("phase", "total (us)", "per-txn (us)", "% of txn time")
-    table = [headers] + [
+    table = [("phase", "total (us)", "per-txn (us)", "% of txn time")] + [
         (name, str(total), f"{per:.1f}", f"{share:.1f}")
         for name, total, per, share in rows
     ]
-    widths = [max(len(r[c]) for r in table) for c in range(len(headers))]
-    for r in table:
-        print("  " + " ".join(c.ljust(w) for c, w in zip(r, widths)))
+    tracelib.print_table(table)
 
 
 def main():
@@ -94,7 +56,7 @@ def main():
     ap.add_argument("--mgr", help="only this manager tag (embedded, libtp)")
     args = ap.parse_args()
 
-    groups = load_spans(args.trace)
+    groups = tracelib.load_spans(args.trace)
     if args.mgr:
         groups = {k: v for k, v in groups.items() if k[1] == args.mgr}
     if not groups:

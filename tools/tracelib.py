@@ -1,0 +1,83 @@
+"""Shared helpers for reading lfstx trace files (JSONL).
+
+A trace file written with `--trace-file` holds one JSON object per line
+(see OBSERVABILITY.md for the event schemas). A bench process that builds
+several simulated machines in sequence shares one file; each machine's
+events carry a distinct "m" tag. Traces written by a single machine have
+no "m" field; those group under machine 0.
+
+Used by profile_report.py, blame_report.py, and bench_summary.py so the
+phase list and the exact-sum validation live in exactly one place.
+"""
+import json
+import sys
+
+# Must match kPhaseNames in src/sim/profiler.cc.
+PHASES = [
+    "run",
+    "runq_wait",
+    "disk_read_wait",
+    "disk_write_wait",
+    "lock_wait",
+    "log_wait",
+    "cleaner_stall",
+]
+
+
+def machine_of(ev):
+    """Machine tag of an event (0 for single-machine traces)."""
+    return ev.get("m", 0)
+
+
+def read_events(path):
+    """Yields (lineno, event) for every line; exits non-zero on bad JSON."""
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                ev = json.loads(line)
+            except json.JSONDecodeError as e:
+                sys.exit(f"{path}:{lineno}: not JSON: {e}")
+            yield lineno, ev
+
+
+def validate_span(ev, where):
+    """Dies unless the span's phases sum exactly to its elapsed time.
+
+    The virtual-clock profiler partitions each transaction span into
+    phases with no gaps and no overlap, so the sum is exact by
+    construction (integer microseconds, no epsilon). A mismatch is a
+    profiler bug, never measurement noise.
+    """
+    phase_sum = sum(ev.get(p, 0) for p in PHASES)
+    if phase_sum != ev["elapsed_us"]:
+        sys.exit(
+            f"{where}: phases sum to {phase_sum} "
+            f"but elapsed_us is {ev['elapsed_us']} — profiler bug"
+        )
+
+
+def load_spans(path):
+    """Returns {(machine, mgr): [event, ...]} for txn_profile events.
+
+    Every span is validated with validate_span before it is returned.
+    """
+    groups = {}
+    for lineno, ev in read_events(path):
+        if ev.get("ev") != "txn_profile":
+            continue
+        validate_span(ev, f"{path}:{lineno}")
+        key = (machine_of(ev), ev["mgr"])
+        groups.setdefault(key, []).append(ev)
+    return groups
+
+
+def print_table(rows, indent="  ", out=sys.stdout):
+    """Left-justified column table; first row is the header."""
+    rows = [[str(c) for c in r] for r in rows]
+    widths = [max(len(r[c]) for r in rows) for c in range(len(rows[0]))]
+    for r in rows:
+        out.write(indent + " ".join(c.ljust(w) for c, w in zip(r, widths))
+                  .rstrip() + "\n")
