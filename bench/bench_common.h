@@ -33,6 +33,12 @@
 //                    while cleaning) or "user" (section 5.4: interferes
 //                    only through the disk arm, so contention shows up as
 //                    disk-queue blame instead of lock blame)
+//   --sim-backend=B  simulator execution backend: "fibers" (default) or
+//                    "threads" (one OS thread per simulated process — the
+//                    slow differential-testing oracle). Traces, metrics
+//                    and all measured virtual times are byte-identical
+//                    across backends; see SIMULATOR.md. Defaults honour
+//                    the LFSTX_SIM_BACKEND environment variable.
 //   --summary=F      (fig4_tps) write a machine-readable JSON summary —
 //                    TPS + profile breakdown per architecture — to F;
 //                    consumed by tools/bench_summary.py
@@ -68,6 +74,7 @@ struct BenchConfig {
   bool profile = false;
   bool blame = false;
   std::string cleaner_mode;  // "", "kernel", or "user"
+  std::string sim_backend;   // "", "threads", or "fibers"
   std::string metrics_dir;
   std::string trace;
   std::string trace_file;
@@ -91,6 +98,13 @@ struct BenchConfig {
         if (c.cleaner_mode != "kernel" && c.cleaner_mode != "user") {
           fprintf(stderr, "bad --cleaner=%s (kernel|user)\n",
                   c.cleaner_mode.c_str());
+          exit(2);
+        }
+      } else if (strncmp(argv[i], "--sim-backend=", 14) == 0) {
+        c.sim_backend = argv[i] + 14;
+        if (c.sim_backend != "threads" && c.sim_backend != "fibers") {
+          fprintf(stderr, "bad --sim-backend=%s (threads|fibers)\n",
+                  c.sim_backend.c_str());
           exit(2);
         }
       } else if (strncmp(argv[i], "--metrics-dir=", 14) == 0) {
@@ -129,6 +143,11 @@ struct BenchConfig {
       o.cleaner.mode = Cleaner::Mode::kUserSpace;
     } else if (cleaner_mode == "kernel") {
       o.cleaner.mode = Cleaner::Mode::kKernel;
+    }
+    if (sim_backend == "threads") {
+      o.sim_backend = SimBackend::kThreads;
+    } else if (sim_backend == "fibers") {
+      o.sim_backend = SimBackend::kFibers;
     }
     if (readahead >= 0) {
       o.readahead_blocks = static_cast<uint32_t>(readahead);

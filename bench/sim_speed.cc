@@ -1,0 +1,182 @@
+// Simulator-engine throughput: how much simulated time the scheduler
+// advances, and how many virtual-time handoffs it executes, per real
+// second — threads vs fibers, at 10/100/1000 simulated processes.
+//
+//   sim_speed [--out=BENCH_simspeed.json] [--procs=10,100,1000]
+//             [--handoffs=N]
+//
+// The workload is pure scheduler exercise: every process repeatedly
+// charges a few microseconds of CPU, yields, and periodically parks on a
+// timer, so the measurement isolates the cost of one virtual-time handoff
+// (the quantity the fiber backend exists to shrink — see DESIGN.md §9 and
+// SIMULATOR.md). `--handoffs` is the total handoff budget per
+// configuration, split evenly across processes, so wall time per config
+// stays roughly constant as the process count grows.
+//
+// Absolute numbers vary with the host; the committed BENCH_simspeed.json
+// records a reference run, and CI asserts only the fibers/threads ratio
+// (>= 10x at >= 100 processes). This is the one bench that measures WALL
+// time on purpose — everything else in this repo reports virtual time.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/clock.h"
+#include "sim/sim_env.h"
+
+namespace lfstx {
+namespace {
+
+struct SpeedResult {
+  SimBackend backend;
+  uint64_t procs = 0;
+  uint64_t iters_per_proc = 0;
+  uint64_t handoffs = 0;    // process -> scheduler -> process round trips
+  uint64_t switches = 0;    // sim.context_switches (proc-to-proc changes)
+  SimTime sim_us = 0;       // virtual time advanced
+  double real_us = 0;       // wall time for SimEnv::Run()
+  double sim_us_per_real_s() const {
+    return real_us > 0 ? 1e6 * static_cast<double>(sim_us) / real_us : 0;
+  }
+  double handoffs_per_real_s() const {
+    return real_us > 0 ? 1e6 * static_cast<double>(handoffs) / real_us : 0;
+  }
+};
+
+SpeedResult RunOne(SimBackend backend, uint64_t procs, uint64_t iters) {
+  SpeedResult r;
+  r.backend = backend;
+  r.procs = procs;
+  r.iters_per_proc = iters;
+  // Every loop iteration blocks exactly once (yield or sleep), and each
+  // block is one scheduler round trip; spawn and exit add one more.
+  r.handoffs = procs * (iters + 1);
+  SimEnv env(CostModel(), backend);
+  for (uint64_t p = 0; p < procs; p++) {
+    env.Spawn("p" + std::to_string(p), [&env, iters] {
+      for (uint64_t i = 0; i < iters; i++) {
+        env.Consume(3);
+        if (i % 16 == 15) {
+          env.SleepFor(50);  // exercise the timer wheel too
+        } else {
+          env.Yield();
+        }
+      }
+    });
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  r.sim_us = env.Run();
+  auto t1 = std::chrono::steady_clock::now();
+  r.real_us = std::chrono::duration<double, std::micro>(t1 - t0).count();
+  r.switches = env.stats().context_switches;
+  return r;
+}
+
+std::string ResultJson(const SpeedResult& r) {
+  char buf[512];
+  snprintf(buf, sizeof(buf),
+           "    {\"backend\": \"%s\", \"procs\": %llu, "
+           "\"iters_per_proc\": %llu, \"handoffs\": %llu, "
+           "\"switches\": %llu, \"sim_us\": %llu, \"real_us\": %.0f, "
+           "\"sim_us_per_real_s\": %.0f, \"handoffs_per_real_s\": %.0f}",
+           SimBackendName(r.backend),
+           static_cast<unsigned long long>(r.procs),
+           static_cast<unsigned long long>(r.iters_per_proc),
+           static_cast<unsigned long long>(r.handoffs),
+           static_cast<unsigned long long>(r.switches),
+           static_cast<unsigned long long>(r.sim_us), r.real_us,
+           r.sim_us_per_real_s(), r.handoffs_per_real_s());
+  return buf;
+}
+
+int Main(int argc, char** argv) {
+  std::string out = "BENCH_simspeed.json";
+  std::vector<uint64_t> proc_counts = {10, 100, 1000};
+  uint64_t handoff_budget = 240000;
+  for (int i = 1; i < argc; i++) {
+    if (strncmp(argv[i], "--out=", 6) == 0) {
+      out = argv[i] + 6;
+    } else if (strncmp(argv[i], "--handoffs=", 11) == 0) {
+      handoff_budget = strtoull(argv[i] + 11, nullptr, 10);
+    } else if (strncmp(argv[i], "--procs=", 8) == 0) {
+      proc_counts.clear();
+      for (const char* s = argv[i] + 8; *s != '\0';) {
+        char* end = nullptr;
+        uint64_t v = strtoull(s, &end, 10);
+        if (end == s) break;
+        if (v > 0) proc_counts.push_back(v);
+        s = *end == ',' ? end + 1 : end;
+      }
+    } else {
+      fprintf(stderr,
+              "usage: sim_speed [--out=F] [--procs=a,b,c] [--handoffs=N]\n");
+      return 2;
+    }
+  }
+
+  std::string json = "{\n  \"bench\": \"sim_speed\",\n  \"configs\": [\n";
+  std::string speedups;
+  printf("%8s %8s %14s %18s %18s\n", "procs", "backend", "handoffs",
+         "sim_us/real_s", "handoffs/real_s");
+  bool first = true;
+  for (uint64_t procs : proc_counts) {
+    uint64_t iters = std::max<uint64_t>(32, handoff_budget / procs);
+    SpeedResult threads = RunOne(SimBackend::kThreads, procs, iters);
+    SpeedResult fibers = RunOne(SimBackend::kFibers, procs, iters);
+    for (const SpeedResult& r : {threads, fibers}) {
+      printf("%8llu %8s %14llu %18.0f %18.0f\n",
+             static_cast<unsigned long long>(r.procs),
+             SimBackendName(r.backend),
+             static_cast<unsigned long long>(r.handoffs),
+             r.sim_us_per_real_s(), r.handoffs_per_real_s());
+      json += ResultJson(r) + (procs == proc_counts.back() &&
+                                       r.backend == SimBackend::kFibers
+                                   ? "\n"
+                                   : ",\n");
+    }
+    // Both backends execute the identical schedule, so sim_us and
+    // switches match exactly and the ratio is a pure wall-time speedup.
+    if (threads.sim_us != fibers.sim_us ||
+        threads.switches != fibers.switches) {
+      fprintf(stderr,
+              "sim_speed: backend divergence at %llu procs "
+              "(sim_us %llu vs %llu, switches %llu vs %llu)\n",
+              static_cast<unsigned long long>(procs),
+              static_cast<unsigned long long>(threads.sim_us),
+              static_cast<unsigned long long>(fibers.sim_us),
+              static_cast<unsigned long long>(threads.switches),
+              static_cast<unsigned long long>(fibers.switches));
+      return 1;
+    }
+    double ratio = threads.real_us > 0 && fibers.real_us > 0
+                       ? fibers.sim_us_per_real_s() /
+                             threads.sim_us_per_real_s()
+                       : 0;
+    printf("%8llu  fibers/threads speedup: %.1fx\n",
+           static_cast<unsigned long long>(procs), ratio);
+    char buf[64];
+    snprintf(buf, sizeof(buf), "%s\"%llu\": %.1f", first ? "" : ", ",
+             static_cast<unsigned long long>(procs), ratio);
+    speedups += buf;
+    first = false;
+  }
+  json += "  ],\n  \"speedup_sim_us_per_real_s\": {" + speedups + "}\n}\n";
+
+  FILE* f = fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "sim_speed: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  fwrite(json.data(), 1, json.size(), f);
+  fclose(f);
+  fprintf(stderr, "[bench] wrote %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace lfstx
+
+int main(int argc, char** argv) { return lfstx::Main(argc, argv); }

@@ -100,7 +100,7 @@ Lfs* Machine::lfs() const { return dynamic_cast<Lfs*>(fs.get()); }
 
 std::unique_ptr<Machine> Machine::Build(const Options& options) {
   auto m = std::make_unique<Machine>();
-  m->env = std::make_unique<SimEnv>(options.costs);
+  m->env = std::make_unique<SimEnv>(options.costs, options.sim_backend);
   // Tracing: explicit options win, then LFSTX_TRACE / LFSTX_TRACE_FILE.
   std::string spec = options.trace_categories;
   if (spec.empty()) {

@@ -75,6 +75,13 @@ struct Machine {
     /// whichever file system boots, so LFS-vs-FFS comparisons stay
     /// apples-to-apples.
     uint32_t readahead_blocks = kDefaultReadaheadBlocks;
+    /// Execution backend for the machine's scheduler: user-space fibers
+    /// (default; a simulated context switch is a function call) or one OS
+    /// thread per simulated process (the slow differential-testing
+    /// oracle). Backends never change simulation results — SIMULATOR.md
+    /// states the contract and the CI jobs that enforce it. Initialized
+    /// from LFSTX_SIM_BACKEND; benches override via --sim-backend.
+    SimBackend sim_backend = DefaultSimBackend();
     CostModel costs;
     SimDisk::Options disk;
     Lfs::Options lfs;

@@ -1,0 +1,190 @@
+#include "sim/fiber.h"
+
+#include <pthread.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/check_macros.h"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define LFSTX_FIBER_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define LFSTX_FIBER_ASAN 1
+#endif
+#endif
+
+#if defined(LFSTX_FIBER_ASAN)
+#include <sanitizer/common_interface_defs.h>
+#endif
+
+namespace lfstx {
+
+#if !defined(LFSTX_FIBER_UCONTEXT)
+// lfstx_fiber_swap(void** save_sp, void* restore_sp): push the callee-saved
+// register set, publish the suspended stack pointer through *save_sp, adopt
+// restore_sp, pop the target's registers and return on the target stack.
+// Caller-saved registers need no saving — to the compiler this is an
+// ordinary function call. Fresh fibers are launched by crafting an initial
+// frame whose "return address" slot holds the entry function (see Start).
+extern "C" void lfstx_fiber_swap(void** save_sp, void* restore_sp);
+
+#if defined(__x86_64__)
+asm(R"(
+.text
+.globl lfstx_fiber_swap
+.hidden lfstx_fiber_swap
+.type lfstx_fiber_swap, @function
+.align 16
+lfstx_fiber_swap:
+  pushq %rbp
+  pushq %rbx
+  pushq %r12
+  pushq %r13
+  pushq %r14
+  pushq %r15
+  movq %rsp, (%rdi)
+  movq %rsi, %rsp
+  popq %r15
+  popq %r14
+  popq %r13
+  popq %r12
+  popq %rbx
+  popq %rbp
+  retq
+.size lfstx_fiber_swap, .-lfstx_fiber_swap
+)");
+// Initial frame, built downward from the 16-aligned stack top:
+//   [top-8]  0                — sentinel "caller" so unwinders stop
+//   [top-16] entry            — popped by retq on the first switch in
+//   [top-64] six zeroed slots — r15,r14,r13,r12,rbx,rbp
+// After the pops rsp == top-16 (16-aligned), retq leaves rsp ≡ 8 (mod 16):
+// exactly the System V entry condition.
+inline constexpr size_t kInitFrameBytes = 64;
+inline constexpr size_t kInitEntryOffset = 48;
+
+#elif defined(__aarch64__)
+asm(R"(
+.text
+.globl lfstx_fiber_swap
+.hidden lfstx_fiber_swap
+.type lfstx_fiber_swap, %function
+.align 4
+lfstx_fiber_swap:
+  sub sp, sp, #160
+  stp x19, x20, [sp, #0]
+  stp x21, x22, [sp, #16]
+  stp x23, x24, [sp, #32]
+  stp x25, x26, [sp, #48]
+  stp x27, x28, [sp, #64]
+  stp x29, x30, [sp, #80]
+  stp d8,  d9,  [sp, #96]
+  stp d10, d11, [sp, #112]
+  stp d12, d13, [sp, #128]
+  stp d14, d15, [sp, #144]
+  mov x2, sp
+  str x2, [x0]
+  mov sp, x1
+  ldp x19, x20, [sp, #0]
+  ldp x21, x22, [sp, #16]
+  ldp x23, x24, [sp, #32]
+  ldp x25, x26, [sp, #48]
+  ldp x27, x28, [sp, #64]
+  ldp x29, x30, [sp, #80]
+  ldp d8,  d9,  [sp, #96]
+  ldp d10, d11, [sp, #112]
+  ldp d12, d13, [sp, #128]
+  ldp d14, d15, [sp, #144]
+  add sp, sp, #160
+  ret
+.size lfstx_fiber_swap, .-lfstx_fiber_swap
+)");
+// Initial frame: one 160-byte register block at the 16-aligned stack top,
+// zeroed except the x30 (link register) slot at offset 88, which holds the
+// entry function; the restore sequence leaves sp == top and rets to x30.
+inline constexpr size_t kInitFrameBytes = 160;
+inline constexpr size_t kInitEntryOffset = 88;
+#endif
+#endif  // !LFSTX_FIBER_UCONTEXT
+
+Fiber::~Fiber() {
+  if (map_ != nullptr) munmap(map_, map_size_);
+}
+
+void Fiber::Start(size_t stack_bytes, void (*entry)()) {
+  LFSTX_CHECK(map_ == nullptr, "fiber already started");
+  long page_raw = sysconf(_SC_PAGESIZE);
+  size_t page = page_raw > 0 ? static_cast<size_t>(page_raw) : 4096;
+  size_t usable = (stack_bytes + page - 1) / page * page;
+  map_size_ = usable + page;
+  void* m = mmap(nullptr, map_size_, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK | MAP_NORESERVE,
+                 -1, 0);
+  LFSTX_CHECK(m != MAP_FAILED, "fiber stack mmap failed");
+  map_ = static_cast<char*>(m);
+  LFSTX_CHECK(mprotect(map_, page, PROT_NONE) == 0,
+              "fiber guard page mprotect failed");
+  stack_bottom_ = map_ + page;
+  stack_size_ = usable;
+  char* top = stack_bottom_ + stack_size_;  // page-aligned, so 16-aligned
+#if defined(LFSTX_FIBER_UCONTEXT)
+  getcontext(&uc_);
+  uc_.uc_stack.ss_sp = stack_bottom_;
+  uc_.uc_stack.ss_size = stack_size_;
+  uc_.uc_link = nullptr;
+  makecontext(&uc_, entry, 0);
+#else
+  std::memset(top - kInitFrameBytes, 0, kInitFrameBytes);
+  std::memcpy(top - kInitFrameBytes + kInitEntryOffset, &entry,
+              sizeof(entry));
+  sp_ = top - kInitFrameBytes;
+#endif
+}
+
+void Fiber::AdoptCurrentStack(const Fiber* enclosing) {
+  if (enclosing != nullptr && enclosing->started()) {
+    stack_bottom_ = enclosing->stack_bottom_;
+    stack_size_ = enclosing->stack_size_;
+    return;
+  }
+  pthread_attr_t attr;
+  if (pthread_getattr_np(pthread_self(), &attr) == 0) {
+    void* base = nullptr;
+    size_t size = 0;
+    if (pthread_attr_getstack(&attr, &base, &size) == 0) {
+      stack_bottom_ = static_cast<char*>(base);
+      stack_size_ = size;
+    }
+    pthread_attr_destroy(&attr);
+  }
+}
+
+void Fiber::Switch(Fiber* from, Fiber* to, bool from_dying) {
+  (void)from_dying;  // consulted only by the ASan annotations below
+#if defined(LFSTX_FIBER_ASAN)
+  __sanitizer_start_switch_fiber(from_dying ? nullptr : &from->asan_fake_,
+                                 to->stack_bottom_, to->stack_size_);
+#endif
+#if defined(LFSTX_FIBER_UCONTEXT)
+  swapcontext(&from->uc_, &to->uc_);
+#else
+  lfstx_fiber_swap(&from->sp_, to->sp_);
+#endif
+  // Someone switched back into `from`; restore its ASan fake stack.
+#if defined(LFSTX_FIBER_ASAN)
+  __sanitizer_finish_switch_fiber(from->asan_fake_, nullptr, nullptr);
+#endif
+}
+
+void Fiber::OnEntry() {
+#if defined(LFSTX_FIBER_ASAN)
+  // First entry: asan_fake_ is still null, which tells ASan "no previous
+  // fake stack to restore" — exactly the fresh-fiber protocol.
+  __sanitizer_finish_switch_fiber(asan_fake_, nullptr, nullptr);
+#endif
+}
+
+}  // namespace lfstx

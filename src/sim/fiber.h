@@ -1,0 +1,81 @@
+// Stackful user-space execution contexts ("fibers") for the simulator's
+// fiber backend: a simulated context switch becomes a handful of register
+// moves on one OS thread instead of a futex round-trip through the kernel
+// scheduler. See SIMULATOR.md for the execution-model contract this must
+// preserve and DESIGN.md section 9 for the backend design and measured
+// speedups.
+//
+// The switch primitive is hand-rolled assembly on x86-64 and AArch64,
+// saving exactly the callee-saved register set (the boost.context
+// "fcontext" approach); elsewhere it falls back to POSIX swapcontext.
+// glibc's swapcontext performs a rt_sigprocmask system call per switch,
+// which would forfeit most of the win over the thread backend.
+//
+// Stacks are mmap'd with a PROT_NONE guard page below the usable range so
+// overflow faults loudly instead of corrupting a neighbouring allocation,
+// and MAP_NORESERVE so thousands of mostly-idle simulated processes commit
+// only the pages they actually touch. Under AddressSanitizer every switch
+// is bracketed with __sanitizer_start_switch_fiber /
+// __sanitizer_finish_switch_fiber so ASan always knows the active stack.
+#ifndef LFSTX_SIM_FIBER_H_
+#define LFSTX_SIM_FIBER_H_
+
+#include <cstddef>
+
+#if !defined(__x86_64__) && !defined(__aarch64__)
+#define LFSTX_FIBER_UCONTEXT 1
+#include <ucontext.h>
+#endif
+
+namespace lfstx {
+
+/// \brief One stackful execution context. Default-constructed it is a
+/// shell for a *native* context (an OS thread's own stack, adopted via
+/// AdoptCurrentStack); after Start it owns a guard-paged fiber stack.
+class Fiber {
+ public:
+  Fiber() = default;
+  ~Fiber();
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Allocate a stack of `stack_bytes` usable bytes and arrange for
+  /// `entry` to run on the first Switch into this fiber. `entry` must call
+  /// OnEntry() first, and must never return — it exits by switching away
+  /// with `from_dying = true`.
+  void Start(size_t stack_bytes, void (*entry)());
+
+  /// True once Start has built a fiber stack (false for native contexts).
+  bool started() const { return map_ != nullptr; }
+
+  /// Record the stack bounds ASan needs when fibers switch back into this
+  /// *native* context: the enclosing fiber's bounds when the caller is
+  /// itself running on a fiber (nested simulations), else the calling OS
+  /// thread's stack from pthread attributes.
+  void AdoptCurrentStack(const Fiber* enclosing);
+
+  /// Transfer control from the running context `from` to `to`; returns
+  /// when some context switches back into `from`. `from_dying` tells ASan
+  /// that `from` is exiting for good (its fake stack is released).
+  static void Switch(Fiber* from, Fiber* to, bool from_dying = false);
+
+  /// ASan bookkeeping for a fiber entry function; must be the first call
+  /// inside `entry`. No-op without ASan.
+  void OnEntry();
+
+ private:
+#if defined(LFSTX_FIBER_UCONTEXT)
+  ucontext_t uc_ = {};
+#else
+  void* sp_ = nullptr;  ///< saved stack pointer while suspended
+#endif
+  char* map_ = nullptr;     ///< mmap base (guard page first); null = native
+  size_t map_size_ = 0;     ///< guard page + usable stack
+  char* stack_bottom_ = nullptr;  ///< lowest usable address
+  size_t stack_size_ = 0;         ///< usable bytes above the guard page
+  void* asan_fake_ = nullptr;     ///< ASan fake-stack save slot
+};
+
+}  // namespace lfstx
+
+#endif  // LFSTX_SIM_FIBER_H_

@@ -5,7 +5,9 @@
 // cleaner stall). At every phase transition the interval since the last
 // transition is charged — in whole virtual microseconds — to the phase that
 // was in effect, so the per-phase totals partition virtual time exactly:
-// no sampling, no epsilon, and byte-identical across runs.
+// no sampling, no epsilon, and byte-identical across runs and across
+// execution backends (the profiler hooks scheduler transitions, which
+// SIMULATOR.md pins as backend-independent).
 //
 // The transaction managers open a *span* per transaction
 // (BeginSpan/EndSpan). A span snapshots the process's phase totals at

@@ -3,16 +3,62 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/check_macros.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define LFSTX_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define LFSTX_TSAN_BUILD 1
+#endif
+#endif
 
 namespace lfstx {
 
 namespace {
 thread_local SimProc* tls_current = nullptr;
+// Handoff slot for the first entry into a fresh fiber: written by Dispatch
+// immediately before the switch in, read once by FiberMain. The
+// one-runnable-at-a-time invariant makes a single slot per thread
+// sufficient, even for nested simulations.
+thread_local SimProc* tls_fiber_entry = nullptr;
+
+size_t FiberStackBytes() {
+  if (const char* e = getenv("LFSTX_SIM_STACK_KB")) {
+    uint64_t kb = strtoull(e, nullptr, 10);
+    if (kb >= 16) return static_cast<size_t>(kb) * 1024;
+    fprintf(stderr, "lfstx: ignoring LFSTX_SIM_STACK_KB=%s (min 16)\n", e);
+  }
+  // 1 MiB usable per process. Stacks are MAP_NORESERVE and lazily
+  // committed, so a thousand mostly-idle processes stay cheap.
+  return size_t{1} << 20;
+}
 }  // namespace
 
-SimEnv::SimEnv(CostModel costs) : costs_(costs) {
+const char* SimBackendName(SimBackend b) {
+  return b == SimBackend::kThreads ? "threads" : "fibers";
+}
+
+SimBackend DefaultSimBackend() {
+#if defined(LFSTX_TSAN_BUILD)
+  return SimBackend::kThreads;
+#else
+  if (const char* e = getenv("LFSTX_SIM_BACKEND")) {
+    if (strcmp(e, "threads") == 0) return SimBackend::kThreads;
+    if (strcmp(e, "fibers") == 0) return SimBackend::kFibers;
+    fprintf(stderr, "lfstx: ignoring LFSTX_SIM_BACKEND=%s (threads|fibers)\n",
+            e);
+  }
+  return SimBackend::kFibers;
+#endif
+}
+
+SimEnv::SimEnv(CostModel costs, SimBackend backend)
+    : costs_(costs),
+      backend_(backend),
+      fiber_stack_bytes_(FiberStackBytes()) {
   SetCheckClock(&now_);
   // On an LFSTX_CHECK failure, dump the flight-recorder tail (when the
   // machine enabled it) and a metrics snapshot before aborting, so
@@ -69,19 +115,39 @@ SimProc* SimEnv::Spawn(std::string name, std::function<void()> fn,
   runnable_.push_back(p);
   profiler_.OnSpawn(p);
 
-  p->thread_ = std::thread([this, p] {
-    p->resume_.acquire();
-    tls_current = p;
-    if (p->state_ != SimProc::State::kDone) {  // destructor may cancel
-      p->fn_();
-    }
-    tls_current = nullptr;
-    p->state_ = SimProc::State::kDone;
-    live_total_--;
-    if (!p->daemon_) live_nondaemon_--;
-    sched_sem_.release();
-  });
+  if (backend_ == SimBackend::kThreads) {
+    p->thread_ = std::thread([this, p] {
+      p->resume_.acquire();
+      tls_current = p;
+      if (p->state_ != SimProc::State::kDone) {  // destructor may cancel
+        p->fn_();
+      }
+      tls_current = nullptr;
+      p->state_ = SimProc::State::kDone;
+      live_total_--;
+      if (!p->daemon_) live_nondaemon_--;
+      sched_sem_.release();
+    });
+  }
+  // Fiber backend: the stack is built lazily on first dispatch.
   return p;
+}
+
+void SimEnv::FiberMain() {
+  SimProc* p = tls_fiber_entry;
+  tls_fiber_entry = nullptr;
+  p->fiber_.OnEntry();
+  SimEnv* env = p->env_;
+  tls_current = p;
+  if (p->state_ != SimProc::State::kDone) {
+    p->fn_();
+  }
+  tls_current = nullptr;
+  p->state_ = SimProc::State::kDone;
+  env->live_total_--;
+  if (!p->daemon_) env->live_nondaemon_--;
+  Fiber::Switch(&p->fiber_, &env->sched_fiber_, /*from_dying=*/true);
+  abort();  // unreachable: a done process is never re-dispatched
 }
 
 void SimEnv::Dispatch(SimProc* p) {
@@ -92,12 +158,31 @@ void SimEnv::Dispatch(SimProc* p) {
   }
   last_dispatched_ = p;
   profiler_.OnDispatched(p);
-  p->resume_.release();
-  sched_sem_.acquire();  // until p blocks, yields, or exits
+  if (backend_ == SimBackend::kThreads) {
+    p->resume_.release();
+    sched_sem_.acquire();  // until p blocks, yields, or exits
+  } else {
+    if (!p->fiber_.started()) {
+      p->fiber_.Start(fiber_stack_bytes_, &SimEnv::FiberMain);
+      tls_fiber_entry = p;
+    }
+    Fiber::Switch(&sched_fiber_, &p->fiber_);  // ditto
+  }
 }
 
 SimTime SimEnv::Run() {
   ran_ = true;
+  SimProc* outer = nullptr;
+  if (backend_ == SimBackend::kFibers) {
+    // A nested Run() (a simulated process driving an inner machine) parks
+    // the outer process for the whole inner simulation: this scheduler
+    // borrows its stack, and Current() must read as "no simulated process"
+    // while the inner scheduler is in control.
+    outer = tls_current;
+    tls_current = nullptr;
+    sched_fiber_.AdoptCurrentStack(outer != nullptr ? &outer->fiber_
+                                                    : nullptr);
+  }
   for (;;) {
     if (!runnable_.empty()) {
       SimProc* p = runnable_.front();
@@ -127,6 +212,7 @@ SimTime SimEnv::Run() {
   }
   // Discard timers whose effects can no longer be observed.
   while (!timers_.empty()) timers_.pop();
+  if (backend_ == SimBackend::kFibers) tls_current = outer;
   return now_;
 }
 
@@ -153,8 +239,16 @@ void SimEnv::FatalDeadlock() {
 }
 
 void SimEnv::SwitchToScheduler(SimProc* p) {
-  sched_sem_.release();
-  p->resume_.acquire();
+  if (backend_ == SimBackend::kThreads) {
+    sched_sem_.release();
+    p->resume_.acquire();
+    return;
+  }
+  // Scheduler and timer callbacks must observe Current() == nullptr; the
+  // thread backend gets that for free (its scheduler owns a whole thread).
+  tls_current = nullptr;
+  Fiber::Switch(&p->fiber_, &sched_fiber_);
+  tls_current = p;
 }
 
 void SimEnv::MakeRunnable(SimProc* p, WakeReason reason) {

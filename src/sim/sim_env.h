@@ -1,18 +1,27 @@
 // The simulated machine: a single virtual CPU, a microsecond virtual clock,
 // and a cooperative process scheduler.
 //
-// Each simulated process is backed by a real OS thread, but a strict
-// handshake guarantees that exactly one simulated thread (or the scheduler)
-// runs at any instant, so simulation state needs no internal locking and
-// runs are fully deterministic. Processes charge CPU time explicitly via
+// Exactly one simulated process (or the scheduler) runs at any instant, so
+// simulation state needs no internal locking and runs are fully
+// deterministic. Processes charge CPU time explicitly via
 // Consume()/Syscall(); blocking operations (disk I/O, lock waits, sleeps)
 // return control to the scheduler, which advances the clock to the next
 // event when nothing is runnable.
+//
+// Two execution backends implement that contract (see SIMULATOR.md): the
+// default fiber backend runs every process as a user-space stackful fiber
+// on the scheduler's thread, making a virtual-time handoff a function
+// call; the thread backend runs one OS thread per process with a futex
+// handshake per handoff and survives as the slow, obviously-correct oracle
+// for differential testing. Scheduling decisions live in shared data
+// structures the backends never touch, so traces, metrics and virtual
+// clocks are byte-identical across backends (CI enforces this).
 #ifndef LFSTX_SIM_SIM_ENV_H_
 #define LFSTX_SIM_SIM_ENV_H_
 
 #include <semaphore.h>
 
+#include <cerrno>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -22,9 +31,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/check_macros.h"
 #include "common/metrics.h"
 #include "sim/clock.h"
 #include "sim/cost_model.h"
+#include "sim/fiber.h"
 #include "sim/profiler.h"
 #include "sim/trace.h"
 
@@ -33,10 +44,25 @@ namespace lfstx {
 class SimEnv;
 class WaitQueue;
 
-/// POSIX-semaphore handshake primitive. std::binary_semaphore spin-waits
-/// with sched_yield before sleeping, which dominates the profile of a
-/// simulation that context-switches millions of times; sem_t goes straight
-/// to a futex.
+/// Execution backend for simulated processes (SIMULATOR.md, "Backends").
+enum class SimBackend {
+  kThreads,  ///< one OS thread per process, futex handshake per handoff
+  kFibers,   ///< stackful user-space fibers; a handoff is a function call
+};
+
+/// "threads" / "fibers".
+const char* SimBackendName(SimBackend b);
+
+/// Backend selected by LFSTX_SIM_BACKEND ("threads" | "fibers"); fibers
+/// when unset. ThreadSanitizer builds force kThreads — TSan cannot follow
+/// a raw stack switch without per-fiber annotations, and the thread
+/// backend is exactly the configuration TSan can vet.
+SimBackend DefaultSimBackend();
+
+/// POSIX-semaphore handshake primitive for the thread backend.
+/// std::binary_semaphore spin-waits with sched_yield before sleeping, which
+/// dominates the profile of a simulation that context-switches millions of
+/// times; sem_t goes straight to a futex.
 class HandoffSem {
  public:
   explicit HandoffSem(unsigned initial) { sem_init(&sem_, 0, initial); }
@@ -46,6 +72,9 @@ class HandoffSem {
   void release() { sem_post(&sem_); }
   void acquire() {
     while (sem_wait(&sem_) != 0) {
+      // A signal may interrupt the wait; any other failure means the
+      // handshake itself is broken, and spinning would hide it.
+      LFSTX_CHECK(errno == EINTR, "HandoffSem sem_wait failed");
     }
   }
 
@@ -76,7 +105,8 @@ class SimProc {
   std::string name_;
   bool daemon_ = false;
   std::function<void()> fn_;
-  std::thread thread_;
+  std::thread thread_;   ///< thread backend only
+  Fiber fiber_;          ///< fiber backend only (stack built on first run)
   HandoffSem resume_{0};
   State state_ = State::kRunnable;
   WakeReason wake_reason_ = WakeReason::kWoken;
@@ -96,7 +126,8 @@ class SimEnv {
     uint64_t cpu_busy_us = 0;  ///< total CPU time charged via Consume
   };
 
-  explicit SimEnv(CostModel costs = CostModel());
+  explicit SimEnv(CostModel costs = CostModel(),
+                  SimBackend backend = DefaultSimBackend());
   ~SimEnv();
 
   SimEnv(const SimEnv&) = delete;
@@ -104,6 +135,10 @@ class SimEnv {
 
   /// Current virtual time in microseconds.
   SimTime Now() const { return now_; }
+
+  /// The execution backend this environment runs processes on. Backends
+  /// never affect simulation results — only how fast they are computed.
+  SimBackend backend() const { return backend_; }
 
   const CostModel& costs() const { return costs_; }
   CostModel& mutable_costs() { return costs_; }
@@ -175,8 +210,12 @@ class SimEnv {
   void MakeRunnable(SimProc* p, WakeReason reason);
   void ForceWakeAll();
   [[noreturn]] void FatalDeadlock();
+  /// Entry point of every fiber-backend process (mirrors the thread
+  /// backend's thread body in Spawn).
+  static void FiberMain();
 
   CostModel costs_;
+  SimBackend backend_;
   SimTime now_ = 0;
   Stats stats_;
   // Declared after now_ (the tracer reads it) and before the process list,
@@ -192,7 +231,9 @@ class SimEnv {
   size_t live_total_ = 0;
   size_t live_nondaemon_ = 0;
   SimProc* last_dispatched_ = nullptr;
-  HandoffSem sched_sem_{0};
+  HandoffSem sched_sem_{0};   ///< thread backend only
+  Fiber sched_fiber_;         ///< fiber backend: the scheduler's context
+  size_t fiber_stack_bytes_;  ///< per-process stack (LFSTX_SIM_STACK_KB)
   bool stopping_ = false;
   bool ran_ = false;
 };

@@ -1,6 +1,9 @@
 // Blocking primitives built on WaitQueue: mutex, counting semaphore, and a
 // one-shot I/O completion event. All obey the single-running-process
-// invariant, so their state needs no internal locking.
+// invariant, so their state needs no internal locking, and all inherit
+// WaitQueue's FIFO wake ordering — part of the determinism contract in
+// SIMULATOR.md, and why these primitives behave identically on every
+// execution backend.
 #ifndef LFSTX_SIM_SYNC_H_
 #define LFSTX_SIM_SYNC_H_
 
