@@ -238,6 +238,7 @@ void BufferCache::MarkDirty(Buffer* buf) {
   buf->dirty = true;
   buf->txn_dirty = false;
   buf->txn_owner = kNoTxn;
+  mutation_gen_++;
 }
 
 void BufferCache::MarkTxnDirty(Buffer* buf, TxnId txn) {
@@ -249,6 +250,7 @@ void BufferCache::MarkTxnDirty(Buffer* buf, TxnId txn) {
   buf->txn_owner = txn;
   buf->dirty = false;  // invisible to the syncer until commit
   buf->dirtied_at = env_->Now();
+  mutation_gen_++;
 }
 
 void BufferCache::MarkClean(Buffer* buf) {
@@ -256,6 +258,7 @@ void BufferCache::MarkClean(Buffer* buf) {
   buf->dirty = false;
   buf->txn_dirty = false;
   buf->txn_owner = kNoTxn;
+  mutation_gen_++;
 }
 
 std::vector<Buffer*> BufferCache::TakeTxnBuffers(TxnId txn) {
@@ -279,6 +282,7 @@ void BufferCache::InvalidateTxnBuffers(TxnId txn) {
       if (buf->dirty) dirty_count_--;
       if (buf->in_lru) lru_.erase(buf->lru_pos);
       it = buffers_.erase(it);
+      mutation_gen_++;
     } else {
       ++it;
     }
@@ -321,6 +325,7 @@ void BufferCache::DropFile(FileId file, uint64_t from_lblock) {
     if (buf->prefetched) stats_.readahead_wasted++;
     if (buf->in_lru) lru_.erase(buf->lru_pos);
     it = buffers_.erase(it);
+    mutation_gen_++;
   }
 }
 
@@ -424,6 +429,7 @@ void BufferCache::Clear() {
   buffers_.clear();
   lru_.clear();
   dirty_count_ = 0;
+  mutation_gen_++;
 }
 
 

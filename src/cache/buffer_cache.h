@@ -171,6 +171,14 @@ class BufferCache {
   /// round (O(resident buffers)).
   std::vector<std::string> CheckInvariants() const;
 
+  /// Bumped by every logical content-state change: dirty/clean transitions,
+  /// transaction-list moves, invalidations, drops. Frame churn that leaves
+  /// content state alone (inserts, clean evictions, LRU touches) does not
+  /// count. GenStamp<BufferCache> assertions and the `gens` checker use it
+  /// to detect foreign mutation across regions that assumed cache contents
+  /// were stable (see check/gen_stamp.h).
+  uint64_t mutation_gen() const { return mutation_gen_; }
+
   /// While the counter is nonzero, eviction only reclaims clean frames
   /// (never calls the WritebackHandler). The LFS segment writer and the
   /// cleaner hold this across their critical phases so cache misses inside
@@ -203,6 +211,7 @@ class BufferCache {
   std::list<Buffer*> lru_;  // front = coldest
   size_t dirty_count_ = 0;
   int no_dirty_eviction_ = 0;
+  uint64_t mutation_gen_ = 0;
   Stats stats_;
 };
 

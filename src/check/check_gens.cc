@@ -1,0 +1,51 @@
+// CheckGenerations: the quiescent point must stay quiescent. The sweep's
+// CheckContext captured each shared structure's mutation generation (see
+// check/gen_stamp.h) before the first checker ran; this checker runs last
+// and flags any structure that moved mid-sweep — earlier reports would
+// have described state that no longer exists, and a mutation here means
+// some process was *not* parked when the caller promised it was.
+#include "cache/buffer_cache.h"
+#include "check/checkers.h"
+#include "harness/table.h"
+#include "lfs/lfs.h"
+
+namespace lfstx {
+
+Result<CheckReport> CheckGenerations(const CheckContext& ctx) {
+  CheckReport report;
+  if (!ctx.gens_captured || ctx.lfs == nullptr || ctx.cache == nullptr) {
+    report.Counter("skipped") = 1;
+    return report;
+  }
+  if (!ctx.gens_cache_clean) {
+    // A checker's own disk reads can force clean-frame turnover and, with
+    // dirty frames present, even a legitimate write-back (which bumps the
+    // cache and log-head generations). Only a clean-at-capture cache gives
+    // the comparison teeth.
+    report.Counter("skipped_dirty_cache") = 1;
+    return report;
+  }
+
+  auto compare = [&](const char* what, uint64_t captured, uint64_t now) {
+    if (now != captured) {
+      report.Problem(Fmt("%s mutated during the check sweep (generation "
+                         "%llu -> %llu): the quiescent point was not "
+                         "quiescent",
+                         what, static_cast<unsigned long long>(captured),
+                         static_cast<unsigned long long>(now)));
+    }
+  };
+  compare("inode map", ctx.gen_imap, ctx.lfs->imap().mutation_gen());
+  compare("segment usage table", ctx.gen_usage,
+          ctx.lfs->usage().mutation_gen());
+  compare("buffer cache", ctx.gen_cache, ctx.cache->mutation_gen());
+  compare("log head", ctx.gen_log_head, ctx.lfs->mutation_gen());
+
+  report.Counter("gen_imap") = ctx.lfs->imap().mutation_gen();
+  report.Counter("gen_usage") = ctx.lfs->usage().mutation_gen();
+  report.Counter("gen_cache") = ctx.cache->mutation_gen();
+  report.Counter("gen_log_head") = ctx.lfs->mutation_gen();
+  return report;
+}
+
+}  // namespace lfstx

@@ -62,6 +62,22 @@ struct CheckContext {
   bool expect_no_txns = true;
   /// No lock may be held and nobody may be waiting.
   bool expect_no_locks = true;
+
+  // -- generation snapshot (see check/gen_stamp.h) --
+  // MakeCheckContext captures the mutation generations of the shared
+  // structures; the `gens` checker (registered last) re-reads them after
+  // every other checker ran and flags any movement — a quiescent point
+  // must stay quiescent for the whole sweep, or the earlier reports
+  // described state that no longer exists.
+  bool gens_captured = false;
+  /// Dirty frames at capture time may legitimately be written back if a
+  /// checker's own reads force an eviction, so the comparison is only
+  /// meaningful when the cache was clean at capture.
+  bool gens_cache_clean = false;
+  uint64_t gen_imap = 0;
+  uint64_t gen_usage = 0;
+  uint64_t gen_cache = 0;
+  uint64_t gen_log_head = 0;
 };
 
 // The individual checkers. Each returns a CheckReport named after itself;
@@ -74,6 +90,9 @@ Result<CheckReport> CheckLog(const CheckContext& ctx);
 Result<CheckReport> CheckTxn(const CheckContext& ctx);
 /// Wraps lfs/fsck.h's CheckLfs behind the common signature.
 Result<CheckReport> CheckLfsStructure(const CheckContext& ctx);
+/// Verifies the generation snapshot captured by MakeCheckContext did not
+/// move while the sweep ran (no foreign mutation mid-check).
+Result<CheckReport> CheckGenerations(const CheckContext& ctx);
 
 }  // namespace lfstx
 

@@ -1,0 +1,55 @@
+// Generation stamps: cheap foreign-mutation detectors for cooperative code.
+//
+// In the fiber simulator a "race" never looks like torn memory — it looks
+// like another process mutating shared state while you were parked at a
+// yield point, invisibly invalidating whatever you computed before it.
+// TSan cannot see these (all fibers share one OS thread), and the static
+// analysis in tools/yieldlint.py can only flag *suspicious* code shapes.
+//
+// GenStamp closes the loop at runtime: structures that matter (inode map,
+// segment usage table, buffer cache, the LFS log head) carry a
+// `mutation_gen()` counter bumped by every logical mutation. A region that
+// assumes stability captures the counter, does its work (including any
+// blocking calls), and asserts the counter did not move:
+//
+//   GenStamp<InodeMap> stamp(&imap_);
+//   ... code that may yield but assumes the imap is stable ...
+//   LFSTX_GEN_CHECK(stamp, "imap mutated across the flush window");
+//
+// A failed check aborts via LFSTX_CHECK, so it comes with the virtual
+// timestamp and the flight-recorder tail — enough to replay the exact
+// interleaving that broke the assumption.
+#ifndef LFSTX_CHECK_GEN_STAMP_H_
+#define LFSTX_CHECK_GEN_STAMP_H_
+
+#include <cstdint>
+
+#include "common/check_macros.h"
+
+namespace lfstx {
+
+/// \brief Captures an object's mutation generation for later comparison.
+/// T must expose `uint64_t mutation_gen() const`.
+template <typename T>
+class GenStamp {
+ public:
+  explicit GenStamp(const T* obj) : obj_(obj), gen_(obj->mutation_gen()) {}
+
+  /// True iff the object mutated since capture (or the last Rearm).
+  bool changed() const { return obj_->mutation_gen() != gen_; }
+  uint64_t captured() const { return gen_; }
+  uint64_t current() const { return obj_->mutation_gen(); }
+  /// Re-capture after a mutation the region itself performed on purpose.
+  void Rearm() { gen_ = obj_->mutation_gen(); }
+
+ private:
+  const T* obj_;
+  uint64_t gen_;
+};
+
+}  // namespace lfstx
+
+/// Assert no foreign mutation happened since the stamp was captured.
+#define LFSTX_GEN_CHECK(stamp, msg) LFSTX_CHECK(!(stamp).changed(), (msg))
+
+#endif  // LFSTX_CHECK_GEN_STAMP_H_

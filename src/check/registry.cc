@@ -1,5 +1,6 @@
 #include "check/registry.h"
 
+#include "cache/buffer_cache.h"
 #include "common/metrics.h"
 #include "embedded/kernel_txn.h"
 #include "harness/machine.h"
@@ -58,6 +59,10 @@ const CheckRegistry& CheckRegistry::Default() {
     r.Register("locks", &CheckLocks);
     r.Register("log", &CheckLog);
     r.Register("txn", &CheckTxn);
+    // Last on purpose: compares the generation snapshot taken at
+    // MakeCheckContext against the live counters after every other
+    // checker ran.
+    r.Register("gens", &CheckGenerations);
     return r;
   }();
   return kDefault;
@@ -75,6 +80,14 @@ CheckContext MakeCheckContext(Machine& m) {
   if (etm != nullptr) {
     ctx.etm = etm;
     ctx.kernel_locks = etm->lock_table()->manager();
+  }
+  if (ctx.lfs != nullptr && ctx.cache != nullptr) {
+    ctx.gens_captured = true;
+    ctx.gens_cache_clean = ctx.cache->dirty_count() == 0;
+    ctx.gen_imap = ctx.lfs->imap().mutation_gen();
+    ctx.gen_usage = ctx.lfs->usage().mutation_gen();
+    ctx.gen_cache = ctx.cache->mutation_gen();
+    ctx.gen_log_head = ctx.lfs->mutation_gen();
   }
   return ctx;
 }

@@ -51,8 +51,11 @@ Status GroupCommit::CommitFlush(TxnId txn, bool others_active) {
           env_->SleepUntil(deadline);
         }
       }
-      uint64_t this_start = ++start_epoch_;
-      uint64_t batch = pending_;
+      // Both captures are the epoch protocol, not stale reads: the leader
+      // records which start epoch and how many pending commits this flush
+      // covers; later arrivals bump both and are covered by a later flush.
+      uint64_t this_start = ++start_epoch_;  // LFSTX_YIELD_OK(epoch claimed before the flush on purpose)
+      uint64_t batch = pending_;  // LFSTX_YIELD_OK(batch is the pending count this flush covers)
       result = lfs_->Flush(txn);
       completed_start_epoch_ = this_start;
       last_leader_ = txn;

@@ -95,7 +95,10 @@ Status Cleaner::CleanOne() {
   std::vector<Inode*> locked;
 
   auto lock_log = [&]() -> bool {
-    if (!lfs_->flush_lock_.Lock()) return false;
+    // Lock and unlock live in sibling lambdas (lock_log / finish), not one
+    // lexical scope: the user-space cleaner reads the victim before this
+    // runs and finish() must release whatever was taken, guard or not.
+    if (!lfs_->flush_lock_.Lock()) return false;  // lint-allow: released by finish()
     lfs_->flush_owner_ = SimEnv::Current();
     lfs_->cleaning_in_progress_ = true;
     // The cleaner owns the log for the rest of the pass; a cache miss
@@ -111,7 +114,7 @@ Status Cleaner::CleanOne() {
       lfs_->cache()->PopNoDirtyEviction();
       lfs_->cleaning_in_progress_ = false;
       lfs_->flush_owner_ = nullptr;
-      lfs_->flush_lock_.Unlock();
+      lfs_->flush_lock_.Unlock();  // lint-allow: taken by lock_log()
       lfs_->clean_wait_.WakeAll();
     }
     stats_.busy_us += env_->Now() - t0;
@@ -131,6 +134,7 @@ Status Cleaner::CleanOne() {
                                           lfs_->segment_blocks());
   if (!victim_r.ok()) return finish(victim_r.status());
   uint32_t victim = victim_r.value();
+  // LFSTX_YIELD_OK(revalidated against usage_ after the log lock is reacquired below)
   uint32_t gen = lfs_->usage_.generation(victim);
   BlockAddr base = lfs_->SegBase(victim);
   uint32_t seg_blocks = lfs_->segment_blocks();

@@ -28,6 +28,7 @@ BlockAddr InodeMap::Set(InodeNum inum, BlockAddr inode_addr,
   entries_[inum].version = version;
   dirty_[BlockOf(inum)] = true;
   reserved_.erase(inum);
+  mutation_gen_++;
   return prev;
 }
 
@@ -39,6 +40,7 @@ BlockAddr InodeMap::Free(InodeNum inum) {
   entries_[inum].version++;
   dirty_[BlockOf(inum)] = true;
   reserved_.erase(inum);
+  mutation_gen_++;
   return prev;
 }
 
@@ -78,6 +80,7 @@ void InodeMap::EncodeBlock(uint32_t idx, char* out) const {
 }
 
 void InodeMap::DecodeBlock(uint32_t idx, const char* in) {
+  mutation_gen_++;
   uint32_t first = idx * kImapEntriesPerBlock;
   for (uint32_t i = 0; i < kImapEntriesPerBlock; i++) {
     uint32_t inum = first + i;

@@ -61,6 +61,13 @@ class InodeMap {
   std::vector<BlockAddr>& block_addrs() { return block_addrs_; }
   const std::vector<BlockAddr>& block_addrs() const { return block_addrs_; }
 
+  /// Bumped by every logical mutation of the mapping (Set/Free/DecodeBlock,
+  /// not reservations or dirty-bit churn). GenStamp<InodeMap> assertions
+  /// and the `gens` checker use it to prove no foreign mutation occurred
+  /// across a region that assumed the map was stable (see
+  /// check/gen_stamp.h).
+  uint64_t mutation_gen() const { return mutation_gen_; }
+
  private:
   uint32_t BlockOf(InodeNum inum) const { return inum / kImapEntriesPerBlock; }
 
@@ -70,6 +77,7 @@ class InodeMap {
   std::vector<bool> dirty_;            // per map block
   std::vector<BlockAddr> block_addrs_; // per map block
   std::set<InodeNum> reserved_;        // allocated but never yet flushed
+  uint64_t mutation_gen_ = 0;
 };
 
 }  // namespace lfstx

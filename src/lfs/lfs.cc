@@ -29,7 +29,9 @@ Lfs::Lfs(SimEnv* env, SimDisk* disk, BufferCache* cache, Options options)
       options_(options),
       imap_(options.max_inodes),
       usage_(1),  // resized below once geometry is known
-      flush_lock_(env),
+      // yield_ok: the log lock exists to serialize multi-I/O segment and
+      // checkpoint writes, so holding it across disk I/O is its purpose.
+      flush_lock_(env, "lfs.flush", /*yield_ok=*/true),
       clean_wait_(env) {
   uint64_t total = disk->num_blocks();
   // Checkpoint size depends on the segment count; one refinement pass
@@ -100,6 +102,7 @@ Status Lfs::Format() {
   cur_seg_ = 0;
   cur_gen_ = usage_.Activate(cur_seg_);
   cur_off_ = 0;
+  log_head_gen_++;
   next_write_seq_ = 1;
   mounted_ = true;
   LFSTX_RETURN_IF_ERROR(InitRoot());

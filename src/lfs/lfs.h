@@ -85,6 +85,12 @@ class Lfs : public FsCore {
   /// Registered by the Cleaner so the writer can wait for free segments.
   void AttachCleaner(Cleaner* cleaner) { cleaner_ = cleaner; }
 
+  /// Bumped every time the log head moves (chunk sealed, segment advanced,
+  /// format, recovery restore/roll-forward). GenStamp<Lfs> assertions use
+  /// it to prove the head stayed put across a multi-block disk write that
+  /// assumed exclusive ownership of the log (see check/gen_stamp.h).
+  uint64_t mutation_gen() const { return log_head_gen_; }
+
   /// Drop the in-core inode table so subsequent reads hit the disk (test
   /// hook used by the consistency-checker tests).
   void ClearInodeCacheForTest() { ClearInodeTable(); }
@@ -149,6 +155,7 @@ class Lfs : public FsCore {
   uint32_t cur_off_ = 0;   // blocks already used in cur_seg_
   uint32_t cur_gen_ = 0;   // generation of cur_seg_
   int64_t next_seg_hint_ = -1;  // chosen early so summaries can chain
+  uint64_t log_head_gen_ = 0;   // see mutation_gen()
   uint64_t next_write_seq_ = 1;
   uint64_t checkpoint_seq_ = 0;
   bool checkpoint_to_a_ = true;

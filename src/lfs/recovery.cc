@@ -5,6 +5,7 @@
 #include <cstring>
 #include <map>
 
+#include "check/gen_stamp.h"
 #include "lfs/lfs.h"
 
 namespace lfstx {
@@ -33,8 +34,15 @@ Status Lfs::WriteCheckpointLocked() {
               {"seg", cur_seg_}, {"off", cur_off_},
               {"blocks", geo_.checkpoint_blocks});
   checkpoint_to_a_ = !checkpoint_to_a_;
+  // The caller holds the flush lock, so no one may append to the log (or
+  // advance the head) while the checkpoint image is being written — the
+  // image's (seg, off, seq) snapshot would silently go stale.
+  GenStamp<Lfs> head(this);
   LFSTX_RETURN_IF_ERROR(
       disk_->Write(region, geo_.checkpoint_blocks, buf.data()));
+  LFSTX_GEN_CHECK(head,
+                  "log head moved during a checkpoint write — the flush "
+                  "lock's exclusion was violated");
   segments_since_checkpoint_ = 0;
   lfs_stats_.checkpoints++;
   return Status::OK();
@@ -92,6 +100,7 @@ Status Lfs::RecoverFromCheckpointAndRollForward() {
   cur_seg_ = best.cur_segment;
   cur_off_ = best.cur_offset;
   cur_gen_ = best.cur_generation;
+  log_head_gen_++;
   next_write_seq_ = best.next_write_seq;
   LFSTX_TRACE(env_->tracer(), TraceCat::kRecovery, "recovery_begin",
               {"checkpoint_seq", best.seq},
@@ -181,6 +190,7 @@ Status Lfs::RecoverFromCheckpointAndRollForward() {
     cur_seg_ = seg;
     cur_off_ = off + 1 + n;
     cur_gen_ = s.generation;
+    log_head_gen_++;
     next = s.next_addr;
   }
   next_write_seq_ = expect_seq;
@@ -196,7 +206,8 @@ Status Lfs::RecoverFromCheckpointAndRollForward() {
   LFSTX_RETURN_IF_ERROR(RebuildUsage());
 
   // ---- 5. persist the recovered state ----
-  if (!flush_lock_.Lock()) return Status::Busy("stopped during recovery");
+  SimMutexGuard g(&flush_lock_);
+  if (!g.locked()) return Status::Busy("stopped during recovery");
   flush_owner_ = SimEnv::Current();
   Status s = Status::OK();
   if (!imap_.DirtyBlocks().empty()) {
@@ -206,7 +217,6 @@ Status Lfs::RecoverFromCheckpointAndRollForward() {
   }
   if (s.ok()) s = WriteCheckpointLocked();
   flush_owner_ = nullptr;
-  flush_lock_.Unlock();
   return s;
 }
 

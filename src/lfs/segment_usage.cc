@@ -14,6 +14,7 @@ void SegmentUsage::AddLive(uint32_t seg, uint32_t blocks, SimTime now) {
   assert(seg < nsegments_);
   entries_[seg].live += blocks;
   entries_[seg].write_time = now;
+  mutation_gen_++;
 }
 
 void SegmentUsage::DecLive(uint32_t seg, uint32_t blocks) {
@@ -22,6 +23,7 @@ void SegmentUsage::DecLive(uint32_t seg, uint32_t blocks) {
   // rebuilds it exactly; transient undercounts must not kill the system.
   entries_[seg].live =
       entries_[seg].live >= blocks ? entries_[seg].live - blocks : 0;
+  mutation_gen_++;
 }
 
 uint32_t SegmentUsage::Activate(uint32_t seg) {
@@ -31,12 +33,14 @@ uint32_t SegmentUsage::Activate(uint32_t seg) {
   entries_[seg].generation++;
   entries_[seg].live = 0;
   clean_count_--;
+  mutation_gen_++;
   return entries_[seg].generation;
 }
 
 void SegmentUsage::Retire(uint32_t seg) {
   assert(entries_[seg].state == SegState::kActive);
   entries_[seg].state = SegState::kDirty;
+  mutation_gen_++;
 }
 
 void SegmentUsage::MarkClean(uint32_t seg) {
@@ -47,6 +51,7 @@ void SegmentUsage::MarkClean(uint32_t seg) {
               "would let the segment writer destroy them");
   entries_[seg].state = SegState::kClean;
   clean_count_++;
+  mutation_gen_++;
 }
 
 void SegmentUsage::SetRaw(uint32_t seg, SegState state, uint32_t live,
@@ -59,10 +64,12 @@ void SegmentUsage::SetRaw(uint32_t seg, SegState state, uint32_t live,
     clean_count_++;
   }
   entries_[seg] = Entry{live, state, gen, write_time};
+  mutation_gen_++;
 }
 
 void SegmentUsage::ResetAllLive() {
   for (auto& e : entries_) e.live = 0;
+  mutation_gen_++;
 }
 
 Result<uint32_t> SegmentUsage::PickClean(uint32_t after) const {
@@ -116,6 +123,7 @@ void SegmentUsage::Serialize(char* out) const {
 }
 
 void SegmentUsage::Deserialize(const char* in) {
+  mutation_gen_++;
   clean_count_ = 0;
   for (uint32_t i = 0; i < nsegments_; i++) {
     const char* p = in + static_cast<size_t>(i) * 16;

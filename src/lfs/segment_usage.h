@@ -64,6 +64,12 @@ class SegmentUsage {
   void Serialize(char* out) const;
   void Deserialize(const char* in);
 
+  /// Bumped by every logical mutation of the table (live counts, state
+  /// transitions, raw restores). GenStamp<SegmentUsage> assertions and the
+  /// `gens` checker use it to detect foreign mutation across regions that
+  /// assumed the table was stable (see check/gen_stamp.h).
+  uint64_t mutation_gen() const { return mutation_gen_; }
+
  private:
   struct Entry {
     uint32_t live = 0;
@@ -74,6 +80,7 @@ class SegmentUsage {
   uint32_t nsegments_;
   uint32_t clean_count_;
   std::vector<Entry> entries_;
+  uint64_t mutation_gen_ = 0;
 };
 
 }  // namespace lfstx

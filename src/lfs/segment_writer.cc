@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "check/gen_stamp.h"
 #include "lfs/cleaner.h"
 #include "lfs/lfs.h"
 
@@ -21,13 +22,13 @@ Status Lfs::Flush(TxnId txn) {
   if (flush_owner_ != nullptr && flush_owner_ == SimEnv::Current()) {
     return Status::Internal("re-entrant LFS flush");
   }
-  if (!flush_lock_.Lock()) {
+  SimMutexGuard g(&flush_lock_);
+  if (!g.locked()) {
     return Status::Busy("simulation stopped while waiting for the log");
   }
   flush_owner_ = SimEnv::Current();
   Status s = FlushLocked(txn);
   flush_owner_ = nullptr;
-  flush_lock_.Unlock();
   return s;
 }
 
@@ -57,6 +58,7 @@ Status Lfs::FlushLocked(TxnId txn) {
       chunk_open = false;
       return Status::OK();
     }
+    // LFSTX_YIELD_OK(flush lock serializes log appends; the GenStamp below aborts if the head moves)
     uint32_t after = cur_off_ + 1 + nplaced;
     BlockAddr next_addr = kInvalidBlock;
     if (after + 2 <= options_.segment_blocks) {
@@ -89,8 +91,16 @@ Status Lfs::FlushLocked(TxnId txn) {
                 {"blocks", nplaced}, {"write_seq", s.write_seq},
                 {"txn", txn}, {"commit", s.txn_commit},
                 {"next_addr", next_addr});
+    // The flush lock serializes log appends, so the head must not move
+    // while the chunk's multi-block write is in flight — `after` was
+    // computed from the pre-write head and becomes the head afterwards.
+    GenStamp<Lfs> head(this);
     LFSTX_RETURN_IF_ERROR(disk_->Write(chunk_base, 1 + nplaced, chunk.data()));
+    LFSTX_GEN_CHECK(head,
+                    "log head moved during a partial-segment write — the "
+                    "flush lock's exclusion was violated");
     cur_off_ = after;
+    log_head_gen_++;
     lfs_stats_.partial_segments++;
     lfs_stats_.blocks_written += nplaced;
     entries.clear();
@@ -264,6 +274,7 @@ Status Lfs::AdvanceSegment() {
       cur_seg_ = static_cast<uint32_t>(chosen);
       cur_gen_ = usage_.Activate(cur_seg_);
       cur_off_ = 0;
+      log_head_gen_++;
       lfs_stats_.segments_activated++;
       segments_since_checkpoint_++;
       LFSTX_TRACE(env_->tracer(), TraceCat::kLfs, "segment_advance",
@@ -285,9 +296,13 @@ Status Lfs::AdvanceSegment() {
     {
       ProfPhaseScope prof_phase(env_->profiler(), Phase::kCleanerStall);
       cleaner_->Poke();
-      flush_lock_.Unlock();
+      // Hand-over-hand with the cleaner: the lock must drop for the wait
+      // and come back before returning to FlushLocked, which is not a
+      // lexical scope a guard can express.
+      flush_lock_.Unlock();  // lint-allow: hand-over-hand with the cleaner
       clean_wait_.SleepFor(kSecond);
-      stopped = !flush_lock_.Lock() || env_->stop_requested();
+      stopped = !flush_lock_.Lock() ||  // lint-allow: hand-over-hand reacquire
+                env_->stop_requested();
     }
     uint64_t edge_us =
         env_->profiler()->PhaseTotal(Phase::kCleanerStall) - stall_us0;

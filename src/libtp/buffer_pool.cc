@@ -96,10 +96,23 @@ Status BufferPool::WriteBackPage(DbPage* page) {
 }
 
 Status BufferPool::EvictOne() {
-  for (DbPage* victim : lru_) {
+  // Every post-write-back path returns without advancing the loop
+  // iterator, and the victim is pinned across the only yield, so no
+  // live iterator survives a pool mutation.
+  for (DbPage* victim : lru_) {  // LFSTX_YIELD_OK(no iterator use after the yield: all paths return)
     if (victim->pins > 0) continue;
     if (victim->dirty) {
-      LFSTX_RETURN_IF_ERROR(WriteBackPage(victim));
+      // Pin across the write-back: it yields on log and disk I/O, and a
+      // concurrent EvictOne picking the same victim would double-erase it.
+      victim->pins++;
+      Status s = WriteBackPage(victim);
+      victim->pins--;
+      LFSTX_RETURN_IF_ERROR(s);
+      if (victim->pins > 0 || victim->dirty) {
+        // Re-pinned or re-dirtied while the write-back yielded; report
+        // success and let the caller's capacity loop pick a new victim.
+        return Status::OK();
+      }
     }
     stats_.evictions++;
     lru_.erase(victim->lru_pos);
@@ -177,6 +190,7 @@ Result<uint64_t> BufferPool::FilePages(uint32_t file_ref) {
 }
 
 Result<uint64_t> BufferPool::AllocPage(uint32_t file_ref) {
+  // LFSTX_YIELD_OK(the increment below reserves this page number before any yield)
   uint64_t pageno = files_[file_ref].pages;
   files_[file_ref].pages++;
   // Materialize the page in the pool; it reaches the file at write-back.
@@ -187,10 +201,17 @@ Result<uint64_t> BufferPool::AllocPage(uint32_t file_ref) {
 }
 
 Status BufferPool::FlushAll() {
+  // Snapshot the dirty keys first: write-back yields, and a concurrent
+  // Get -> EvictOne can erase pool entries — including the one a live
+  // map iterator points at — while this process is parked.
+  std::vector<Key> dirty;
   for (auto& [key, page] : pages_) {
-    if (page->dirty) {
-      LFSTX_RETURN_IF_ERROR(WriteBackPage(page.get()));
-    }
+    if (page->dirty) dirty.push_back(key);
+  }
+  for (const Key& key : dirty) {
+    auto it = pages_.find(key);
+    if (it == pages_.end() || !it->second->dirty) continue;
+    LFSTX_RETURN_IF_ERROR(WriteBackPage(it->second.get()));
   }
   return Status::OK();
 }

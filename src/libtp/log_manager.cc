@@ -152,7 +152,7 @@ Status LogManager::FlushTo(Lsn lsn, TxnId txn) {
       // Piggyback on the in-flight flush; one wait_edge per sleep blames
       // the transaction leading it (kNoTxn leaders — checkpoint or buffer
       // pool flushes — emit no edge; that wait stays span self-time).
-      TxnId leader = flusher_txn_;
+      TxnId leader = flusher_txn_;  // LFSTX_YIELD_OK(captures who to blame for the sleep we are about to take)
       SimTime since = env->Now();
       uint64_t log_us0 = env->profiler()->PhaseTotal(Phase::kLogWait);
       pending_commits_++;

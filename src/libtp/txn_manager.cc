@@ -62,6 +62,7 @@ Result<TxnId> LibTp::Begin() {
 Status LibTp::Commit(TxnId txn) {
   SimEnv* env = kernel_->env();
   env->Consume(env->costs().txn_bookkeeping_us);
+  // LFSTX_YIELD_OK(std::map nodes are stable and only this txn's own process erases its entry)
   auto it = txns_.find(txn);
   if (it == txns_.end() || it->second.status != TxnStatus::kRunning) {
     return Status::InvalidArgument("commit of unknown transaction");
@@ -96,6 +97,7 @@ Status LibTp::Commit(TxnId txn) {
 Status LibTp::Abort(TxnId txn) {
   SimEnv* env = kernel_->env();
   env->Consume(env->costs().txn_bookkeeping_us);
+  // LFSTX_YIELD_OK(std::map nodes are stable and only this txn's own process erases its entry)
   auto it = txns_.find(txn);
   if (it == txns_.end() || it->second.status != TxnStatus::kRunning) {
     return Status::InvalidArgument("abort of unknown transaction");

@@ -1,0 +1,169 @@
+#include "sim/lockdep.h"
+
+#include <cstdio>
+
+#include "common/metrics.h"
+#include "sim/sim_env.h"
+#include "sim/trace.h"
+
+namespace lfstx {
+
+LockDep::LockDep(MetricsRegistry* metrics, Tracer* tracer)
+    : metrics_(metrics), tracer_(tracer) {
+  // Registered eagerly so both execution backends snapshot the same
+  // metric set even when a run never takes a lock.
+  nodes_ctr_ = metrics_->GetCounter("lockdep.nodes", "count",
+                                    "distinct lock classes observed");
+  edges_ctr_ = metrics_->GetCounter(
+      "lockdep.edges", "count", "distinct acquired-while-holding orderings");
+  cycles_ctr_ = metrics_->GetCounter(
+      "lockdep.cycles", "count",
+      "lock-order inversions (potential deadlocks) reported");
+  held_ctr_ = metrics_->GetCounter(
+      "lockdep.held_across_block", "count",
+      "blocking calls made while holding a non-yield_ok mutex");
+}
+
+uint32_t LockDep::Intern(const void* obj, uint64_t aux, const char* name,
+                         bool yield_ok) {
+  auto [it, fresh] = ids_.try_emplace({obj, aux},
+                                      static_cast<uint32_t>(nodes_.size()));
+  if (fresh) {
+    nodes_.push_back(Node{name, yield_ok});
+    out_.emplace_back();
+    stats_.nodes++;
+    nodes_ctr_->Inc();
+  }
+  return it->second;
+}
+
+bool LockDep::PathExists(uint32_t from, uint32_t to) const {
+  if (from == to) return true;
+  std::vector<uint32_t> stack{from};
+  std::vector<bool> seen(nodes_.size(), false);
+  seen[from] = true;
+  while (!stack.empty()) {
+    uint32_t n = stack.back();
+    stack.pop_back();
+    for (uint32_t next : out_[n]) {
+      if (next == to) return true;
+      if (!seen[next]) {
+        seen[next] = true;
+        stack.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+void LockDep::Violation(std::string text) {
+  violations_.push_back(std::move(text));
+  if (!dumped_flight_ && tracer_ != nullptr) {
+    dumped_flight_ = true;
+    fprintf(stderr, "lockdep: %s\n", violations_.back().c_str());
+    tracer_->DumpFlight(stderr);
+  }
+}
+
+void LockDep::Acquired(SimProc* p, uint32_t node) {
+  ProcState& st = procs_[p];
+  for (Held& h : st.held) {
+    if (h.node == node) {
+      h.count++;
+      return;  // re-acquisition within the class adds no ordering info
+    }
+  }
+  // New class for this process: record an ordering edge from everything
+  // already held. An edge that closes a cycle is an inversion — some other
+  // process (or an earlier acquisition here) established the opposite
+  // order — and is reported even though this run never deadlocked.
+  for (const Held& h : st.held) {
+    if (h.node == node) continue;
+    if (!out_[h.node].insert(node).second) continue;  // edge already known
+    stats_.edges++;
+    edges_ctr_->Inc();
+    if (PathExists(node, h.node) &&
+        reported_cycles_.insert({h.node, node}).second) {
+      stats_.cycles++;
+      cycles_ctr_->Inc();
+      LFSTX_TRACE(tracer_, TraceCat::kCheck, "lockdep_cycle",
+                  {"held", nodes_[h.node].name.c_str()},
+                  {"acquired", nodes_[node].name.c_str()},
+                  {"proc", p->name().c_str()});
+      Violation("lock-order inversion: \"" + p->name() + "\" acquired " +
+                nodes_[node].name + " while holding " + nodes_[h.node].name +
+                ", but the opposite order " + nodes_[node].name + " -> " +
+                nodes_[h.node].name + " was also observed");
+    }
+  }
+  st.held.push_back(Held{node, 1});
+}
+
+void LockDep::Released(SimProc* p, uint32_t node) {
+  auto it = procs_.find(p);
+  if (it == procs_.end()) return;
+  std::vector<Held>& held = it->second.held;
+  for (size_t i = 0; i < held.size(); i++) {
+    if (held[i].node != node) continue;
+    if (--held[i].count == 0) held.erase(held.begin() + i);
+    return;
+  }
+}
+
+void LockDep::OnMutexAcquired(SimProc* p, const void* mutex, const char* name,
+                              bool yield_ok) {
+  if (p == nullptr) return;
+  Acquired(p, Intern(mutex, 0, name, yield_ok));
+}
+
+void LockDep::OnMutexReleased(SimProc* p, const void* mutex) {
+  if (p == nullptr) return;
+  auto it = ids_.find({mutex, 0});
+  if (it != ids_.end()) Released(p, it->second);
+}
+
+void LockDep::OnTxnLockAcquired(SimProc* p, const void* mgr,
+                                const char* mgr_name, uint64_t file) {
+  if (p == nullptr) return;
+  // yield_ok: two-phase locking holds transaction locks across I/O by
+  // design; only the ordering graph judges them.
+  Acquired(p, Intern(mgr, file + 1,
+                     (std::string(mgr_name) + ".file" + std::to_string(file))
+                         .c_str(),
+                     /*yield_ok=*/true));
+}
+
+void LockDep::OnTxnLockReleased(SimProc* p, const void* mgr, uint64_t file) {
+  if (p == nullptr) return;
+  auto it = ids_.find({mgr, file + 1});
+  if (it != ids_.end()) Released(p, it->second);
+}
+
+void LockDep::BeginLockWait(SimProc* p) {
+  if (p != nullptr) procs_[p].lock_wait_depth++;
+}
+
+void LockDep::EndLockWait(SimProc* p) {
+  if (p != nullptr) procs_[p].lock_wait_depth--;
+}
+
+void LockDep::OnBlock(SimProc* p, const char* site) {
+  if (p == nullptr) return;
+  auto it = procs_.find(p);
+  if (it == procs_.end() || it->second.lock_wait_depth > 0) return;
+  for (const Held& h : it->second.held) {
+    if (nodes_[h.node].yield_ok) continue;
+    stats_.held_across_block++;
+    held_ctr_->Inc();
+    if (reported_held_.insert({h.node, site}).second) {
+      LFSTX_TRACE(tracer_, TraceCat::kCheck, "lockdep_held_across_block",
+                  {"lock", nodes_[h.node].name.c_str()}, {"site", site},
+                  {"proc", p->name().c_str()});
+      Violation("\"" + p->name() + "\" blocked in " + site +
+                " while holding " + nodes_[h.node].name +
+                " — every other process can now observe the held lock");
+    }
+  }
+}
+
+}  // namespace lfstx

@@ -1,0 +1,140 @@
+// Cooperative lockdep: runtime lock-ordering and held-across-yield
+// validation for the simulator (CHECKS.md, "Yield-point hazards &
+// lockdep").
+//
+// ThreadSanitizer is structurally blind here — every simulated process is
+// a fiber on one OS thread, so data races between "concurrent" processes
+// never touch two hardware threads. What can still go wrong is ordering:
+//
+//   * two processes acquire the same pair of locks in opposite orders
+//     (an ABBA inversion that only deadlocks under the wrong
+//     interleaving), or
+//   * a process holds a mutex across a call that yields the simulated
+//     CPU, letting every other process observe (and contend on) the
+//     held lock for an arbitrary simulated duration.
+//
+// LockDep watches every acquisition funneled through SimMutex and
+// LockManager, maintains the global acquisition-order graph (edge A -> B
+// when some process acquired B while holding A), and reports:
+//
+//   * cycles in that graph — potential deadlocks, flagged even when this
+//     particular run never deadlocked; and
+//   * locks held across a blocking call that is not itself a lock
+//     acquisition (lock-acquisition waits are exactly what the ordering
+//     graph covers; disk I/O and sleeps are not).
+//
+// Ordering nodes are lock *classes*, not instances: each SimMutex is its
+// own class, while lock-manager resources collapse to (manager, file) —
+// page-level nodes would grow the graph with the database while adding no
+// ordering information. Transaction locks are deliberately exempt from
+// the held-across-block check: strict two-phase locking holds them across
+// I/O by design, and a SimMutex constructed with yield_ok=true (the LFS
+// log lock, which protects the multi-I/O segment write itself) opts out
+// the same way.
+//
+// Reports flow through the normal observability plumbing: lockdep.*
+// counters, TraceCat::kCheck events, and a flight-recorder dump to stderr
+// on the first violation. Node ids are assigned in acquisition order, so
+// every report is byte-identical across execution backends.
+#ifndef LFSTX_SIM_LOCKDEP_H_
+#define LFSTX_SIM_LOCKDEP_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace lfstx {
+
+class MetricCounter;
+class MetricsRegistry;
+class SimProc;
+class Tracer;
+
+/// \brief Acquisition-order watcher over all SimMutex / LockManager locks.
+///
+/// Owned by SimEnv (one instance per simulated machine); every hook runs
+/// under the single-running-process invariant, so no internal locking.
+class LockDep {
+ public:
+  struct Stats {
+    uint64_t nodes = 0;  ///< distinct lock classes seen
+    uint64_t edges = 0;  ///< distinct acquired-while-holding pairs
+    uint64_t cycles = 0;             ///< order-inverting edges reported
+    uint64_t held_across_block = 0;  ///< blocking calls with a lock held
+  };
+
+  LockDep(MetricsRegistry* metrics, Tracer* tracer);
+
+  // ---- SimMutex funnel (sync.cc) ----
+  void OnMutexAcquired(SimProc* p, const void* mutex, const char* name,
+                       bool yield_ok);
+  void OnMutexReleased(SimProc* p, const void* mutex);
+
+  // ---- LockManager funnel (txn/lock_manager.cc) ----
+  // One node per (manager, file); the per-class refcount tracks how many
+  // page locks of that class the process holds.
+  void OnTxnLockAcquired(SimProc* p, const void* mgr, const char* mgr_name,
+                         uint64_t file);
+  void OnTxnLockReleased(SimProc* p, const void* mgr, uint64_t file);
+
+  // Lock-acquisition waits block like anything else, but holding A while
+  // waiting for B is ordinary nested locking (the ordering graph judges
+  // it); the funnels bracket their waits so OnBlock can tell the two
+  // kinds of blocking apart.
+  void BeginLockWait(SimProc* p);
+  void EndLockWait(SimProc* p);
+
+  /// Called by every blocking primitive just before the process yields
+  /// the simulated CPU. `site` names the primitive ("WaitQueue::Sleep").
+  void OnBlock(SimProc* p, const char* site);
+
+  const Stats& stats() const { return stats_; }
+  /// One human-readable line per distinct violation, in discovery order.
+  const std::vector<std::string>& violations() const { return violations_; }
+
+ private:
+  struct Node {
+    std::string name;
+    bool yield_ok = false;
+  };
+  struct Held {
+    uint32_t node = 0;
+    uint32_t count = 0;  ///< class refcount (several pages of one file)
+  };
+  struct ProcState {
+    std::vector<Held> held;  ///< acquisition order — deterministic
+    int lock_wait_depth = 0;
+  };
+
+  uint32_t Intern(const void* obj, uint64_t aux, const char* name,
+                  bool yield_ok);
+  void Acquired(SimProc* p, uint32_t node);
+  void Released(SimProc* p, uint32_t node);
+  bool PathExists(uint32_t from, uint32_t to) const;
+  void Violation(std::string text);
+
+  MetricsRegistry* metrics_;
+  Tracer* tracer_;
+  MetricCounter* nodes_ctr_;
+  MetricCounter* edges_ctr_;
+  MetricCounter* cycles_ctr_;
+  MetricCounter* held_ctr_;
+
+  std::map<std::pair<const void*, uint64_t>, uint32_t> ids_;
+  std::vector<Node> nodes_;               // indexed by node id
+  std::vector<std::set<uint32_t>> out_;   // acquisition-order adjacency
+  std::unordered_map<const SimProc*, ProcState> procs_;  // lookup only
+  std::set<std::pair<uint32_t, uint32_t>> reported_cycles_;
+  std::set<std::pair<uint32_t, std::string>> reported_held_;
+  std::vector<std::string> violations_;
+  Stats stats_;
+  bool dumped_flight_ = false;
+};
+
+}  // namespace lfstx
+
+#endif  // LFSTX_SIM_LOCKDEP_H_

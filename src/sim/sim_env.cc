@@ -261,7 +261,9 @@ void SimEnv::MakeRunnable(SimProc* p, WakeReason reason) {
 }
 
 void SimEnv::ForceWakeAll() {
-  for (auto& up : procs_) {
+  // Scheduler-internal: runs on the scheduler's own context between
+  // process steps, where nothing can yield and procs_ cannot mutate.
+  for (auto& up : procs_) {  // LFSTX_YIELD_OK(MakeRunnable/Remove never yield; flagged via name over-approximation)
     SimProc* p = up.get();
     if (p->state_ == SimProc::State::kBlocked) {
       if (p->waiting_on_ != nullptr) p->waiting_on_->Remove(p);
@@ -294,6 +296,7 @@ void SimEnv::LatchOp() {
 void SimEnv::SleepUntil(SimTime t) {
   SimProc* p = Current();
   if (t <= now_ || p == nullptr) return;
+  lockdep_.OnBlock(p, "SimEnv::SleepUntil");
   p->state_ = SimProc::State::kSleeping;
   uint64_t seq = p->block_seq_;
   At(t, [this, p, seq] {
@@ -309,6 +312,7 @@ void SimEnv::SleepFor(SimTime d) { SleepUntil(now_ + d); }
 void SimEnv::Yield() {
   SimProc* p = Current();
   if (p == nullptr) return;
+  lockdep_.OnBlock(p, "SimEnv::Yield");
   p->state_ = SimProc::State::kRunnable;
   runnable_.push_back(p);
   profiler_.OnRunnable(p);
@@ -323,6 +327,7 @@ WakeReason WaitQueue::Sleep() {
   SimProc* p = SimEnv::Current();
   if (p == nullptr) return WakeReason::kStopped;
   if (env_->stop_requested()) return WakeReason::kStopped;
+  env_->lockdep_.OnBlock(p, "WaitQueue::Sleep");
   p->state_ = SimProc::State::kBlocked;
   p->waiting_on_ = this;
   waiters_.push_back(p);
@@ -334,6 +339,7 @@ WakeReason WaitQueue::SleepFor(SimTime timeout) {
   SimProc* p = SimEnv::Current();
   if (p == nullptr) return WakeReason::kStopped;
   if (env_->stop_requested()) return WakeReason::kStopped;
+  env_->lockdep_.OnBlock(p, "WaitQueue::SleepFor");
   p->state_ = SimProc::State::kBlocked;
   p->waiting_on_ = this;
   waiters_.push_back(p);

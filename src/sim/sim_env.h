@@ -36,6 +36,7 @@
 #include "sim/clock.h"
 #include "sim/cost_model.h"
 #include "sim/fiber.h"
+#include "sim/lockdep.h"
 #include "sim/profiler.h"
 #include "sim/trace.h"
 
@@ -151,6 +152,8 @@ class SimEnv {
   Tracer* tracer() { return &tracer_; }
   /// Machine-wide virtual-clock profiler (always on; see sim/profiler.h).
   Profiler* profiler() { return &profiler_; }
+  /// Machine-wide cooperative lockdep (always on; see sim/lockdep.h).
+  LockDep* lockdep() { return &lockdep_; }
 
   /// Create a simulated process. Daemons (syncer, cleaner, group-commit)
   /// do not keep the simulation alive: Run() returns once every non-daemon
@@ -223,6 +226,7 @@ class SimEnv {
   MetricsRegistry metrics_;
   Tracer tracer_{&now_};
   Profiler profiler_{&now_, &metrics_, &tracer_};
+  LockDep lockdep_{&metrics_, &tracer_};
 
   std::vector<std::unique_ptr<SimProc>> procs_;
   std::deque<SimProc*> runnable_;

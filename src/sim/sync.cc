@@ -3,22 +3,41 @@
 namespace lfstx {
 
 bool SimMutex::Lock() {
+  SimProc* p = SimEnv::Current();
+  LockDep* ld = q_.env()->lockdep();
+  ld->BeginLockWait(p);
   while (held_) {
-    if (q_.Sleep() == WakeReason::kStopped && held_) return false;
+    if (q_.Sleep() == WakeReason::kStopped && held_) {
+      ld->EndLockWait(p);
+      return false;
+    }
   }
+  ld->EndLockWait(p);
   held_ = true;
+  ld->OnMutexAcquired(p, this, name_, yield_ok_);
   return true;
 }
 
 void SimMutex::Unlock() {
+  q_.env()->lockdep()->OnMutexReleased(SimEnv::Current(), this);
   held_ = false;
   q_.WakeOne();
 }
 
 bool SimSemaphore::Acquire() {
+  // Semaphore waits count as lock waits for lockdep's held-across-block
+  // check (waiting for a resource, not holding one), but a semaphore is
+  // not an ordering node: ownership is not tied to the acquiring process.
+  SimProc* p = SimEnv::Current();
+  LockDep* ld = q_.env()->lockdep();
+  ld->BeginLockWait(p);
   while (count_ == 0) {
-    if (q_.Sleep() == WakeReason::kStopped && count_ == 0) return false;
+    if (q_.Sleep() == WakeReason::kStopped && count_ == 0) {
+      ld->EndLockWait(p);
+      return false;
+    }
   }
+  ld->EndLockWait(p);
   count_--;
   return true;
 }

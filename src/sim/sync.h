@@ -14,21 +14,35 @@
 namespace lfstx {
 
 /// \brief FIFO blocking mutex for simulated processes.
+///
+/// Every acquisition reports to the environment's cooperative lockdep
+/// (sim/lockdep.h). `name` labels this mutex in lockdep reports;
+/// `yield_ok` declares that holding it across blocking calls is by
+/// design (the LFS log lock protects a multi-I/O segment write), which
+/// exempts it from the held-across-block check but not from
+/// acquisition-order cycle detection.
 class SimMutex {
  public:
-  explicit SimMutex(SimEnv* env) : q_(env) {}
+  explicit SimMutex(SimEnv* env, const char* name = "mutex",
+                    bool yield_ok = false)
+      : q_(env), name_(name), yield_ok_(yield_ok) {}
   /// Block until the mutex is acquired. Returns false if the environment
   /// shut down while waiting (callers must then back out).
   bool Lock();
   void Unlock();
   bool held() const { return held_; }
+  const char* name() const { return name_; }
 
  private:
   WaitQueue q_;
+  const char* name_;
+  bool yield_ok_;
   bool held_ = false;
 };
 
-/// RAII guard for SimMutex.
+/// RAII guard for SimMutex — the only sanctioned way to lock one outside
+/// sim/sync.cc (tools/lint.py enforces the funnel so lockdep sees every
+/// acquisition paired with its release).
 class SimMutexGuard {
  public:
   explicit SimMutexGuard(SimMutex* m) : m_(m), locked_(m->Lock()) {}
@@ -37,6 +51,9 @@ class SimMutexGuard {
   }
   SimMutexGuard(const SimMutexGuard&) = delete;
   SimMutexGuard& operator=(const SimMutexGuard&) = delete;
+  /// False when the environment shut down before the lock was acquired;
+  /// callers must back out without touching the protected state.
+  bool locked() const { return locked_; }
 
  private:
   SimMutex* m_;

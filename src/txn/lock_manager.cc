@@ -61,7 +61,8 @@ Status LockManager::Lock(TxnId txn, LockId id, LockMode mode) {
   Entry& e = table_[id];
 
   auto held = e.holders.find(txn);
-  if (held != e.holders.end()) {
+  const bool already_held = held != e.holders.end();
+  if (already_held) {
     if (held->second == LockMode::kExclusive || mode == LockMode::kShared) {
       return Status::OK();  // already strong enough
     }
@@ -97,7 +98,9 @@ Status LockManager::Lock(TxnId txn, LockId id, LockMode mode) {
     WakeReason r;
     {
       ProfPhaseScope ph(env_->profiler(), Phase::kLockWait);
+      env_->lockdep()->BeginLockWait(SimEnv::Current());
       r = e.waiters->Sleep();
+      env_->lockdep()->EndLockWait(SimEnv::Current());
     }
     uint64_t edge_us =
         env_->profiler()->PhaseTotal(Phase::kLockWait) - lock_us0;
@@ -128,6 +131,10 @@ Status LockManager::Lock(TxnId txn, LockId id, LockMode mode) {
   e.holders[txn] = mode;  // grants fresh locks and applies upgrades
   by_txn_[txn].insert(id);
   stats_.acquisitions++;
+  if (!already_held) {
+    env_->lockdep()->OnTxnLockAcquired(SimEnv::Current(), this,
+                                       prefix_.c_str(), id.file);
+  }
   return Status::OK();
 }
 
@@ -135,7 +142,9 @@ void LockManager::Unlock(TxnId txn, LockId id) {
   env_->Consume(env_->costs().lock_op_us);
   auto it = table_.find(id);
   if (it == table_.end()) return;
-  it->second.holders.erase(txn);
+  if (it->second.holders.erase(txn) != 0) {
+    env_->lockdep()->OnTxnLockReleased(SimEnv::Current(), this, id.file);
+  }
   by_txn_[txn].erase(id);
   if (it->second.waiters != nullptr) it->second.waiters->WakeAll();
   if (it->second.holders.empty() && it->second.waiter_count == 0) {

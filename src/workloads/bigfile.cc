@@ -18,7 +18,7 @@ lfstx::Result<BigfileBenchmark::Result> BigfileBenchmark::Run(
   std::string chunk = rng.Bytes(options_.io_chunk);
   std::vector<char> buf(options_.io_chunk);
 
-  for (size_t mb : options_.sizes_mb) {
+  for (size_t mb : options_.sizes_mb) {  // LFSTX_YIELD_OK(options_ is this workload's private config)
     size_t bytes = mb * 1024 * 1024;
     std::string a = root + "/big" + std::to_string(mb) + "a";
     std::string b = root + "/big" + std::to_string(mb) + "b";

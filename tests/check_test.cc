@@ -216,6 +216,36 @@ TEST(CheckTxnTest, DetectsLiveUserTransactionAtQuiesce) {
   });
 }
 
+TEST(CheckGensTest, DetectsMutationBehindTheSnapshot) {
+  auto rig = TestRig::Create(Arch::kUserLfs);
+  rig->Run([&] {
+    Kernel* kernel = rig->machine->kernel.get();
+    ASSERT_TRUE(kernel->Sync().ok());  // clean cache arms the comparison
+    CheckContext ctx = MakeCheckContext(*rig);
+    ASSERT_TRUE(ctx.gens_captured);
+    ASSERT_TRUE(ctx.gens_cache_clean);
+    auto report = CheckGenerations(ctx);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report.value().clean) << report.value().ToString();
+
+    // A foreign mutation between capture and the sweep — exactly what a
+    // process that was not really parked would do.
+    auto ino = kernel->Create("/intruder");
+    ASSERT_TRUE(ino.ok());
+    ASSERT_TRUE(kernel->Close(ino.value()).ok());
+    report = CheckGenerations(ctx);
+    ASSERT_TRUE(report.ok());
+    EXPECT_FALSE(report.value().clean) << "mid-sweep mutation not detected";
+    bool named = false;
+    for (const auto& p : report.value().problems) {
+      if (p.find("quiescent point was not quiescent") != std::string::npos) {
+        named = true;
+      }
+    }
+    EXPECT_TRUE(named) << report.value().ToString();
+  });
+}
+
 TEST(CheckTxnTest, DetectsLiveEmbeddedTransactionAtQuiesce) {
   auto rig = TestRig::Create(Arch::kEmbedded);
   rig->Run([&] {

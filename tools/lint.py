@@ -10,6 +10,12 @@ would silently break that:
                       time(), clock(), gettimeofday()
   * ambient entropy:  rand(), srand(), std::random_device
 
+It also bans naked `SimMutex::Lock()` / `Unlock()` calls outside
+src/sim/sync.{h,cc}: locking must go through SimMutexGuard so the unlock
+cannot be skipped by an early return, and so tools/yieldlint.py can see
+every critical section as a lexical scope. Hand-over-hand sites that
+must drop and reacquire the lock mid-function opt out per line.
+
 It also bans raw `new` / `delete` in src/ (ownership must be expressed
 through smart pointers or containers), with two idiomatic exceptions:
 
@@ -42,6 +48,13 @@ BANNED = [
     (re.compile(r"std::random_device"),
      "ambient entropy std::random_device (use common/random.h)"),
 ]
+
+# SimMutex lock/unlock take no arguments, which distinguishes them from
+# LockManager::Lock(txn, id, mode) and friends.
+NAKED_LOCK_RE = re.compile(r"(?:\.|->)(?:Lock|Unlock)\s*\(\s*\)")
+# The guard itself and the mutex implementation are the sanctioned homes
+# of raw lock/unlock calls.
+NAKED_LOCK_EXEMPT = ("sim/sync.h", "sim/sync.cc")
 
 NEW_RE = re.compile(r"(?<![\w:])new\b(?!\s*\()")  # `new X`, not placement-new macros
 DELETE_RE = re.compile(r"(?<![\w:])delete\b(?:\s*\[\s*\])?")
@@ -89,6 +102,8 @@ def lint_file(path):
         raw = f.read()
     text = strip_comments_and_strings(raw)
     raw_lines = raw.splitlines()
+    norm = path.replace(os.sep, "/")
+    lock_exempt = norm.endswith(NAKED_LOCK_EXEMPT)
     problems = []
     for lineno, line in enumerate(text.splitlines(), 1):
         if ALLOW_RE.search(line):
@@ -96,6 +111,10 @@ def lint_file(path):
         for pattern, why in BANNED:
             if pattern.search(line):
                 problems.append((lineno, why))
+        if not lock_exempt and NAKED_LOCK_RE.search(line):
+            problems.append(
+                (lineno, "naked SimMutex Lock()/Unlock() (use SimMutexGuard "
+                         "so early returns cannot leak the lock)"))
         if NEW_RE.search(line) and not SMART_WRAP_RE.search(line):
             problems.append(
                 (lineno, "raw new (use make_unique/make_shared, or wrap in "
