@@ -39,9 +39,19 @@
 //                    and all measured virtual times are byte-identical
 //                    across backends; see SIMULATOR.md. Defaults honour
 //                    the LFSTX_SIM_BACKEND environment variable.
-//   --summary=F      (fig4_tps) write a machine-readable JSON summary —
-//                    TPS + profile breakdown per architecture — to F;
-//                    consumed by tools/bench_summary.py
+//   --summary=F      (fig4_tps, fig_tail) write a machine-readable JSON
+//                    summary — TPS + profile breakdown per architecture —
+//                    to F; consumed by tools/bench_summary.py
+//   --arrival=KIND   (fig_tail) open-loop arrival process: "poisson"
+//                    (default), "bursty", or "diurnal" (see
+//                    src/harness/arrivals.h)
+//   --offered-tps=L  (fig_tail) comma-separated offered-load sweep in
+//                    arrivals per simulated second (default "4,8,16,32")
+//   --queue-cap=N    (fig_tail) admission-queue bound; arrivals beyond it
+//                    are shed and counted (default 64)
+//   --exemplars=K    (fig_tail) keep the K slowest committed transactions
+//                    per load point, with full phase breakdowns, for
+//                    tools/tail_report.py p99 attribution (default 8)
 // Measured quantities are *virtual* (simulated) times; wall-clock run time
 // of the binary is irrelevant.
 #ifndef LFSTX_BENCH_BENCH_COMMON_H_
@@ -79,6 +89,10 @@ struct BenchConfig {
   std::string trace;
   std::string trace_file;
   std::string summary;
+  std::string arrival = "poisson";  // fig_tail: arrival-process kind
+  std::string offered_tps;          // fig_tail: comma list; "" = default
+  uint64_t queue_cap = 64;          // fig_tail: admission-queue bound
+  uint64_t exemplars = 8;           // fig_tail: slowest-txns kept per point
 
   static BenchConfig FromArgs(int argc, char** argv) {
     BenchConfig c;
@@ -115,6 +129,21 @@ struct BenchConfig {
         c.trace_file = argv[i] + 13;
       } else if (strncmp(argv[i], "--summary=", 10) == 0) {
         c.summary = argv[i] + 10;
+      } else if (strncmp(argv[i], "--arrival=", 10) == 0) {
+        c.arrival = argv[i] + 10;
+        if (c.arrival != "poisson" && c.arrival != "bursty" &&
+            c.arrival != "diurnal") {
+          fprintf(stderr, "bad --arrival=%s (poisson|bursty|diurnal)\n",
+                  c.arrival.c_str());
+          exit(2);
+        }
+      } else if (strncmp(argv[i], "--offered-tps=", 14) == 0) {
+        c.offered_tps = argv[i] + 14;
+      } else if (strncmp(argv[i], "--queue-cap=", 12) == 0) {
+        c.queue_cap =
+            std::max<uint64_t>(1, strtoull(argv[i] + 12, nullptr, 10));
+      } else if (strncmp(argv[i], "--exemplars=", 12) == 0) {
+        c.exemplars = strtoull(argv[i] + 12, nullptr, 10);
       } else if (strcmp(argv[i], "--fsck") == 0) {
         c.fsck = true;
       } else if (strcmp(argv[i], "--profile") == 0) {

@@ -1,5 +1,7 @@
 #include "common/metrics.h"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdio>
 
@@ -22,6 +24,58 @@ std::string FormatNumber(double v) {
 }
 
 }  // namespace
+
+size_t HdrHistogram::BucketIndex(uint64_t v) {
+  if (v < kSubBuckets) return static_cast<size_t>(v);
+  // v in [2^e, 2^(e+1)) with e >= kSubBucketBits: the top kSubBucketBits+1
+  // bits select block e's linear sub-bucket.
+  int e = std::bit_width(v) - 1;
+  uint64_t sub = (v >> (e - kSubBucketBits)) - kSubBuckets;
+  return ((static_cast<size_t>(e) - kSubBucketBits + 1) << kSubBucketBits) +
+         static_cast<size_t>(sub);
+}
+
+uint64_t HdrHistogram::BucketLow(size_t idx) {
+  size_t block = idx >> kSubBucketBits;
+  if (block == 0) return idx;
+  uint64_t sub = idx & (kSubBuckets - 1);
+  return (kSubBuckets + sub) << (block - 1);
+}
+
+uint64_t HdrHistogram::BucketWidth(size_t idx) {
+  size_t block = idx >> kSubBucketBits;
+  return block == 0 ? 1 : 1ull << (block - 1);
+}
+
+void HdrHistogram::Add(uint64_t v) {
+  size_t idx = BucketIndex(v);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  buckets_[idx]++;
+  count_++;
+  sum_ += static_cast<double>(v);
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+double HdrHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  double rank = p / 100.0 * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets_.size(); b++) {
+    if (buckets_[b] == 0) continue;
+    seen += buckets_[b];
+    if (static_cast<double>(seen) >= rank) {
+      uint64_t lo = std::max(BucketLow(b), min_);
+      uint64_t hi = std::min(BucketLow(b) + BucketWidth(b) - 1, max_);
+      if (hi < lo) hi = lo;
+      double frac = 1.0 - (static_cast<double>(seen) - rank) /
+                              static_cast<double>(buckets_[b]);
+      if (frac < 0.0) frac = 0.0;
+      return static_cast<double>(lo) + frac * static_cast<double>(hi - lo);
+    }
+  }
+  return static_cast<double>(max_);
+}
 
 MetricCounter* MetricsRegistry::GetCounter(const std::string& name,
                                            const char* unit,
@@ -120,7 +174,9 @@ std::string MetricsRegistry::ToJson() const {
         out += ", \"mean\": " + FormatNumber(h->mean());
         out += ", \"p50\": " + FormatNumber(h->Percentile(50));
         out += ", \"p90\": " + FormatNumber(h->Percentile(90));
+        out += ", \"p95\": " + FormatNumber(h->Percentile(95));
         out += ", \"p99\": " + FormatNumber(h->Percentile(99));
+        out += ", \"p999\": " + FormatNumber(h->Percentile(99.9));
         out += ", \"min\": " + FormatNumber(static_cast<double>(h->min()));
         out += ", \"max\": " + FormatNumber(static_cast<double>(h->max()));
         out += "}";

@@ -46,8 +46,56 @@ class MetricCounter {
   uint64_t value_ = 0;
 };
 
+/// \brief HDR-style log-bucketed histogram with bounded relative error.
+///
+/// Values below kSubBuckets get one bucket each (exact); above that, every
+/// power-of-two range [2^e, 2^(e+1)) is split into kSubBuckets linear
+/// sub-buckets, so a bucket's width is always <= value / kSubBuckets and
+/// any reported quantile is within kMaxRelativeError of a recorded value.
+/// Memory is bounded (<= ~1920 u64 buckets for the full 64-bit range) and
+/// grows lazily with the largest recorded value, so a thousand-user run can
+/// keep full-range latency distributions per metric without sampling.
+/// count/sum/min/max are exact. Deterministic: same inputs, same state.
+class HdrHistogram {
+ public:
+  static constexpr int kSubBucketBits = 5;
+  static constexpr uint64_t kSubBuckets = 1ull << kSubBucketBits;  // 32
+  /// Worst-case |quantile - recorded| / recorded (one bucket width).
+  static constexpr double kMaxRelativeError = 1.0 / kSubBuckets;
+
+  void Add(uint64_t v);
+  uint64_t count() const { return count_; }
+  /// Exact total of every added value (exact for integer inputs well below
+  /// 2^53, which virtual-microsecond latencies always are).
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  /// Percentile in [0,100]; linear interpolation within a bucket, clamped
+  /// to the exact [min,max]. Non-decreasing in p.
+  double Percentile(double p) const;
+  uint64_t min() const { return count_ ? min_ : 0; }
+  uint64_t max() const { return max_; }
+
+  /// Bucket index for a value (exposed for the unit tests).
+  static size_t BucketIndex(uint64_t v);
+  /// Lowest value mapping to bucket `idx`.
+  static uint64_t BucketLow(size_t idx);
+  /// Number of distinct values mapping to bucket `idx`.
+  static uint64_t BucketWidth(size_t idx);
+
+ private:
+  std::vector<uint64_t> buckets_;  // grown on demand to the largest index
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  uint64_t min_ = ~0ull;
+  uint64_t max_ = 0;
+};
+
 /// \brief Latency/size histogram (pointer-stable; owned by the registry).
-/// Thin wrapper over the power-of-two-bucket Histogram from stats.h.
+/// Thin wrapper over the log-bucketed HdrHistogram, so every registered
+/// histogram — profiler phases, blame edges, open-loop latencies — resolves
+/// p99.9 with bounded relative error at any load.
 class MetricHistogram {
  public:
   void Add(uint64_t v) { h_.Add(v); }
@@ -57,9 +105,10 @@ class MetricHistogram {
   double Percentile(double p) const { return h_.Percentile(p); }
   uint64_t min() const { return h_.min(); }
   uint64_t max() const { return h_.max(); }
+  const HdrHistogram& hdr() const { return h_; }
 
  private:
-  Histogram h_;
+  HdrHistogram h_;
 };
 
 /// \brief Registry of named metrics, snapshotable to JSON.
@@ -97,7 +146,8 @@ class MetricsRegistry {
 
   /// Snapshot of every metric as pretty-printed JSON, nested by the first
   /// dot component of the name ("disk.seeks" -> {"disk": {"seeks": ...}}).
-  /// Histograms serialize as {count, sum, mean, p50, p90, p99, min, max}.
+  /// Histograms serialize as {count, sum, mean, p50, p90, p95, p99, p999,
+  /// min, max}.
   std::string ToJson() const;
 
   /// Flat numeric view for the virtual-time sampler: counters and gauges

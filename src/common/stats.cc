@@ -73,11 +73,12 @@ double Histogram::Percentile(double p) const {
 }
 
 std::string Histogram::ToString() const {
-  char buf[160];
+  char buf[192];
   snprintf(buf, sizeof(buf),
-           "count=%llu mean=%.1fus p50=%.0fus p95=%.0fus p99=%.0fus max=%lluus",
+           "count=%llu mean=%.1fus p50=%.0fus p95=%.0fus p99=%.0fus "
+           "p99.9=%.0fus max=%lluus",
            static_cast<unsigned long long>(count_), mean(), Percentile(50),
-           Percentile(95), Percentile(99),
+           Percentile(95), Percentile(99), Percentile(99.9),
            static_cast<unsigned long long>(count_ ? max_ : 0));
   return buf;
 }

@@ -45,6 +45,7 @@ constexpr CatName kCatNames[] = {
     {TraceCat::kLog, "log"},             {TraceCat::kSync, "sync"},
     {TraceCat::kCheck, "check"},         {TraceCat::kProf, "prof"},
     {TraceCat::kBlame, "blame"},         {TraceCat::kMetrics, "metrics"},
+    {TraceCat::kOpenLoop, "openloop"},
 };
 
 /// Index of a category's bit (for the flight rings).

@@ -10,6 +10,7 @@ Status TpcbDriver::TryOne(uint64_t account, uint32_t teller, uint32_t branch,
                           int64_t delta) {
   SimEnv* env = backend_->env();
   LFSTX_ASSIGN_OR_RETURN(TxnId txn, backend_->Begin());
+  last_txn_ = txn;
   // Application-side query processing, parsing, context switching — the
   // system overhead the paper's earlier simulation ignored (section 5.1).
   env->Consume(env->costs().query_overhead_us);
@@ -46,10 +47,23 @@ Status TpcbDriver::RunOne() {
   uint32_t branch = teller % config_.branches;  // teller's home branch
   int64_t delta =
       static_cast<int64_t>(rng_.Range(1, 999999)) - 500000;
+  uint32_t attempt = 0;
   for (;;) {
     Status s = TryOne(account, teller, branch, delta);
     if (s.IsDeadlock()) {
       stats_.deadlock_retries++;
+      // Randomized exponential backoff before the retry. Immediate retry
+      // livelocks at high multiprogramming levels: every victim of a
+      // deadlock cycle re-begins instantly, re-collides with the same
+      // peers on the same hot branch page, and the group aborts forever
+      // while virtual time races ahead. The jitter draws from the
+      // driver's seeded RNG and the sleep is virtual time, so runs stay
+      // deterministic and byte-identical across execution backends.
+      uint32_t shift = attempt < 6 ? attempt : 6;
+      SimTime ceiling = kDeadlockBackoffFloor << shift;
+      backend_->env()->SleepFor(kDeadlockBackoffFloor +
+                                static_cast<SimTime>(rng_.Uniform(ceiling)));
+      attempt++;
       continue;
     }
     return s;

@@ -14,6 +14,10 @@ namespace lfstx {
 /// \brief Runs TPC-B transactions against a loaded database.
 class TpcbDriver {
  public:
+  /// Minimum virtual-time pause before a deadlock retry. The ceiling
+  /// doubles with each consecutive deadlock of the same transaction, up
+  /// to 64x, with uniform jitter drawn from the driver's seeded RNG.
+  static constexpr SimTime kDeadlockBackoffFloor = 500;  // us
   struct RunStats {
     uint64_t transactions = 0;
     uint64_t deadlock_retries = 0;
@@ -37,6 +41,12 @@ class TpcbDriver {
 
   const RunStats& stats() const { return stats_; }
 
+  /// Transaction id of the most recent attempt that reached Begin (after a
+  /// successful RunOne: the id of the transaction that committed). The
+  /// open-loop harness uses it to join latency exemplars against the
+  /// wait-edge blame graph, whose edges carry transaction ids.
+  TxnId last_txn() const { return last_txn_; }
+
  private:
   Status TryOne(uint64_t account, uint32_t teller, uint32_t branch,
                 int64_t delta);
@@ -46,6 +56,7 @@ class TpcbDriver {
   TpcbConfig config_;
   Random rng_;
   RunStats stats_;
+  TxnId last_txn_ = kNoTxn;
 };
 
 }  // namespace lfstx

@@ -60,6 +60,111 @@ TEST(MetricsRegistryTest, HistogramPercentiles) {
   EXPECT_GE(h->max(), 1000u);
 }
 
+// ---------------------------------------------------- HDR histogram core --
+
+TEST(HdrHistogramTest, BucketGeometryIsExactBelowThresholdLogAbove) {
+  // Values below kSubBuckets each get their own bucket: exact.
+  for (uint64_t v = 0; v < HdrHistogram::kSubBuckets; v++) {
+    size_t idx = HdrHistogram::BucketIndex(v);
+    EXPECT_EQ(HdrHistogram::BucketLow(idx), v);
+    EXPECT_EQ(HdrHistogram::BucketWidth(idx), 1u);
+  }
+  // Every value lands in a bucket that contains it, and the bucket width
+  // honours the relative-error bound.
+  for (uint64_t v = HdrHistogram::kSubBuckets; v < (1ull << 40);
+       v = v * 3 + 1) {
+    size_t idx = HdrHistogram::BucketIndex(v);
+    uint64_t low = HdrHistogram::BucketLow(idx);
+    uint64_t width = HdrHistogram::BucketWidth(idx);
+    EXPECT_LE(low, v);
+    EXPECT_LT(v, low + width) << "value " << v << " outside bucket " << idx;
+    EXPECT_LE(static_cast<double>(width),
+              HdrHistogram::kMaxRelativeError * static_cast<double>(v) +
+                  1e-9)
+        << "bucket " << idx << " too wide for value " << v;
+    // Buckets tile the axis: the next bucket starts where this one ends.
+    EXPECT_EQ(HdrHistogram::BucketLow(idx + 1), low + width);
+  }
+}
+
+TEST(HdrHistogramTest, CountSumMinMaxAreExact) {
+  HdrHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+  uint64_t n = 0;
+  double sum = 0;
+  uint64_t last = 0;
+  for (uint64_t v = 1; v < (1ull << 30); v = v * 2 + 3) {
+    h.Add(v);
+    n++;
+    sum += static_cast<double>(v);
+    last = v;
+  }
+  EXPECT_EQ(h.count(), n);
+  EXPECT_EQ(h.sum(), sum);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), last);
+}
+
+TEST(HdrHistogramTest, PercentilesBoundedRelativeErrorAndMonotone) {
+  HdrHistogram h;
+  // Log-uniform sweep over six decades: the stress case a linear-bucket
+  // histogram fails.
+  std::vector<uint64_t> values;
+  for (uint64_t v = 1; v <= 1000000; v = v + 1 + v / 7) {
+    values.push_back(v);
+    h.Add(v);
+  }
+  for (double p : {1.0, 10.0, 50.0, 90.0, 95.0, 99.0, 99.9, 100.0}) {
+    double est = h.Percentile(p);
+    // Reference: the estimate must land within one bucket's relative error
+    // of the values adjacent to the p-rank (rank conventions differ by at
+    // most one position, so bracket by the neighbours).
+    size_t rank = static_cast<size_t>(p / 100.0 *
+                                      static_cast<double>(values.size()));
+    if (rank >= values.size()) rank = values.size() - 1;
+    double lo = static_cast<double>(values[rank == 0 ? 0 : rank - 1]);
+    double hi = static_cast<double>(
+        values[std::min(rank + 1, values.size() - 1)]);
+    EXPECT_GE(est, lo * (1 - HdrHistogram::kMaxRelativeError) - 1)
+        << "p" << p;
+    EXPECT_LE(est, hi * (1 + HdrHistogram::kMaxRelativeError) + 1)
+        << "p" << p;
+  }
+  // Non-decreasing in p, clamped to [min, max].
+  double prev = 0;
+  for (double p = 0; p <= 100.0; p += 0.5) {
+    double q = h.Percentile(p);
+    EXPECT_GE(q, prev);
+    EXPECT_GE(q, static_cast<double>(h.min()));
+    EXPECT_LE(q, static_cast<double>(h.max()));
+    prev = q;
+  }
+}
+
+TEST(HdrHistogramTest, TailResolutionSeparatesP99FromP999) {
+  HdrHistogram h;
+  // 10,000 fast requests and 10 straggler outliers: p99 must stay near the
+  // bulk while p99.9 climbs into the stragglers.
+  for (int i = 0; i < 10000; i++) h.Add(100 + (i % 7));
+  for (int i = 0; i < 10; i++) h.Add(500000);
+  EXPECT_LT(h.Percentile(99), 200.0);
+  EXPECT_GT(h.Percentile(99.95), 400000.0);
+}
+
+TEST(MetricsRegistryTest, HistogramJsonCarriesTailPercentiles) {
+  MetricsRegistry reg;
+  MetricHistogram* h = reg.GetHistogram("txn.latency_us", "us", "latency");
+  for (uint64_t i = 1; i <= 1000; i++) h->Add(i);
+  std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p999\""), std::string::npos);
+  // Serialized percentiles respect ordering: p95 <= p99 <= p999 <= max.
+  EXPECT_LE(h->Percentile(95), h->Percentile(99));
+  EXPECT_LE(h->Percentile(99), h->Percentile(99.9));
+  EXPECT_LE(h->Percentile(99.9), static_cast<double>(h->max()));
+}
+
 TEST(MetricsRegistryTest, JsonSnapshotRoundTrip) {
   MetricsRegistry reg;
   reg.GetCounter("disk.seeks", "count", "head movements")->Inc(17);

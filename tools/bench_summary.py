@@ -1,21 +1,33 @@
 #!/usr/bin/env python3
-"""Run a small-scale fig4_tps and write BENCH_fig4.json.
+"""Run a small-scale bench and write its committed baseline JSON.
 
 CI runs this after every build as a cheap performance-tracking step: a
-tiny TPC-B measurement per architecture (seconds of wall time), with the
-profiler's headline "where did the time go" breakdown and the causal
-wait-blame counters attached, so a regression shows up not just as a TPS
+tiny measurement per architecture (seconds of wall time) with enough
+attribution attached that a regression shows up not just as a number
 delta but as the phase — and the blamed resource — that ate the time.
 
+Two modes:
+  --mode fig4  (default) closed-loop TPC-B TPS per architecture, with the
+               profiler breakdown and wait-blame counters; writes
+               BENCH_fig4.json.
+  --mode tail  open-loop offered-load sweep through bench/fig_tail:
+               goodput vs offered plus HDR percentile curves
+               (p50/p90/p95/p99/p99.9/max) and tail exemplars per load
+               point; validates the queueing invariants (monotone offered
+               axis, goodput <= offered, non-decreasing percentiles,
+               exact shed/admission accounting, exemplar phase sums) and
+               writes BENCH_tail.json.
+
 The output is deterministic — the simulation is virtual-time and seeded,
-and no wall-clock timestamps are recorded — so the committed
-BENCH_fig4.json only changes when behaviour changes.
+and no wall-clock timestamps are recorded — so the committed baselines
+only change when behaviour changes.
 
 Usage:
-    python3 tools/bench_summary.py [--bench build/bench/fig4_tps]
-                                   [--out BENCH_fig4.json]
-                                   [--scale 64] [--txns 40] [--users 1]
-                                   [--min-coverage 0.95] [--no-blame]
+    python3 tools/bench_summary.py [--mode fig4|tail] [--bench PATH]
+                                   [--out FILE] [--scale 64] [--txns N]
+                                   [--users N] [--min-coverage 0.95]
+                                   [--no-blame] [--offered-tps LIST]
+                                   [--queue-cap N] [--exemplars K]
 """
 import argparse
 import json
@@ -23,10 +35,12 @@ import os
 import subprocess
 import sys
 import tempfile
+from collections import defaultdict
 
 import tracelib
 
 EXPECTED_ARCHS = ["user_ffs", "user_lfs", "embedded_lfs"]
+TAIL_PERCENTILE_ORDER = ["p50", "p90", "p95", "p99", "p999"]
 
 
 def run_bench(bench, scale, txns, users, blame, summary_path):
@@ -88,17 +102,107 @@ def validate(summary, min_coverage, blame):
               f"{prof['phases']['log_wait']} us in log_wait")
 
 
+def run_tail_bench(args, summary_path):
+    cmd = [
+        args.bench,
+        f"--scale={args.scale}",
+        f"--txns={args.txns}",
+        f"--users={args.users}",
+        f"--offered-tps={args.offered_tps}",
+        f"--queue-cap={args.queue_cap}",
+        f"--exemplars={args.exemplars}",
+        f"--summary={summary_path}",
+    ]
+    print("+ " + " ".join(cmd), flush=True)
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True)
+    sys.stdout.write(proc.stdout)
+    if proc.returncode != 0:
+        sys.exit(f"bench failed with exit code {proc.returncode}")
+
+
+def validate_tail(summary):
+    """Queueing invariants every open-loop sweep must satisfy exactly."""
+    if summary.get("bench") != "fig_tail":
+        sys.exit(f"expected a fig_tail summary, got {summary.get('bench')}")
+    by_arch = defaultdict(list)
+    for c in summary.get("configs", []):
+        by_arch[c["arch"]].append(c)
+    if len(by_arch) < 2:
+        sys.exit(f"need >= 2 architectures, got {sorted(by_arch)}")
+    for arch, points in sorted(by_arch.items()):
+        offered = [p["offered_tps"] for p in points]
+        if offered != sorted(set(offered)) or len(offered) < 2:
+            sys.exit(f"{arch}: offered axis must be strictly increasing "
+                     f"with >= 2 points, got {offered}")
+        for p in points:
+            where = f"{arch} @ {p['offered_tps']} tps"
+            if p["goodput_tps"] > p["offered_tps"] + 1e-9:
+                sys.exit(f"{where}: goodput {p['goodput_tps']} exceeds the "
+                         f"offered rate — accounting bug")
+            if p["admitted"] + p["shed"] != p["arrivals"]:
+                sys.exit(f"{where}: admitted {p['admitted']} + shed "
+                         f"{p['shed']} != arrivals {p['arrivals']}")
+            if p["completed"] != p["admitted"]:
+                sys.exit(f"{where}: completed {p['completed']} != admitted "
+                         f"{p['admitted']} (requests lost)")
+            if p["committed"] > p["completed"]:
+                sys.exit(f"{where}: committed {p['committed']} > completed "
+                         f"{p['completed']}")
+            if p["queue"]["max_depth"] > p["queue"]["cap"]:
+                sys.exit(f"{where}: queue depth {p['queue']['max_depth']} "
+                         f"exceeded the cap {p['queue']['cap']}")
+            for name, h in sorted(p["latency"].items()):
+                if h["count"] != p["completed"]:
+                    sys.exit(f"{where}: {name} histogram count "
+                             f"{h['count']} != completed {p['completed']}")
+                seq = ([float(h["min"])]
+                       + [h[q] for q in TAIL_PERCENTILE_ORDER]
+                       + [float(h["max"])])
+                for a, b in zip(seq, seq[1:]):
+                    if a > b + 1e-9:
+                        sys.exit(f"{where}: {name} percentiles are not "
+                                 f"non-decreasing: {seq}")
+            for ex in p["exemplars"]:
+                phase_sum = sum(ex["phases"][q] for q in tracelib.PHASES)
+                if phase_sum != ex["service_us"]:
+                    sys.exit(f"{where} txn {ex['txn']}: phases sum to "
+                             f"{phase_sum} but service_us is "
+                             f"{ex['service_us']}")
+                if ex["queued_us"] + ex["service_us"] != ex["sojourn_us"]:
+                    sys.exit(f"{where} txn {ex['txn']}: queued + service "
+                             f"!= sojourn")
+        rates = ", ".join(
+            f"{p['offered_tps']:g}->{p['goodput_tps']:.2f}" for p in points)
+        print(f"  {arch}: offered->goodput tps: {rates}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--bench", default="build/bench/fig4_tps")
-    ap.add_argument("--out", default="BENCH_fig4.json")
+    ap.add_argument("--mode", choices=["fig4", "tail"], default="fig4")
+    ap.add_argument("--bench")
+    ap.add_argument("--out")
     ap.add_argument("--scale", type=int, default=64)
-    ap.add_argument("--txns", type=int, default=40)
-    ap.add_argument("--users", type=int, default=1)
+    ap.add_argument("--txns", type=int, default=0)
+    ap.add_argument("--users", type=int, default=0)
     ap.add_argument("--min-coverage", type=float, default=0.95)
     ap.add_argument("--no-blame", dest="blame", action="store_false",
-                    help="omit the wait-blame section")
+                    help="omit the wait-blame section (fig4 mode)")
+    ap.add_argument("--offered-tps", default="4,8,16,32",
+                    help="comma list of offered rates (tail mode)")
+    ap.add_argument("--queue-cap", type=int, default=64)
+    ap.add_argument("--exemplars", type=int, default=8)
     args = ap.parse_args()
+
+    tail = args.mode == "tail"
+    if args.bench is None:
+        args.bench = "build/bench/fig_tail" if tail else "build/bench/fig4_tps"
+    if args.out is None:
+        args.out = "BENCH_tail.json" if tail else "BENCH_fig4.json"
+    if args.txns == 0:
+        args.txns = 400 if tail else 40
+    if args.users == 0:
+        args.users = 100 if tail else 1
 
     if not os.path.exists(args.bench):
         sys.exit(f"{args.bench} not found (build first)")
@@ -106,14 +210,20 @@ def main():
     fd, tmp = tempfile.mkstemp(suffix=".json")
     os.close(fd)
     try:
-        run_bench(args.bench, args.scale, args.txns, args.users, args.blame,
-                  tmp)
+        if tail:
+            run_tail_bench(args, tmp)
+        else:
+            run_bench(args.bench, args.scale, args.txns, args.users,
+                      args.blame, tmp)
         with open(tmp, "r", encoding="utf-8") as f:
             summary = json.load(f)
     finally:
         os.unlink(tmp)
 
-    validate(summary, args.min_coverage, args.blame)
+    if tail:
+        validate_tail(summary)
+    else:
+        validate(summary, args.min_coverage, args.blame)
 
     # Re-serialize with sorted keys so the file is canonical regardless of
     # the emitting code's field order.

@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Why is p99 slow? Tail-latency exemplar attribution for fig_tail runs.
+
+Joins the fig_tail summary JSON (the K slowest committed transactions per
+load point, each carrying its exact profiler phase partition) against the
+wait-edge blame graph from an optional `--trace=prof,blame,openloop` trace,
+and names the dominant blame source of every exemplar:
+
+  - admission queue   time spent in the bounded waiting room before any
+                      server picked the request up
+  - lock convoy       lock_wait, refined to the holder transaction(s) when
+                      the trace's lock.kernel/lock.libtp edges are present
+  - group commit      log_wait, refined to the flush leader transaction
+  - cleaner stall     segment writer blocked on the cleaner
+  - disk queue        disk read/write phases, refined to "behind cleaner
+                      I/O" when disk edges blame the cleaner
+  - cpu/scheduling    run + run-queue time
+
+Usage:
+    ./build/bench/fig_tail --summary=/tmp/tail.json \\
+        --trace=prof,blame,openloop --trace-file=/tmp/tail.jsonl
+    python3 tools/tail_report.py /tmp/tail.json --trace /tmp/tail.jsonl
+
+Everything derives from integer virtual microseconds with deterministic
+tie-breaking, so the report is byte-identical across runs and simulator
+backends.
+
+Exit status: 0, or 1 under --check when an invariant fails:
+  - an exemplar's phase partition does not sum to its service time, or
+    queued + service does not equal its sojourn (harness accounting bug);
+  - a p99 exemplar (sojourn at or above its load point's sojourn p99) has
+    no dominant blame source with nonzero time;
+  - with --trace: a retry-free exemplar's lock edges do not sum exactly to
+    its lock_wait phase, or a queued exemplar is missing its admission
+    wait_edge.
+"""
+import argparse
+import json
+import signal
+import sys
+from collections import defaultdict
+
+import tracelib
+
+signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+LOCK_KINDS = ("lock.kernel", "lock.libtp")
+COMMIT_KINDS = ("group_commit", "log")
+
+DISK_PHASES = ("disk_read_wait", "disk_write_wait")
+CPU_PHASES = ("run", "runq_wait")
+
+
+def load_edges(path):
+    """{(machine, waiter): [wait_edge, ...]} from a blame trace."""
+    edges = defaultdict(list)
+    for _, ev in tracelib.read_events(path):
+        if ev.get("ev") != "wait_edge":
+            continue
+        edges[(tracelib.machine_of(ev), ev.get("waiter", 0))].append(ev)
+    return edges
+
+
+def components(ex):
+    """[(label_key, us)] decomposition of one exemplar's sojourn.
+
+    The pieces partition the sojourn exactly: queued_us plus the seven
+    phase buckets (phases partition service time by construction).
+    """
+    ph = ex["phases"]
+    return [
+        ("admission", ex["queued_us"]),
+        ("lock", ph["lock_wait"]),
+        ("log", ph["log_wait"]),
+        ("cleaner", ph["cleaner_stall"]),
+        ("disk", sum(ph[p] for p in DISK_PHASES)),
+        ("cpu", sum(ph[p] for p in CPU_PHASES)),
+    ]
+
+
+def refine(label, ex, txn_edges):
+    """Human-readable source name, refined by this transaction's edges."""
+    if label == "admission":
+        return "admission queue"
+    if label == "lock":
+        holders = defaultdict(int)
+        for e in txn_edges:
+            if e["kind"] in LOCK_KINDS:
+                holders[e["holder"]] += e["waited_us"]
+        if holders:
+            top = sorted(holders.items(), key=lambda kv: (-kv[1], kv[0]))
+            return f"lock convoy (behind txn {top[0][0]})"
+        return "lock wait"
+    if label == "log":
+        leaders = defaultdict(int)
+        for e in txn_edges:
+            if e["kind"] in COMMIT_KINDS:
+                leaders[e["holder"]] += e["waited_us"]
+        if leaders:
+            top = sorted(leaders.items(), key=lambda kv: (-kv[1], kv[0]))
+            return f"group commit (leader txn {top[0][0]})"
+        return "log flush (self)"
+    if label == "cleaner":
+        return "cleaner stall"
+    if label == "disk":
+        if any(e["kind"] == "disk" and e.get("src") == "cleaner"
+               for e in txn_edges):
+            return "disk queue (behind cleaner)"
+        return "disk I/O"
+    return "cpu/scheduling"
+
+
+def check_exemplar(cfg, ex, txn_edges, have_trace, failures):
+    """Accounting invariants for one exemplar; appends to failures."""
+    where = (f"{cfg['arch']} @ {cfg['offered_tps']} tps txn {ex['txn']}")
+    phase_sum = sum(ex["phases"][p] for p in tracelib.PHASES)
+    if phase_sum != ex["service_us"]:
+        failures.append(f"{where}: phases sum to {phase_sum} but "
+                        f"service_us is {ex['service_us']} — harness bug")
+    if ex["queued_us"] + ex["service_us"] != ex["sojourn_us"]:
+        failures.append(f"{where}: queued {ex['queued_us']} + service "
+                        f"{ex['service_us']} != sojourn {ex['sojourn_us']}")
+    if not have_trace:
+        return
+    # Lock edges carry phase-charged microseconds, so a retry-free
+    # exemplar's edges sum exactly to its lock_wait phase. Deadlock
+    # retries run under earlier (aborted) transaction ids, whose edges do
+    # not carry this txn's id — skip exact matching for those.
+    if ex["deadlock_retries"] == 0:
+        lock_us = sum(e["waited_us"] for e in txn_edges
+                      if e["kind"] in LOCK_KINDS)
+        if lock_us != ex["phases"]["lock_wait"]:
+            failures.append(
+                f"{where}: lock edges sum to {lock_us} but lock_wait "
+                f"phase is {ex['phases']['lock_wait']} — blame bug")
+    if ex["queued_us"] > 0:
+        adm = [e for e in txn_edges if e["kind"] == "admission"]
+        if not adm:
+            failures.append(f"{where}: queued {ex['queued_us']} us but no "
+                            f"admission wait_edge")
+        elif sum(e["waited_us"] for e in adm) != ex["queued_us"]:
+            failures.append(
+                f"{where}: admission edges sum to "
+                f"{sum(e['waited_us'] for e in adm)} but queued_us is "
+                f"{ex['queued_us']}")
+
+
+def report_config(cfg, edges, have_trace, failures):
+    """Prints one load point's exemplar table; validates under --check."""
+    sojourn = cfg["latency"]["sojourn"]
+    p99 = sojourn["p99"]
+    print(f"\n[tail] {cfg['arch']} @ {cfg['offered_tps']} tps: "
+          f"goodput {cfg['goodput_tps']:.2f} tps, "
+          f"{cfg['committed']}/{cfg['arrivals']} committed, "
+          f"{cfg['shed']} shed, sojourn p50/p99/p99.9 = "
+          f"{sojourn['p50']:.0f}/{sojourn['p99']:.0f}/"
+          f"{sojourn['p999']:.0f} us")
+    rows = [("txn", "sojourn (us)", "p99?", "dominant source", "share",
+             "breakdown")]
+    machine = cfg.get("machine", 0)
+    for ex in cfg["exemplars"]:
+        txn_edges = edges.get((machine, ex["txn"]), []) if have_trace else []
+        comps = components(ex)
+        # Deterministic dominance: largest time, label order breaks ties.
+        dom_label, dom_us = max(comps, key=lambda c: (c[1], -comps.index(c)))
+        dom_name = refine(dom_label, ex, txn_edges)
+        breakdown = " ".join(f"{label}={us}" for label, us in comps if us)
+        is_p99 = ex["sojourn_us"] >= p99
+        rows.append((ex["txn"], ex["sojourn_us"], "*" if is_p99 else "",
+                     dom_name, f"{100.0 * dom_us / ex['sojourn_us']:.0f}%",
+                     breakdown))
+        check_exemplar(cfg, ex, txn_edges, have_trace, failures)
+        if is_p99 and dom_us == 0:
+            failures.append(
+                f"{cfg['arch']} @ {cfg['offered_tps']} tps txn "
+                f"{ex['txn']}: p99 exemplar has no nonzero blame source")
+    if len(rows) > 1:
+        tracelib.print_table(rows)
+    else:
+        print("  (no exemplars captured)")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Tail-latency exemplar attribution for fig_tail runs.")
+    ap.add_argument("summary", help="JSON written by fig_tail --summary=")
+    ap.add_argument("--trace", help="JSONL from --trace=prof,blame "
+                                    "(refines attribution with holders)")
+    ap.add_argument("--check", action="store_true",
+                    help="exit 1 unless every invariant holds")
+    args = ap.parse_args()
+
+    with open(args.summary, "r", encoding="utf-8") as f:
+        summary = json.load(f)
+    if summary.get("bench") != "fig_tail":
+        sys.exit(f"{args.summary}: not a fig_tail summary")
+
+    edges = load_edges(args.trace) if args.trace else {}
+
+    failures = []
+    for cfg in summary.get("configs", []):
+        report_config(cfg, edges, bool(args.trace), failures)
+
+    if failures:
+        print()
+        for f in failures:
+            print(f"CHECK FAILED: {f}", file=sys.stderr)
+        if args.check:
+            sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()
