@@ -1,0 +1,300 @@
+// Recovery-time curves (ISSUE 9): how long does restart recovery take as a
+// function of the log written since the last checkpoint — and what do
+// checkpoints cost while the system is up?
+//
+// Three measurements, all in virtual time:
+//
+//   1. curve: build an LFS image with R workload rounds (~1 segment each)
+//      after format, stop without Unmount, mount a clone, and read the
+//      roll-forward cost from Lfs::recovery_stats(). Two modes per R:
+//      "nocp" (no checkpoint after format — recovery replays the whole
+//      log, the unbounded baseline) and "fuzzy" (fuzzy checkpoint every 2
+//      segments — replay is bounded by the checkpoint interval, so the
+//      curve must flatten while nocp keeps climbing).
+//   2. parallel: the largest nocp image re-recovered with 1/2/4/8 replay
+//      partitions — the pipelined-scan speedup on identical input.
+//   3. overhead: closed-loop TPC-B TPS on the embedded architecture with
+//      the fuzzy-checkpoint daemon off vs. on (250 ms interval) — the
+//      bounded-recovery guarantee's cost in foreground throughput.
+//
+// --summary=F writes the machine-readable JSON that
+// tools/bench_summary.py --mode recovery validates (axes, nocp growth,
+// fuzzy sublinearity, bounded daemon overhead) into BENCH_recovery.json.
+// Every invariant checker runs after each recovery; a dirty sweep fails
+// the bench.
+#include "bench_common.h"
+
+namespace lfstx {
+namespace {
+
+constexpr int kRounds[] = {2, 4, 8, 16};
+constexpr uint32_t kParallelSweep[] = {1, 2, 4, 8};
+
+/// One workload round: rewrite 24 files at 1-8 blocks each (~100 payload
+/// blocks, just under one segment) and SyncAll. Round r of every build
+/// writes identical data (seeded per round), so images differ only in R.
+void RunRound(Lfs* fs, int round) {
+  Random rng(7700 + static_cast<uint64_t>(round));
+  for (int i = 0; i < 24; i++) {
+    std::string path = "/r" + std::to_string(i);
+    auto r = fs->Open(path);
+    if (!r.ok()) r = fs->Create(path);
+    LFSTX_CHECK(r.ok(), "bench create/open failed");
+    LFSTX_CHECK(fs->Truncate(r.value(), 0).ok(), "truncate failed");
+    std::string data = rng.Bytes(kBlockSize + rng.Uniform(7 * kBlockSize));
+    LFSTX_CHECK(fs->Write(r.value(), 0, data).ok(), "write failed");
+    LFSTX_CHECK(fs->Close(r.value()).ok(), "close failed");
+  }
+  LFSTX_CHECK(fs->SyncAll().ok(), "SyncAll failed");
+}
+
+/// Build an un-unmounted image: format, R rounds, stop. Returns blocks
+/// written (the log-size axis). `fuzzy` bounds replay with a checkpoint
+/// every 2 segments; otherwise only the format checkpoint exists and
+/// recovery must roll the entire log forward.
+uint64_t BuildImage(SimEnv* env, SimDisk* disk, bool fuzzy, int rounds) {
+  env->Spawn("workload", [=] {
+    BufferCache cache(env, 1024);
+    Lfs::Options lo;
+    lo.checkpoint_every_segments = fuzzy ? 2 : 1000000;
+    Lfs fs(env, disk, &cache, lo);
+    cache.set_writeback(&fs);
+    LFSTX_CHECK(fs.Format().ok(), "format failed");
+    for (int r = 0; r < rounds; r++) RunRound(&fs, r);
+    // No Unmount: mounting this image requires roll-forward.
+  });
+  env->Run();
+  return disk->stats().blocks_written;
+}
+
+/// Mount a clone of `base` with the given replay-partition count, sweep
+/// the invariant checkers, and return the recovery cost.
+Lfs::RecoveryStats RecoverClone(const SimDisk& base, uint32_t partitions) {
+  SimEnv env;
+  SimDisk disk(&env, SimDisk::Options{});
+  disk.CopyContentsFrom(base);
+  Lfs::RecoveryStats out;
+  env.Spawn("recover", [&] {
+    BufferCache cache(&env, 1024);
+    Lfs::Options lo;
+    lo.recovery_partitions = partitions;
+    Lfs fs(&env, &disk, &cache, lo);
+    cache.set_writeback(&fs);
+    LFSTX_CHECK(fs.Mount().ok(), "recovery mount failed");
+    out = fs.recovery_stats();
+    CheckContext ctx;
+    ctx.env = &env;
+    ctx.cache = &cache;
+    ctx.lfs = &fs;
+    CheckSummary sweep = RunAllChecks(ctx);
+    if (!sweep.clean()) {
+      fprintf(stderr, "invariant sweep dirty after recovery:\n%s\n",
+              sweep.ToString().c_str());
+      exit(1);
+    }
+  });
+  env.Run();
+  return out;
+}
+
+struct CurvePoint {
+  const char* mode;
+  int rounds;
+  uint64_t written_blocks;
+  Lfs::RecoveryStats rec;
+};
+
+std::string CurveJson(const CurvePoint& p) {
+  return Fmt(
+      "{\"mode\": \"%s\", \"rounds\": %d, \"written_blocks\": %llu, "
+      "\"payload_blocks\": %llu, \"chunks\": %llu, \"checkpoint_seq\": %llu, "
+      "\"partitions\": %u, \"scan_us\": %llu, \"apply_us\": %llu, "
+      "\"recovery_us\": %llu}",
+      p.mode, p.rounds, static_cast<unsigned long long>(p.written_blocks),
+      static_cast<unsigned long long>(p.rec.payload_blocks),
+      static_cast<unsigned long long>(p.rec.chunks),
+      static_cast<unsigned long long>(p.rec.checkpoint_seq),
+      p.rec.partitions, static_cast<unsigned long long>(p.rec.scan_us),
+      static_cast<unsigned long long>(p.rec.apply_us),
+      static_cast<unsigned long long>(p.rec.total_us));
+}
+
+struct OverheadPoint {
+  bool daemon = false;
+  double tps = 0;
+  uint64_t txns = 0;
+  SimTime elapsed = 0;
+  uint64_t checkpoints = 0;
+  uint64_t fuzzy_checkpoints = 0;
+  bool ok = false;
+  std::string error;
+};
+
+/// Closed-loop TPC-B on the embedded architecture, with or without the
+/// fuzzy-checkpoint daemon, same seed and transaction count either way.
+OverheadPoint MeasureOverhead(const BenchConfig& cfg, bool daemon,
+                              uint64_t txns) {
+  OverheadPoint out;
+  out.daemon = daemon;
+  Machine::Options mo = cfg.MachineOptions();
+  mo.start_checkpointer = daemon;
+  mo.checkpointer.interval = 250 * kMillisecond;
+  auto rig = ArchRig::Create(Arch::kEmbedded, mo, cfg.LibTpOptions());
+  TpcbConfig tpcb = cfg.Tpcb();
+  Status run_status = rig->Run([&] {
+    auto db = LoadTpcb(rig->backend.get(), rig->machine->kernel.get(), tpcb);
+    if (!db.ok()) {
+      out.error = db.status().ToString();
+      return;
+    }
+    Status synced = rig->machine->fs->SyncAll();
+    if (!synced.ok()) {
+      out.error = synced.ToString();
+      return;
+    }
+    TpcbDriver driver(rig->backend.get(), &db.value(), tpcb, /*seed=*/17);
+    auto r = driver.Run(txns);
+    if (!r.ok()) {
+      out.error = r.status().ToString();
+      return;
+    }
+    out.tps = r.value().tps();
+    out.elapsed = r.value().elapsed;
+    out.txns = r.value().transactions;
+    Lfs* lfs = rig->machine->lfs();
+    if (lfs != nullptr) {
+      out.checkpoints = lfs->lfs_stats().checkpoints;
+      out.fuzzy_checkpoints = lfs->lfs_stats().fuzzy_checkpoints;
+    }
+    if (cfg.fsck) {
+      CheckSummary summary = RunAllChecks(*rig);
+      if (!summary.clean()) {
+        out.error = "invariant sweep failed:\n" + summary.ToString();
+        return;
+      }
+    }
+    out.ok = true;
+  });
+  if (!run_status.ok() && out.error.empty()) out.error = run_status.ToString();
+  return out;
+}
+
+std::string OverheadJson(const OverheadPoint& p) {
+  return Fmt(
+      "{\"checkpointer\": %s, \"tps\": %.4f, \"txns\": %llu, "
+      "\"elapsed_us\": %llu, \"checkpoints\": %llu, "
+      "\"fuzzy_checkpoints\": %llu}",
+      p.daemon ? "true" : "false", p.tps,
+      static_cast<unsigned long long>(p.txns),
+      static_cast<unsigned long long>(p.elapsed),
+      static_cast<unsigned long long>(p.checkpoints),
+      static_cast<unsigned long long>(p.fuzzy_checkpoints));
+}
+
+int Main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+
+  // --- 1. recovery time vs log since checkpoint ---
+  std::vector<CurvePoint> curve;
+  ResultTable curve_table({"mode", "rounds", "written blk", "replayed blk",
+                           "chunks", "recovery (us)"});
+  for (const char* mode : {"nocp", "fuzzy"}) {
+    bool fuzzy = strcmp(mode, "fuzzy") == 0;
+    for (int rounds : kRounds) {
+      SimEnv env;
+      SimDisk disk(&env, SimDisk::Options{});
+      uint64_t written = BuildImage(&env, &disk, fuzzy, rounds);
+      CurvePoint p;
+      p.mode = mode;
+      p.rounds = rounds;
+      p.written_blocks = written;
+      p.rec = RecoverClone(disk, /*partitions=*/4);
+      curve.push_back(p);
+      curve_table.AddRow(
+          {mode, Fmt("%d", rounds),
+           Fmt("%llu", static_cast<unsigned long long>(written)),
+           Fmt("%llu", static_cast<unsigned long long>(p.rec.payload_blocks)),
+           Fmt("%llu", static_cast<unsigned long long>(p.rec.chunks)),
+           Fmt("%llu", static_cast<unsigned long long>(p.rec.total_us))});
+    }
+  }
+  printf("\nrecovery time vs log written since checkpoint:\n");
+  curve_table.Print();
+
+  // --- 2. parallel replay on the largest unbounded image ---
+  std::vector<std::pair<uint32_t, Lfs::RecoveryStats>> parallel;
+  {
+    SimEnv env;
+    SimDisk disk(&env, SimDisk::Options{});
+    BuildImage(&env, &disk, /*fuzzy=*/false, kRounds[3]);
+    ResultTable t({"partitions", "scan (us)", "apply (us)", "recovery (us)"});
+    for (uint32_t parts : kParallelSweep) {
+      Lfs::RecoveryStats rec = RecoverClone(disk, parts);
+      parallel.emplace_back(parts, rec);
+      t.AddRow({Fmt("%u", parts),
+                Fmt("%llu", static_cast<unsigned long long>(rec.scan_us)),
+                Fmt("%llu", static_cast<unsigned long long>(rec.apply_us)),
+                Fmt("%llu", static_cast<unsigned long long>(rec.total_us))});
+    }
+    printf("\nparallel replay, %d-round unbounded image:\n", kRounds[3]);
+    t.Print();
+  }
+
+  // --- 3. checkpoint-daemon overhead on foreground TPC-B ---
+  uint64_t txns = cfg.TxnsOr(640);
+  OverheadPoint off = MeasureOverhead(cfg, false, txns);
+  OverheadPoint on = MeasureOverhead(cfg, true, txns);
+  for (const OverheadPoint* p : {&off, &on}) {
+    if (!p->ok) {
+      fprintf(stderr, "overhead measurement (daemon=%d) failed: %s\n",
+              p->daemon, p->error.c_str());
+      return 1;
+    }
+  }
+  printf("\ncheckpoint-daemon overhead (embedded TPC-B, %llu txns):\n",
+         static_cast<unsigned long long>(txns));
+  ResultTable ot({"checkpointer", "TPS", "checkpoints", "fuzzy"});
+  for (const OverheadPoint* p : {&off, &on}) {
+    ot.AddRow({p->daemon ? "on (250 ms)" : "off", Fmt("%.2f", p->tps),
+               Fmt("%llu", static_cast<unsigned long long>(p->checkpoints)),
+               Fmt("%llu",
+                   static_cast<unsigned long long>(p->fuzzy_checkpoints))});
+  }
+  ot.Print();
+
+  if (!cfg.summary.empty()) {
+    FILE* f = fopen(cfg.summary.c_str(), "w");
+    if (f == nullptr) {
+      fprintf(stderr, "cannot write %s\n", cfg.summary.c_str());
+      return 1;
+    }
+    fprintf(f, "{\n \"bench\": \"fig_recovery\",\n \"curve\": [\n");
+    for (size_t i = 0; i < curve.size(); i++) {
+      fprintf(f, "  %s%s\n", CurveJson(curve[i]).c_str(),
+              i + 1 < curve.size() ? "," : "");
+    }
+    fprintf(f, " ],\n \"parallel\": [\n");
+    for (size_t i = 0; i < parallel.size(); i++) {
+      fprintf(f,
+              "  {\"partitions\": %u, \"scan_us\": %llu, \"apply_us\": %llu, "
+              "\"recovery_us\": %llu, \"payload_blocks\": %llu}%s\n",
+              parallel[i].first,
+              static_cast<unsigned long long>(parallel[i].second.scan_us),
+              static_cast<unsigned long long>(parallel[i].second.apply_us),
+              static_cast<unsigned long long>(parallel[i].second.total_us),
+              static_cast<unsigned long long>(
+                  parallel[i].second.payload_blocks),
+              i + 1 < parallel.size() ? "," : "");
+    }
+    fprintf(f, " ],\n \"overhead\": [\n  %s,\n  %s\n ]\n}\n",
+            OverheadJson(off).c_str(), OverheadJson(on).c_str());
+    fclose(f);
+    fprintf(stderr, "[bench] summary: %s\n", cfg.summary.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace lfstx
+
+int main(int argc, char** argv) { return lfstx::Main(argc, argv); }

@@ -38,6 +38,9 @@ SimDisk::SimDisk(SimEnv* env, Options options)
     [this] { return static_cast<double>(stats_.blocks_read); });
   g("disk.blocks_written", "blocks", "blocks written",
     [this] { return static_cast<double>(stats_.blocks_written); });
+  g("disk.crash_torn_blocks", "blocks",
+    "write blocks dropped by an injected crash",
+    [this] { return static_cast<double>(stats_.crash_torn_blocks); });
   g("disk.max_queue_depth", "requests", "deepest queue observed",
     [this] { return static_cast<double>(stats_.max_queue_depth); });
   g("disk.queue_depth", "requests", "requests queued right now",
@@ -160,7 +163,11 @@ void SimDisk::Complete(DiskRequest* req) {
   } else {
     for (uint32_t i = 0; i < req->nblocks; i++) {
       if (crashed_) {
-        if (persist_budget_ == 0) break;  // power is gone: drop the tail
+        if (persist_budget_ == 0) {
+          // Power is gone: drop the tail of the request.
+          stats_.crash_torn_blocks += req->nblocks - i;
+          break;
+        }
         persist_budget_--;
       }
       PersistBlock(req->block + i,
@@ -196,6 +203,18 @@ void SimDisk::PersistBlock(BlockAddr b, const char* src) {
   auto& slot = store_[b];
   if (slot == nullptr) slot = std::make_unique<Block>();
   memcpy(slot->data(), src, kBlockSize);
+  if (trace_sink_ != nullptr) {
+    trace_sink_->emplace_back();
+    trace_sink_->back().addr = b;
+    memcpy(trace_sink_->back().data.data(), src, kBlockSize);
+  }
+}
+
+void SimDisk::CopyContentsFrom(const SimDisk& other) {
+  store_.clear();
+  for (const auto& [addr, block] : other.store_) {
+    store_[addr] = std::make_unique<Block>(*block);
+  }
 }
 
 const char* SimDisk::BlockData(BlockAddr b) const {

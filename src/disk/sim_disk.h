@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
 #include "disk/disk_model.h"
@@ -37,7 +38,17 @@ class SimDisk {
     uint64_t clustered_reads = 0;  ///< multi-block read requests (readahead)
     uint64_t blocks_read = 0;
     uint64_t blocks_written = 0;
+    uint64_t crash_torn_blocks = 0;  ///< write blocks dropped by a crash
     size_t max_queue_depth = 0;
+  };
+
+  /// One persisted block, in persist order. A prefix of a run's trace
+  /// replayed into a fresh disk (RawWrite) reproduces the exact platter
+  /// state at that write boundary — including torn mid-request states,
+  /// since each blocks of a multi-block request is its own entry.
+  struct TraceBlock {
+    BlockAddr addr;
+    std::array<char, kBlockSize> data;
   };
 
   SimDisk(SimEnv* env, Options options);
@@ -62,12 +73,26 @@ class SimDisk {
   /// the persisted state, so a "reboot" is simply mounting a fresh file
   /// system instance over this disk.
   void CrashAfterBlocks(uint64_t n) { crashed_ = true; persist_budget_ = n; }
-  void ClearCrash() { crashed_ = false; }
+  void ClearCrash() {
+    crashed_ = false;
+    persist_budget_ = 0;  // a stale budget must not tear post-"reboot" writes
+  }
   bool crashed() const { return crashed_; }
 
   /// Timing-free access for tests and offline inspection tools.
   void RawRead(BlockAddr block, uint32_t nblocks, char* out) const;
   void RawWrite(BlockAddr block, uint32_t nblocks, const char* data);
+
+  /// Mirror every persisted block into `sink` (test hook; nullptr stops).
+  /// Captures timed and raw writes alike, after crash filtering — the
+  /// trace is exactly what reached the platter.
+  void RecordPersistTrace(std::vector<TraceBlock>* sink) {
+    trace_sink_ = sink;
+  }
+
+  /// Clone another disk's persisted contents (test hook: "reboot" onto a
+  /// copy so recovery can be measured without disturbing the original).
+  void CopyContentsFrom(const SimDisk& other);
 
   const Stats& stats() const { return stats_; }
   const DiskModel::Stats& model_stats() const { return model_.stats(); }
@@ -100,6 +125,7 @@ class SimDisk {
 
   bool crashed_ = false;
   uint64_t persist_budget_ = 0;
+  std::vector<TraceBlock>* trace_sink_ = nullptr;
 
   using Block = std::array<char, kBlockSize>;
   std::unordered_map<BlockAddr, std::unique_ptr<Block>> store_;

@@ -154,6 +154,14 @@ std::unique_ptr<Machine> Machine::Build(const Options& options) {
       m->cleaner = std::make_unique<Cleaner>(m->env.get(), lfs.get(),
                                              options.cleaner);
     }
+    if (options.start_checkpointer) {
+      m->checkpointer = std::make_unique<Checkpointer>(
+          m->env.get(), lfs.get(), options.checkpointer);
+    }
+    if (options.start_fsck) {
+      m->fsck = std::make_unique<OnlineFsck>(m->env.get(), lfs.get(),
+                                             m->disk.get(), options.fsck);
+    }
     m->fs = std::move(lfs);
   } else {
     auto ffs = std::make_unique<Ffs>(m->env.get(), m->disk.get(),

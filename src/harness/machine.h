@@ -10,10 +10,12 @@
 #include <string>
 
 #include "cache/buffer_cache.h"
+#include "check/online_fsck.h"
 #include "disk/sim_disk.h"
 #include "ffs/ffs.h"
 #include "ffs/syncer.h"
 #include "fs/vfs.h"
+#include "lfs/checkpointer.h"
 #include "lfs/cleaner.h"
 #include "lfs/lfs.h"
 #include "sim/sampler.h"
@@ -90,6 +92,14 @@ struct Machine {
     SimTime sync_interval = 30 * kSecond;
     bool start_cleaner = true;       ///< LFS only
     Cleaner::Options cleaner;
+    /// LFS only: periodic fuzzy-checkpoint daemon (off by default so
+    /// checkpoint timing stays exactly as configured by
+    /// lfs.checkpoint_every_segments unless a rig opts in).
+    bool start_checkpointer = false;
+    Checkpointer::Options checkpointer;
+    /// LFS only: online consistency-audit daemon (fsck.* metrics).
+    bool start_fsck = false;
+    OnlineFsck::Options fsck;
     bool format = true;              ///< format (true) or mount existing
     /// Comma-separated trace categories to enable ("disk,txn", "all").
     /// Empty = consult the LFSTX_TRACE environment variable instead.
@@ -116,6 +126,8 @@ struct Machine {
   std::unique_ptr<FileSystem> fs;
   std::unique_ptr<Syncer> syncer;
   std::unique_ptr<Cleaner> cleaner;
+  std::unique_ptr<Checkpointer> checkpointer;  ///< when start_checkpointer
+  std::unique_ptr<OnlineFsck> fsck;            ///< when start_fsck
   std::unique_ptr<Kernel> kernel;
   std::unique_ptr<MetricsSampler> sampler;  ///< when sample_interval > 0
 

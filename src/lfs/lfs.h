@@ -39,6 +39,10 @@ class Lfs : public FsCore {
     /// Write a checkpoint every N segment activations (and at unmount /
     /// after every cleaning round).
     uint32_t checkpoint_every_segments = 8;
+    /// Roll-forward replay partitions (by inode-map block). Each partition
+    /// applies on its own SimEnv process, so apply CPU overlaps the
+    /// scanner's chain reads. 0 or 1 = sequential inline apply.
+    uint32_t recovery_partitions = 4;
   };
 
   struct LfsStats {
@@ -46,8 +50,28 @@ class Lfs : public FsCore {
     uint64_t segments_activated = 0;
     uint64_t blocks_written = 0;     ///< payload blocks through the log
     uint64_t checkpoints = 0;
+    uint64_t fuzzy_checkpoints = 0;  ///< captured under the flush lock,
+                                     ///< written without it
+    uint64_t checkpoints_skipped = 0;  ///< log clean or image write in flight
     uint64_t flushes = 0;
     uint64_t writer_stalls = 0;      ///< waits for the cleaner
+  };
+
+  /// Filled by RecoverFromCheckpointAndRollForward; mirrored into the
+  /// `recovery.*` metrics. All virtual-time fields are deterministic and
+  /// byte-identical across execution backends.
+  struct RecoveryStats {
+    uint64_t checkpoint_seq = 0;   ///< seq of the checkpoint restored from
+    uint64_t chunks = 0;           ///< chunks replayed off the chain
+    uint64_t payload_blocks = 0;   ///< payload blocks read during the scan
+    uint64_t apply_items = 0;      ///< imap updates applied by workers
+    uint64_t discarded_txns = 0;   ///< staged txns with no commit marker
+    uint64_t torn_chunks = 0;
+    uint64_t stale_chunks = 0;
+    uint32_t partitions = 0;       ///< replay worker count actually used
+    SimTime scan_us = 0;           ///< chain walk + worker join (virtual)
+    SimTime apply_us = 0;          ///< CPU consumed applying items (virtual)
+    SimTime total_us = 0;          ///< whole recovery span (virtual)
   };
 
   Lfs(SimEnv* env, SimDisk* disk, BufferCache* cache);
@@ -71,11 +95,20 @@ class Lfs : public FsCore {
   /// the embedded transaction manager).
   Status Flush(TxnId txn = kNoTxn);
 
-  /// Force a checkpoint now.
+  /// Force a checkpoint now — the *fuzzy* path: the flush lock is held
+  /// only for the in-memory capture; the image write goes to disk with
+  /// transactions still committing. Safe because the capture is an atomic
+  /// consistent snapshot (GenStamp-proven) and the dual regions alternate,
+  /// so a crash mid-write falls back to the other region.
   Status Checkpoint();
 
+  bool is_mounted() const { return mounted_; }
   const LfsStats& lfs_stats() const { return lfs_stats_; }
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
   uint32_t clean_segments() const { return usage_.clean_count(); }
+  /// Segment currently receiving appends (online-fsck invariant:
+  /// exactly the segments in state kActive).
+  uint32_t current_segment() const { return cur_seg_; }
   uint32_t nsegments() const { return geo_.nsegments; }
   uint32_t segment_blocks() const { return options_.segment_blocks; }
   uint64_t seg_start() const { return geo_.seg_start; }
@@ -94,6 +127,12 @@ class Lfs : public FsCore {
   /// Drop the in-core inode table so subsequent reads hit the disk (test
   /// hook used by the consistency-checker tests).
   void ClearInodeCacheForTest() { ClearInodeTable(); }
+
+  /// Test hook for the differential-recovery test: restrict the next
+  /// Mount to one checkpoint region (0 = A, 1 = B, -1 = pick newest).
+  void ForceCheckpointRegionForTest(int region) {
+    force_checkpoint_region_ = region;
+  }
 
  protected:
   Status LoadInode(InodeNum inum, DiskInode* out) override;
@@ -141,7 +180,22 @@ class Lfs : public FsCore {
   Status MaybePeriodicCheckpoint();
 
   // ---- checkpoint / recovery (checkpoint.cc, recovery.cc) ----
+  /// Snapshot the checkpoint state and pick the target region. Pure CPU
+  /// under the flush lock (GenStamp-asserted): the capture is atomic even
+  /// when transactions are mid-flight — the fuzzy-checkpoint invariant.
+  Status CaptureCheckpointLocked(CheckpointData* cp, BlockAddr* region);
+  /// Encode and write a captured image. Does not require the flush lock.
+  Status WriteCheckpointImage(const CheckpointData& cp, BlockAddr region);
+  /// Capture + write under the flush lock (format, unmount, periodic,
+  /// cleaner). Skips when the log is clean or a fuzzy image write is in
+  /// flight (two concurrent region writes could tear both regions).
   Status WriteCheckpointLocked();
+  /// True when nothing was appended since the last capture — the on-disk
+  /// image is already current.
+  bool CheckpointIsCleanLocked() const {
+    return next_write_seq_ == last_cp_write_seq_ &&
+           cur_seg_ == last_cp_seg_ && cur_off_ == last_cp_off_;
+  }
   Status RecoverFromCheckpointAndRollForward();
   /// Recompute every segment's live count by walking all inodes' maps.
   Status RebuildUsage();
@@ -160,13 +214,28 @@ class Lfs : public FsCore {
   uint64_t checkpoint_seq_ = 0;
   bool checkpoint_to_a_ = true;
   uint32_t segments_since_checkpoint_ = 0;
+  /// State at the last checkpoint capture, for skip-if-clean. Stale usage
+  /// counts (which can change without the head moving) are fine to leave
+  /// uncheckpointed: recovery rebuilds usage exactly.
+  uint64_t last_cp_write_seq_ = 0;
+  uint32_t last_cp_seg_ = ~0u;
+  uint32_t last_cp_off_ = ~0u;
+  /// A fuzzy image write is on the platter without the flush lock held.
+  /// Locked-path writers must not start a concurrent write to the other
+  /// region (a crash could then find both regions torn).
+  bool checkpoint_write_in_flight_ = false;
+  int force_checkpoint_region_ = -1;  // see ForceCheckpointRegionForTest
 
+  /// Serializes fuzzy checkpointers; ordered before flush_lock_ (never
+  /// acquired while holding it). Held across the image disk write.
+  SimMutex checkpoint_lock_;
   SimMutex flush_lock_;
   SimProc* flush_owner_ = nullptr;  // detects re-entrant flushes
   WaitQueue clean_wait_;   // writer waits here for the cleaner
   Cleaner* cleaner_ = nullptr;
   bool cleaning_in_progress_ = false;
   LfsStats lfs_stats_;
+  RecoveryStats recovery_stats_;
   MetricHistogram* stall_blame_hist_ = nullptr;  // blame.lfs.cleaner_us
 
   /// Inodes are packed 16 to a block; a block stays live while any of its

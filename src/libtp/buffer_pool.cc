@@ -36,6 +36,13 @@ BufferPool::~BufferPool() { kernel_->env()->metrics()->DropOwner(this); }
 
 Result<uint32_t> BufferPool::RegisterFile(const std::string& path,
                                           bool create) {
+  // One ref per path: a crash-recovery boot registers the files (in
+  // creation order) before running redo, and the Db::Open that follows
+  // must adopt that same ref — with its recovered page count — rather
+  // than shadow it with a fresh entry sized from the stale on-disk file.
+  for (size_t i = 0; i < files_.size(); i++) {
+    if (files_[i].path == path) return static_cast<uint32_t>(i);
+  }
   FileEntry e;
   e.path = path;
   auto r = kernel_->Open(path);
@@ -43,6 +50,11 @@ Result<uint32_t> BufferPool::RegisterFile(const std::string& path,
     e.ino = r.value();
   } else if (r.status().IsNotFound() && create) {
     LFSTX_ASSIGN_OR_RETURN(e.ino, kernel_->Create(path));
+    // Durable creation (the classic create-then-fsync discipline): WAL
+    // redo can only restore page contents into a file that still exists
+    // after reboot, so the file's metadata must never lag the first log
+    // record that references it.
+    LFSTX_RETURN_IF_ERROR(kernel_->Fsync(e.ino));
   } else {
     return r.status();
   }
@@ -212,6 +224,15 @@ Status BufferPool::FlushAll() {
     auto it = pages_.find(key);
     if (it == pages_.end() || !it->second->dirty) continue;
     LFSTX_RETURN_IF_ERROR(WriteBackPage(it->second.get()));
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FsyncAll() {
+  for (const auto& f : files_) {
+    if (f.ino != kInvalidInode) {
+      LFSTX_RETURN_IF_ERROR(kernel_->Fsync(f.ino));
+    }
   }
   return Status::OK();
 }

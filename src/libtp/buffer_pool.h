@@ -70,11 +70,23 @@ class BufferPool {
 
   /// Pages currently in the file (grows via AllocPage).
   Result<uint64_t> FilePages(uint32_t file_ref);
+  /// Redo hook: a log record proves `pageno` existed at crash time, so the
+  /// registered page count (rebuilt from the possibly stale on-disk size)
+  /// must cover it.
+  void NoteRecoveredPage(uint32_t file_ref, uint64_t pageno) {
+    if (pageno >= files_[file_ref].pages) {
+      files_[file_ref].pages = pageno + 1;
+    }
+  }
   /// Extend the file by one zeroed page; returns its page number.
   Result<uint64_t> AllocPage(uint32_t file_ref);
 
   /// Write every dirty page back (checkpoint / shutdown path).
   Status FlushAll();
+  /// Fsync every registered file: a checkpoint's page write-backs must
+  /// reach the platter before the WAL below them is truncated or clamped
+  /// by the low-water mark.
+  Status FsyncAll();
 
   Kernel* kernel() const { return kernel_; }
   size_t file_count() const { return files_.size(); }

@@ -7,12 +7,16 @@ namespace lfstx {
 
 namespace {
 // 32-byte header at the front of the log file: LSNs and epochs survive
-// in-place truncation of the preallocated region.
+// in-place truncation of the preallocated region. checkpoint_lsn /
+// low_water_lsn bound recovery's scan; files written before the fields
+// existed carry zeros there, which recovery clamps to the base — full
+// scan, same answer.
 struct LogFileHeader {
   uint32_t magic;
   uint32_t epoch;
   uint64_t base_lsn;
-  char reserved[16];
+  uint64_t checkpoint_lsn;  ///< LSN of the last checkpoint record
+  uint64_t low_water_lsn;   ///< replay may start here (see SetCheckpointLwm)
 };
 static_assert(sizeof(LogFileHeader) == 32);
 constexpr uint32_t kLogFileMagic = 0x4C474844;  // "LGHD"
@@ -55,6 +59,8 @@ Status LogManager::Open(const std::string& path) {
     }
     base_lsn_ = h.base_lsn;
     epoch_ = h.epoch;
+    checkpoint_lsn_ = h.checkpoint_lsn;
+    low_water_lsn_ = h.low_water_lsn;
     // The file is preallocated, so its size says nothing about the tail:
     // scan forward from the base until the records stop making sense.
     Lsn lsn = base_lsn_;
@@ -91,6 +97,7 @@ Status LogManager::Open(const std::string& path) {
   }
   LFSTX_RETURN_IF_ERROR(kernel_->Fsync(log_ino_));
   base_lsn_ = next_lsn_ = durable_lsn_ = tail_base_ = 0;
+  checkpoint_lsn_ = low_water_lsn_ = 0;
   epoch_ = 0;
   return Status::OK();
 }
@@ -101,6 +108,8 @@ Status LogManager::Truncate() {
   }
   base_lsn_ = next_lsn_;
   tail_base_ = next_lsn_;
+  checkpoint_lsn_ = next_lsn_;
+  low_water_lsn_ = next_lsn_;
   epoch_++;
   LFSTX_TRACE(kernel_->env()->tracer(), TraceCat::kLog, "log_truncate",
               {"base_lsn", base_lsn_}, {"epoch", epoch_});
@@ -110,13 +119,28 @@ Status LogManager::Truncate() {
   }
   // Otherwise the region is reused in place; the bumped epoch makes any
   // stale record bytes beyond the new tail unreplayable.
+  return WriteHeader();
+}
+
+Status LogManager::WriteHeader() {
   LogFileHeader h{};
   h.magic = kLogFileMagic;
   h.base_lsn = base_lsn_;
   h.epoch = epoch_;
+  h.checkpoint_lsn = checkpoint_lsn_;
+  h.low_water_lsn = low_water_lsn_;
   LFSTX_RETURN_IF_ERROR(kernel_->Write(
       log_ino_, 0, Slice(reinterpret_cast<const char*>(&h), sizeof(h))));
   return kernel_->Fsync(log_ino_);
+}
+
+Status LogManager::SetCheckpointLwm(Lsn checkpoint_lsn, Lsn low_water) {
+  checkpoint_lsn_ = checkpoint_lsn;
+  low_water_lsn_ = std::max(low_water, base_lsn_);
+  LFSTX_TRACE(kernel_->env()->tracer(), TraceCat::kLog, "log_lwm",
+              {"checkpoint_lsn", checkpoint_lsn_},
+              {"low_water_lsn", low_water_lsn_});
+  return WriteHeader();
 }
 
 Status LogManager::Close() {
@@ -232,7 +256,12 @@ Result<LogRecord> LogManager::ReadRecord(Lsn lsn) {
 
 Status LogManager::ScanAll(
     const std::function<Status(Lsn, const LogRecord&)>& fn) {
-  Lsn lsn = base_lsn_;
+  return ScanFrom(base_lsn_, fn);
+}
+
+Status LogManager::ScanFrom(
+    Lsn from, const std::function<Status(Lsn, const LogRecord&)>& fn) {
+  Lsn lsn = std::max(from, base_lsn_);
   Lsn end = tail_base_ + tail_.size();
   while (lsn < end) {
     auto r = ReadRecord(lsn);

@@ -64,6 +64,18 @@ class LogManager {
   Status ScanAll(
       const std::function<Status(Lsn, const LogRecord&)>& fn);
 
+  /// Scan starting at `from` (clamped to the truncation point). `from`
+  /// must be a record-start LSN — the checkpoint low-water mark always is.
+  Status ScanFrom(Lsn from,
+                  const std::function<Status(Lsn, const LogRecord&)>& fn);
+
+  /// Persist the checkpoint position and the replay low-water mark in the
+  /// log file header (one header write + fsync). The low-water mark is
+  /// the min of the checkpoint-begin LSN and every live transaction's
+  /// first LSN: all page updates below it are flushed, so redo may start
+  /// there, and no loser has records before it, so undo stays complete.
+  Status SetCheckpointLwm(Lsn checkpoint_lsn, Lsn low_water);
+
   /// Discard all records (checkpoint truncation). Only valid when no
   /// transaction is active; LSNs remain monotonic across truncations via
   /// the base-LSN header at the front of the log file.
@@ -73,16 +85,26 @@ class LogManager {
   Lsn durable_lsn() const { return durable_lsn_; }
   /// LSN of the first retained record (truncation point).
   Lsn base_lsn() const { return base_lsn_; }
+  /// LSN of the last checkpoint record (0 = none since truncation).
+  Lsn checkpoint_lsn() const { return checkpoint_lsn_; }
+  /// Replay may start here; 0 (pre-LWM log files) means scan everything.
+  Lsn low_water_lsn() const { return low_water_lsn_; }
+  /// Differential-recovery test hook: forget the low-water mark so the
+  /// next Recover scans from the truncation point.
+  void IgnoreLwmForTest() { low_water_lsn_ = 0; }
   uint32_t epoch() const { return epoch_; }
   const Stats& stats() const { return stats_; }
 
  private:
+  Status WriteHeader();
   Kernel* kernel_;
   Options options_;
   InodeNum log_ino_ = kInvalidInode;
   std::string tail_;       ///< appended but not yet written
   Lsn tail_base_ = 0;      ///< LSN of tail_[0]
   Lsn base_lsn_ = 0;   ///< LSN of the first retained byte
+  Lsn checkpoint_lsn_ = 0;
+  Lsn low_water_lsn_ = 0;
   uint32_t epoch_ = 0;
   Lsn next_lsn_ = 0;
   Lsn durable_lsn_ = 0;

@@ -1,9 +1,11 @@
 // LIBTP restart recovery: one forward redo pass (applying every update /
 // CLR whose effect is missing from the page, judged by the page LSN), then
 // a backward undo pass for transactions with no commit or abort record.
+#include <algorithm>
 #include <map>
 #include <set>
 
+#include "common/metrics.h"
 #include "libtp/txn_manager.h"
 
 namespace lfstx {
@@ -15,8 +17,19 @@ Status LibTp::Recover() {
   };
   std::map<TxnId, TxnInfo> seen;
 
+  // Redo starts at the persisted low-water mark: every page update below
+  // it was flushed by the checkpoint that wrote it, and no loser's chain
+  // begins before it (the mark mins over live transactions' first LSNs).
+  // Undo still follows prev_lsn chains through ReadRecord, which serves
+  // any retained byte, so clamping only the *scan* is safe.
+  Lsn start = std::max(log_.base_lsn(), log_.low_water_lsn());
+  uint64_t scanned = 0;
+  uint64_t redo_applied = 0;
+
   // ---- pass 1: redo (and analysis) ----
-  Status scan = log_.ScanAll([&](Lsn lsn, const LogRecord& rec) -> Status {
+  Status scan = log_.ScanFrom(
+      start, [&](Lsn lsn, const LogRecord& rec) -> Status {
+    scanned++;
     switch (rec.type) {
       case LogRecType::kUpdate:
       case LogRecType::kClr: {
@@ -26,12 +39,16 @@ Status LibTp::Recover() {
               "log references a database file that was not re-registered "
               "before recovery (RegisterFile order must match)");
         }
+        // The record proves this page existed; the on-disk file may be
+        // shorter (extensions reach it only at write-back).
+        pool_.NoteRecoveredPage(rec.file_ref, rec.page);
         LFSTX_ASSIGN_OR_RETURN(DbPage * page,
                                pool_.Get(rec.file_ref, rec.page, false));
         const std::string& image = rec.after;
         if (page->lsn() <= lsn) {  // stored LSN = applied-record + 1
           memcpy(page->data + rec.offset, image.data(), image.size());
           page->set_lsn(lsn + 1);
+          redo_applied++;
           pool_.ReleaseDirty(page);
         } else {
           pool_.Release(page);
@@ -50,8 +67,10 @@ Status LibTp::Recover() {
   LFSTX_RETURN_IF_ERROR(scan);
 
   // ---- pass 2: undo losers ----
+  uint64_t losers = 0;
   for (auto& [txn, info] : seen) {
     if (info.finished) continue;
+    losers++;
     Lsn cursor = info.last_lsn;
     Lsn chain = info.last_lsn;
     while (cursor != kNullLsn) {
@@ -78,6 +97,20 @@ Status LibTp::Recover() {
     done.prev_lsn = chain;
     LFSTX_RETURN_IF_ERROR(log_.Append(done).status());
   }
+
+  MetricsRegistry* m = kernel_->env()->metrics();
+  m->GetCounter("recovery.libtp.scanned", "count",
+                "log records scanned during redo")
+      ->Set(scanned);
+  m->GetCounter("recovery.libtp.redo_applied", "count",
+                "updates re-applied (page LSN behind record)")
+      ->Set(redo_applied);
+  m->GetCounter("recovery.libtp.losers", "count",
+                "unfinished transactions rolled back")
+      ->Set(losers);
+  m->GetCounter("recovery.libtp.skipped_bytes", "bytes",
+                "retained log below the low-water mark, not scanned")
+      ->Set(start - log_.base_lsn());
 
   // Durably finish: flush pages, then note the clean point in the log.
   return Checkpoint();

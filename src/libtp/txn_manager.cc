@@ -1,5 +1,6 @@
 #include "libtp/txn_manager.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace lfstx {
@@ -35,8 +36,12 @@ LibTp::LibTp(Kernel* kernel, Options options)
 LibTp::~LibTp() { kernel_->env()->metrics()->DropOwner(this); }
 
 Status LibTp::Open(const std::string& log_path) {
+  return Open(log_path, /*run_recovery=*/true);
+}
+
+Status LibTp::Open(const std::string& log_path, bool run_recovery) {
   LFSTX_RETURN_IF_ERROR(log_.Open(log_path));
-  return Recover();
+  return run_recovery ? Recover() : Status::OK();
 }
 
 Status LibTp::Close() {
@@ -50,7 +55,7 @@ Status LibTp::Close() {
 Result<TxnId> LibTp::Begin() {
   kernel_->env()->Consume(kernel_->env()->costs().txn_bookkeeping_us);
   TxnId id = ids_.Next();
-  txns_[id] = TxnState{TxnStatus::kRunning, kNullLsn};
+  txns_[id] = TxnState{TxnStatus::kRunning, kNullLsn, kNullLsn};
   active_++;
   stats_.begun++;
   kernel_->env()->profiler()->BeginSpan("libtp", id);
@@ -86,9 +91,10 @@ Status LibTp::Commit(TxnId txn) {
   env->profiler()->EndSpan("libtp", txn, true);
   LFSTX_TRACE(env->tracer(), TraceCat::kTxn, "txn_commit", {"txn", txn},
               {"commit_lsn", lsn}, {"active", active_});
-  if (active_ == 0 &&
-      log_.next_lsn() - last_checkpoint_lsn_ >=
-          options_.checkpoint_log_bytes) {
+  // Fuzzy checkpoints no longer need a quiescent point: any commit that
+  // finds enough log accumulated takes one, live transactions and all.
+  if (log_.next_lsn() - last_checkpoint_lsn_ >=
+      options_.checkpoint_log_bytes) {
     LFSTX_RETURN_IF_ERROR(Checkpoint());
   }
   return Status::OK();
@@ -216,6 +222,14 @@ Status LibTp::PutPageDirty(TxnId txn, DbPage* page) {
       rec.before.assign(before + ranges[r].lo, ranges[r].hi - ranges[r].lo);
       rec.after.assign(after + ranges[r].lo, ranges[r].hi - ranges[r].lo);
       env->LatchOp();
+      // Claim first_lsn *before* the append (no yield between here and
+      // the record entering the log tail): a fuzzy checkpoint that runs
+      // while Append is parked in its CPU charge must already see this
+      // transaction in the low-water-mark min, or redo could start past
+      // an update whose page flush the checkpoint missed.
+      if (it->second.first_lsn == kNullLsn) {
+        it->second.first_lsn = log_.next_lsn();
+      }
       LFSTX_ASSIGN_OR_RETURN(Lsn lsn, log_.Append(rec));
       env->LatchOp();
       it->second.last_lsn = lsn;
@@ -246,16 +260,33 @@ Status LibTp::ApplyImage(uint32_t file_ref, uint64_t pageno, uint32_t offset,
 }
 
 Status LibTp::Checkpoint() {
+  // LSN fence and low-water mark, taken *before* the pool flush: records
+  // appended while FlushAll yields are all >= cp_begin, and every live
+  // transaction's first record is in the min, so redo from the low-water
+  // mark cannot skip an update whose page write the flush missed.
+  Lsn cp_begin = log_.next_lsn();
+  Lsn lwm = cp_begin;
+  for (const auto& [id, st] : txns_) {
+    if (st.first_lsn != kNullLsn) lwm = std::min(lwm, st.first_lsn);
+  }
   LFSTX_RETURN_IF_ERROR(pool_.FlushAll());
+  // The write-backs above land in the kernel buffer cache; force them to
+  // the platter before giving up any log — otherwise a crash after the
+  // truncate (or low-water-mark advance) loses committed page state with
+  // no records left to redo it.
+  LFSTX_RETURN_IF_ERROR(pool_.FsyncAll());
   if (active_ == 0) {
     // Every update is reflected in a durable page and nothing is in
     // flight: the old log is dead weight — reclaim it.
     LFSTX_RETURN_IF_ERROR(log_.Truncate());
   } else {
+    // Fuzzy checkpoint: transactions stay live. The checkpoint record
+    // marks the flush; the persisted low-water mark bounds replay.
     LogRecord rec;
     rec.type = LogRecType::kCheckpoint;
     LFSTX_ASSIGN_OR_RETURN(Lsn lsn, log_.Append(rec));
     LFSTX_RETURN_IF_ERROR(log_.FlushTo(lsn));
+    LFSTX_RETURN_IF_ERROR(log_.SetCheckpointLwm(lsn, lwm));
   }
   last_checkpoint_lsn_ = log_.next_lsn();
   return Status::OK();

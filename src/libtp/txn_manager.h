@@ -42,6 +42,12 @@ class LibTp {
 
   /// Open the log (creating it if needed) and run restart recovery.
   Status Open(const std::string& log_path);
+  /// Open with recovery deferred: crash-test rigs open the log first,
+  /// re-register the database files in creation order (via
+  /// pool()->RegisterFile — the redo pass resolves file_refs positionally
+  /// against the registry and rebuilds each file's page count), call
+  /// Recover(), and only then Db::Open the relations.
+  Status Open(const std::string& log_path, bool run_recovery);
   Status Close();
 
   // -- transaction interface (the section 3 subroutine interface) --
@@ -92,6 +98,10 @@ class LibTp {
   struct TxnState {
     TxnStatus status = TxnStatus::kIdle;
     Lsn last_lsn = kNullLsn;
+    /// LSN of the transaction's first log record (kNullLsn until it logs
+    /// one). Checkpoints take the min over live transactions as the replay
+    /// low-water mark.
+    Lsn first_lsn = kNullLsn;
   };
 
   /// Apply `image` at (page, offset) with the given record LSN; used by

@@ -22,7 +22,12 @@ TpcbConfig SmallConfig() {
 class MplArchTest : public ::testing::TestWithParam<Arch> {};
 
 TEST_P(MplArchTest, ConcurrentTerminalsKeepBooksConsistent) {
-  auto rig = TestRig::Create(GetParam());
+  // Run the online fsck daemon throughout: it audits live LFS state while
+  // the terminals race (no-op on the FFS architecture, which has no LFS).
+  Machine::Options mo;
+  mo.start_fsck = true;
+  mo.fsck.interval = 50 * kMillisecond;
+  auto rig = TestRig::Create(GetParam(), mo);
   rig->Run([&] {
     TpcbConfig cfg = SmallConfig();
     auto db = LoadTpcb(rig->backend.get(), rig->machine->kernel.get(), cfg,
@@ -77,6 +82,15 @@ TEST_P(MplArchTest, ConcurrentTerminalsKeepBooksConsistent) {
     CheckSummary summary = RunAllChecks(ctx);
     EXPECT_TRUE(summary.clean())
         << "invariant sweep after multiuser round:\n" << summary.ToString();
+
+    // The whole run happened under the online auditor's nose: it must have
+    // completed audits and found nothing wrong with the live state.
+    if (rig->machine->fsck != nullptr) {
+      EXPECT_GT(rig->machine->fsck->stats().audits, 0u)
+          << "online fsck never audited — interval too long for this run?";
+      EXPECT_EQ(rig->machine->fsck->stats().problems, 0u)
+          << "online fsck flagged live-state invariant violations";
+    }
   });
 }
 

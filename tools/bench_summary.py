@@ -6,7 +6,7 @@ tiny measurement per architecture (seconds of wall time) with enough
 attribution attached that a regression shows up not just as a number
 delta but as the phase — and the blamed resource — that ate the time.
 
-Two modes:
+Three modes:
   --mode fig4  (default) closed-loop TPC-B TPS per architecture, with the
                profiler breakdown and wait-blame counters; writes
                BENCH_fig4.json.
@@ -17,6 +17,15 @@ Two modes:
                axis, goodput <= offered, non-decreasing percentiles,
                exact shed/admission accounting, exemplar phase sums) and
                writes BENCH_tail.json.
+  --mode recovery  restart-recovery curves through bench/fig_recovery:
+               recovery virtual time vs log written since the last
+               checkpoint, with and without fuzzy checkpoints, plus the
+               parallel-replay sweep and the checkpoint daemon's TPS
+               overhead; validates that the no-checkpoint baseline grows
+               with the log while the fuzzy curve stays bounded
+               (sublinear), that every partition count replays the same
+               log, and that the daemon's overhead is bounded; writes
+               BENCH_recovery.json.
 
 The output is deterministic — the simulation is virtual-time and seeded,
 and no wall-clock timestamps are recorded — so the committed baselines
@@ -177,9 +186,92 @@ def validate_tail(summary):
         print(f"  {arch}: offered->goodput tps: {rates}")
 
 
+def run_recovery_bench(args, summary_path):
+    cmd = [args.bench, f"--summary={summary_path}"]
+    if args.txns:
+        cmd.append(f"--txns={args.txns}")
+    print("+ " + " ".join(cmd), flush=True)
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True)
+    sys.stdout.write(proc.stdout)
+    if proc.returncode != 0:
+        sys.exit(f"bench failed with exit code {proc.returncode}")
+
+
+def validate_recovery(summary):
+    """Bounded-recovery gates: nocp grows with the log, fuzzy does not."""
+    if summary.get("bench") != "fig_recovery":
+        sys.exit(f"expected a fig_recovery summary, "
+                 f"got {summary.get('bench')}")
+    by_mode = defaultdict(list)
+    for p in summary.get("curve", []):
+        by_mode[p["mode"]].append(p)
+    for mode in ("nocp", "fuzzy"):
+        pts = by_mode[mode]
+        rounds = [p["rounds"] for p in pts]
+        if rounds != sorted(set(rounds)) or len(rounds) < 3:
+            sys.exit(f"{mode}: rounds axis must be strictly increasing with "
+                     f">= 3 points, got {rounds}")
+        for p in pts:
+            if p["recovery_us"] <= 0 or p["written_blocks"] <= 0:
+                sys.exit(f"{mode} @ {p['rounds']} rounds: non-positive "
+                         f"recovery_us/written_blocks")
+    nocp, fuzzy = by_mode["nocp"], by_mode["fuzzy"]
+    log_growth = nocp[-1]["written_blocks"] / nocp[0]["written_blocks"]
+    nocp_growth = nocp[-1]["recovery_us"] / nocp[0]["recovery_us"]
+    fuzzy_growth = fuzzy[-1]["recovery_us"] / fuzzy[0]["recovery_us"]
+    # The unbounded baseline must actually track the log (recovery time is
+    # what the log makes it) ...
+    if nocp_growth < 0.5 * log_growth:
+        sys.exit(f"nocp recovery grew {nocp_growth:.2f}x over a "
+                 f"{log_growth:.2f}x log — baseline is not log-bound, "
+                 f"the sublinearity comparison below is vacuous")
+    # ... while fuzzy checkpoints must decouple recovery from log size:
+    # sublinear growth, and strictly cheaper than the baseline at the top.
+    if fuzzy_growth > 0.5 * log_growth:
+        sys.exit(f"fuzzy recovery grew {fuzzy_growth:.2f}x over a "
+                 f"{log_growth:.2f}x log — checkpoints are not bounding "
+                 f"replay")
+    if fuzzy[-1]["recovery_us"] > 0.25 * nocp[-1]["recovery_us"]:
+        sys.exit(f"fuzzy recovery at the largest log "
+                 f"({fuzzy[-1]['recovery_us']} us) is not well under the "
+                 f"no-checkpoint baseline ({nocp[-1]['recovery_us']} us)")
+    parallel = summary.get("parallel", [])
+    if len(parallel) < 2:
+        sys.exit("parallel sweep needs >= 2 partition counts")
+    payloads = {p["payload_blocks"] for p in parallel}
+    if len(payloads) != 1:
+        sys.exit(f"partition counts replayed different logs: {payloads}")
+    times = [p["recovery_us"] for p in parallel]
+    if max(times) > 1.10 * min(times):
+        sys.exit(f"parallel replay cost varies >10% across partition "
+                 f"counts: {times} — pipeline overhead regression")
+    overhead = summary.get("overhead", [])
+    by_daemon = {p["checkpointer"]: p for p in overhead}
+    if set(by_daemon) != {False, True}:
+        sys.exit(f"overhead needs daemon-off and daemon-on points, "
+                 f"got {sorted(by_daemon)}")
+    off, on = by_daemon[False], by_daemon[True]
+    if off["tps"] <= 0 or on["tps"] <= 0:
+        sys.exit("non-positive TPS in the overhead measurement")
+    if on["fuzzy_checkpoints"] == 0:
+        sys.exit("daemon-on run took no fuzzy checkpoints — overhead "
+                 "measurement is vacuous")
+    if on["tps"] < 0.5 * off["tps"]:
+        sys.exit(f"checkpoint daemon halved TPS ({off['tps']:.2f} -> "
+                 f"{on['tps']:.2f}) — overhead is not bounded")
+    print(f"  nocp: {nocp_growth:.2f}x recovery over {log_growth:.2f}x log; "
+          f"fuzzy: {fuzzy_growth:.2f}x "
+          f"({fuzzy[-1]['recovery_us']} us at the top vs "
+          f"{nocp[-1]['recovery_us']} us unbounded)")
+    print(f"  daemon overhead: {off['tps']:.2f} -> {on['tps']:.2f} TPS "
+          f"with {on['fuzzy_checkpoints']} fuzzy checkpoints")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--mode", choices=["fig4", "tail"], default="fig4")
+    ap.add_argument("--mode", choices=["fig4", "tail", "recovery"],
+                    default="fig4")
     ap.add_argument("--bench")
     ap.add_argument("--out")
     ap.add_argument("--scale", type=int, default=64)
@@ -195,11 +287,16 @@ def main():
     args = ap.parse_args()
 
     tail = args.mode == "tail"
+    recovery = args.mode == "recovery"
     if args.bench is None:
-        args.bench = "build/bench/fig_tail" if tail else "build/bench/fig4_tps"
+        args.bench = {"tail": "build/bench/fig_tail",
+                      "recovery": "build/bench/fig_recovery",
+                      "fig4": "build/bench/fig4_tps"}[args.mode]
     if args.out is None:
-        args.out = "BENCH_tail.json" if tail else "BENCH_fig4.json"
-    if args.txns == 0:
+        args.out = {"tail": "BENCH_tail.json",
+                    "recovery": "BENCH_recovery.json",
+                    "fig4": "BENCH_fig4.json"}[args.mode]
+    if args.txns == 0 and not recovery:
         args.txns = 400 if tail else 40
     if args.users == 0:
         args.users = 100 if tail else 1
@@ -212,6 +309,8 @@ def main():
     try:
         if tail:
             run_tail_bench(args, tmp)
+        elif recovery:
+            run_recovery_bench(args, tmp)
         else:
             run_bench(args.bench, args.scale, args.txns, args.users,
                       args.blame, tmp)
@@ -222,6 +321,8 @@ def main():
 
     if tail:
         validate_tail(summary)
+    elif recovery:
+        validate_recovery(summary)
     else:
         validate(summary, args.min_coverage, args.blame)
 
