@@ -52,6 +52,14 @@
 //   --exemplars=K    (fig_tail) keep the K slowest committed transactions
 //                    per load point, with full phase breakdowns, for
 //                    tools/tail_report.py p99 attribution (default 8)
+//   --fullness=L     (fig_cleaning) comma-separated disk-fullness sweep in
+//                    percent of log capacity filled with live data before
+//                    the churn phase (default "55,70,85")
+//   --watermark=W    (fig_cleaning) restrict the cleaner-watermark axis to
+//                    "lazy" (4/8 segments) or "eager" (12/20); default
+//                    sweeps both
+//   --arch=A         (fig_cleaning) restrict the architecture axis to
+//                    "embedded" or "user_lfs"; default sweeps both
 // Measured quantities are *virtual* (simulated) times; wall-clock run time
 // of the binary is irrelevant.
 #ifndef LFSTX_BENCH_BENCH_COMMON_H_
@@ -93,6 +101,9 @@ struct BenchConfig {
   std::string offered_tps;          // fig_tail: comma list; "" = default
   uint64_t queue_cap = 64;          // fig_tail: admission-queue bound
   uint64_t exemplars = 8;           // fig_tail: slowest-txns kept per point
+  std::string fullness;   // fig_cleaning: comma list of fill pct; "" = default
+  std::string watermark;  // fig_cleaning: "lazy"|"eager"; "" = both
+  std::string arch;       // fig_cleaning: "embedded"|"user_lfs"; "" = both
 
   static BenchConfig FromArgs(int argc, char** argv) {
     BenchConfig c;
@@ -144,6 +155,23 @@ struct BenchConfig {
             std::max<uint64_t>(1, strtoull(argv[i] + 12, nullptr, 10));
       } else if (strncmp(argv[i], "--exemplars=", 12) == 0) {
         c.exemplars = strtoull(argv[i] + 12, nullptr, 10);
+      } else if (strncmp(argv[i], "--fullness=", 11) == 0) {
+        c.fullness = argv[i] + 11;
+      } else if (strncmp(argv[i], "--watermark=", 12) == 0) {
+        c.watermark = argv[i] + 12;
+        if (c.watermark != "lazy" && c.watermark != "eager") {
+          fprintf(stderr, "bad --watermark=%s (lazy|eager)\n",
+                  c.watermark.c_str());
+          exit(2);
+        }
+      } else if (strncmp(argv[i], "--arch=", 7) == 0) {
+        c.arch = argv[i] + 7;
+        if (c.arch == "embedded") c.arch = "embedded_lfs";
+        if (c.arch != "embedded_lfs" && c.arch != "user_lfs") {
+          fprintf(stderr, "bad --arch=%s (embedded|user_lfs)\n",
+                  c.arch.c_str());
+          exit(2);
+        }
       } else if (strcmp(argv[i], "--fsck") == 0) {
         c.fsck = true;
       } else if (strcmp(argv[i], "--profile") == 0) {

@@ -211,6 +211,46 @@ std::vector<std::pair<std::string, double>> MetricsRegistry::SampleNumeric()
   return out;
 }
 
+std::string MetricsRegistry::PrettyPrint(
+    const std::vector<std::string>& prefixes) const {
+  std::string out;
+  char line[256];
+  for (const auto& [name, e] : entries_) {
+    bool match = prefixes.empty();
+    for (const std::string& p : prefixes) {
+      if (name.compare(0, p.size(), p) == 0) {
+        match = true;
+        break;
+      }
+    }
+    if (!match) continue;
+    switch (e.kind) {
+      case Entry::Kind::kCounter:
+        snprintf(line, sizeof(line), "  %-32s %14s %s\n", name.c_str(),
+                 FormatNumber(static_cast<double>(e.counter->value())).c_str(),
+                 e.unit.c_str());
+        break;
+      case Entry::Kind::kGauge:
+        snprintf(line, sizeof(line), "  %-32s %14s %s\n", name.c_str(),
+                 FormatNumber(e.fn ? e.fn() : 0.0).c_str(), e.unit.c_str());
+        break;
+      case Entry::Kind::kHistogram: {
+        const MetricHistogram* h = e.histogram.get();
+        snprintf(line, sizeof(line),
+                 "  %-32s count=%llu mean=%s p50=%s p99=%s max=%llu %s\n",
+                 name.c_str(), static_cast<unsigned long long>(h->count()),
+                 FormatNumber(h->mean()).c_str(),
+                 FormatNumber(h->Percentile(50)).c_str(),
+                 FormatNumber(h->Percentile(99)).c_str(),
+                 static_cast<unsigned long long>(h->max()), e.unit.c_str());
+        break;
+      }
+    }
+    out += line;
+  }
+  return out;
+}
+
 std::vector<std::string> MetricsRegistry::Names() const {
   std::vector<std::string> names;
   names.reserve(entries_.size());

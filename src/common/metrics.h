@@ -156,6 +156,12 @@ class MetricsRegistry {
   /// meaningful over a sampling window). Sorted by name.
   std::vector<std::pair<std::string, double>> SampleNumeric() const;
 
+  /// Human-readable table of every metric whose name starts with one of
+  /// `prefixes` (all metrics when empty): counters/gauges one per line,
+  /// histograms as count/mean/p50/p99/max. Used by bench binaries to
+  /// surface a section (e.g. "cleaner.", "wa.") without JSON plumbing.
+  std::string PrettyPrint(const std::vector<std::string>& prefixes) const;
+
   /// All registered names, sorted (for docs/tests).
   std::vector<std::string> Names() const;
 

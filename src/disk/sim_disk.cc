@@ -102,6 +102,14 @@ void SimDisk::Submit(std::unique_ptr<DiskRequest> req) {
   } else {
     stats_.writes++;
     stats_.blocks_written += req->nblocks;
+    // Submit-time twin of the stats counter: io_begin only fires when
+    // service starts, so a write still queued when the simulation stops
+    // would be counted by blocks_written (and charged by LogEcon) yet
+    // invisible in the trace — the byte-conservation check needs an event
+    // that matches the counter exactly.
+    LFSTX_TRACE(env_->tracer(), TraceCat::kDisk, "io_submit", {"op", "write"},
+                {"block", req->block}, {"nblocks", req->nblocks},
+                {"cause", IoCauseName(req->cause)});
   }
   if (busy_) {
     queue_.Push(std::move(req));

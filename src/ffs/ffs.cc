@@ -222,6 +222,9 @@ Status Ffs::WriteBack(Buffer* buf) {
   if (buf->disk_addr == kInvalidBlock) {
     return Status::Internal("FFS buffer has no on-disk home at write-back");
   }
+  env_->log_econ()->ChargeBlocks(IsWalFile(buf->key.file) ? LogByteCat::kWal
+                                                          : LogByteCat::kFfs,
+                                 1);
   LFSTX_RETURN_IF_ERROR(disk_->Write(buf->disk_addr, 1, buf->data));
   cache_->MarkClean(buf);
   return Status::OK();
@@ -242,6 +245,10 @@ Status Ffs::WriteBatch(std::vector<Buffer*> bufs) {
   IoEvent ev(env_);
   size_t remaining = bufs.size();
   for (Buffer* buf : bufs) {
+    env_->log_econ()->ChargeBlocks(IsWalFile(buf->key.file)
+                                       ? LogByteCat::kWal
+                                       : LogByteCat::kFfs,
+                                   1);
     disk_->SubmitWrite(buf->disk_addr, 1, buf->data, [&remaining, &ev] {
       if (--remaining == 0) ev.Fire();
     });
@@ -256,6 +263,7 @@ Status Ffs::WriteBatch(std::vector<Buffer*> bufs) {
 Status Ffs::WriteBitmap() {
   std::vector<char> bm(static_cast<size_t>(sb_.bitmap_blocks) * kBlockSize);
   bitmap_.Serialize(bm.data());
+  env_->log_econ()->ChargeBlocks(LogByteCat::kFfs, sb_.bitmap_blocks);
   LFSTX_RETURN_IF_ERROR(disk_->Write(sb_.bitmap_start, sb_.bitmap_blocks,
                                      bm.data()));
   bitmap_dirty_ = false;

@@ -464,6 +464,11 @@ Status FsCore::Write(InodeNum inum, uint64_t offset, Slice data) {
   if (ino->d.file_type() != FileType::kRegular) {
     return Status::InvalidArgument("write: not a regular file");
   }
+  // wa.logical denominator: what the application asked to store. WAL
+  // appends are transaction overhead, not logical payload.
+  if (wal_inums_.count(inum) == 0) {
+    env_->log_econ()->ChargeLogicalUser(data.size());
+  }
   size_t done = 0;
   while (done < data.size()) {
     uint64_t pos = offset + done;

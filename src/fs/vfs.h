@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cache/buffer_cache.h"
@@ -85,6 +86,13 @@ class FileSystem : public WritebackHandler {
   // -- transaction protection attribute (section 4: "like protections or
   // access control lists ... turned on or off through a provided utility") --
   virtual Status SetTxnProtected(const std::string& path, bool on) = 0;
+
+  /// Observability annotation (not a simulated syscall): tag `inum` as a
+  /// write-ahead-log file so the byte-provenance accountant charges its
+  /// blocks to LogByteCat::kWal instead of user data, and excludes its
+  /// appends from the wa.logical denominator. In-core only — the log
+  /// manager re-tags its file on every Open.
+  virtual void MarkWalFile(InodeNum inum) { (void)inum; }
 };
 
 /// Default clustered-readahead window, in 4 KiB blocks (128 KiB — one LFS
@@ -126,6 +134,14 @@ class FsCore : public FileSystem {
   Status Truncate(InodeNum inum, uint64_t new_size) override;
   Status SetTxnProtected(const std::string& path, bool on) override;
   Status SyncFile(InodeNum inum) override;
+
+  void MarkWalFile(InodeNum inum) override { wal_inums_.insert(inum); }
+  /// True iff `f` is the data or meta file of a WAL-tagged inode. The
+  /// global meta namespaces (itable, imap) are never WAL.
+  bool IsWalFile(FileId f) const {
+    if (f == kMetaFileId || f == kInodeMapFileId) return false;
+    return wal_inums_.count(static_cast<InodeNum>(f & 0xffffffffu)) != 0;
+  }
 
   /// In-core inode for `inum`, loading it if necessary.
   Result<Inode*> GetInode(InodeNum inum);
@@ -201,6 +217,8 @@ class FsCore : public FileSystem {
   BufferCache* cache_;
   TxnHooks* hooks_ = nullptr;
   bool mounted_ = false;
+  /// Inodes tagged as WAL files (see MarkWalFile); drives byte provenance.
+  std::unordered_set<InodeNum> wal_inums_;
 
  private:
   enum class Access { kRead, kWritePartial, kWriteWhole };

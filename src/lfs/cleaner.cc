@@ -1,5 +1,6 @@
 #include "lfs/cleaner.h"
 
+#include <algorithm>
 #include <cstring>
 #include <set>
 
@@ -45,8 +46,13 @@ Cleaner::Cleaner(SimEnv* env, Lfs* lfs, Options options)
   m->AddGauge(this, "cleaner.blocks_read", "blocks",
               "blocks read back from victims",
               [this] { return static_cast<double>(stats_.blocks_read); });
-  m->AddGauge(this, "cleaner.busy_us", "us", "time spent inside CleanOne",
-              [this] { return static_cast<double>(stats_.busy_us); });
+  // Histogram, not a bare counter: a tail cleaning stall (one CleanOne
+  // that owned the log for tens of milliseconds) is invisible in a total.
+  busy_hist_ = m->GetHistogram("cleaner.busy_us", "us",
+                               "per-CleanOne pass duration");
+  victim_util_hist_ =
+      m->GetHistogram("cleaner.victim_util_pct", "pct",
+                      "victim segment live-block utilization at clean time");
 }
 
 Cleaner::~Cleaner() {
@@ -56,14 +62,53 @@ Cleaner::~Cleaner() {
 }
 
 void Cleaner::Loop() {
-  if (lfs_->clean_segments() >= options_.low_water) return;
+  // Passes allowed past the engagement's best clean-segment count before
+  // it yields. High enough to span the ~seg_blocks/net-yield passes one
+  // net segment takes at high utilization; low enough that an equilibrium
+  // grind gives the log back to its writers every poll interval.
+  constexpr uint32_t kMaxStagnantPasses = 32;
+  // Engage no later than the writer's reserve floor: the writer stalls at
+  // three clean segments, so a low watermark below four would leave it
+  // stalled while the cleaner still considers the log healthy.
+  uint32_t engage = std::max<uint32_t>(options_.low_water, 4);
+  if (lfs_->clean_segments() >= engage) return;
   stats_.rounds++;
+  // Forward progress is judged over a window of passes, not one pass: at
+  // high victim utilization a pass frees its victim (+1) but also
+  // activates a fresh segment for the copy-forward (-1) — net zero — yet
+  // it squeezed the victim's dead blocks out of the log, and a *run* of
+  // such passes does gain ground. A per-pass segment check reads that
+  // compaction as "no progress" and strands the log at the reserve floor.
+  // The window also bounds each engagement: near the churn/yield
+  // equilibrium a single call could otherwise grind forever chasing the
+  // high watermark while the writers it blocks re-dirty everything it
+  // cleans. An engagement that breaks early is retried by the next poll
+  // or poke, so bounding it never strands the log.
+  uint32_t best = lfs_->clean_segments();
+  uint32_t stagnant = 0;
   while (lfs_->clean_segments() < options_.high_water &&
          !env_->stop_requested()) {
-    uint32_t before = lfs_->clean_segments();
+    // A pass needs two clean segments in hand: its flush carries the
+    // victim's live blocks plus metadata (and, on the first pass after a
+    // writer stall, the writer's drained backlog), which can cross one
+    // segment boundary and still need room beyond it. Starting lower
+    // risks running out mid-flush with the victim still dirty — and an
+    // engagement can only reach this floor mid-run, since the writer
+    // stalls at three and every completed pass ends at two or better.
+    if (lfs_->clean_segments() < 2) break;
+    uint64_t dead_before = stats_.dead_blocks_dropped;  // LFSTX_YIELD_OK(pre-pass snapshot compared across the pass on purpose)
     Status s = CleanOne();
     if (!s.ok()) break;  // nothing cleanable right now
-    if (lfs_->clean_segments() <= before) break;  // no forward progress
+    if (stats_.dead_blocks_dropped == dead_before &&
+        lfs_->clean_segments() <= best) {
+      break;  // fully-live victim and no gain: the next pass can do no better
+    }
+    if (lfs_->clean_segments() > best) {
+      best = lfs_->clean_segments();
+      stagnant = 0;
+    } else if (++stagnant >= kMaxStagnantPasses) {
+      break;
+    }
   }
   lfs_->clean_wait_.WakeAll();
 }
@@ -117,7 +162,9 @@ Status Cleaner::CleanOne() {
       lfs_->flush_lock_.Unlock();  // lint-allow: taken by lock_log()
       lfs_->clean_wait_.WakeAll();
     }
-    stats_.busy_us += env_->Now() - t0;
+    SimTime busy = env_->Now() - t0;
+    stats_.busy_us += busy;
+    busy_hist_->Add(busy);
     return s;
   };
 
@@ -130,12 +177,27 @@ Status Cleaner::CleanOne() {
     return Status::Busy("stopped");
   }
 
-  auto victim_r = lfs_->usage_.PickVictim(options_.policy, env_->Now(),
-                                          lfs_->segment_blocks());
+  // At the reserve floor the pass must fit inside the last clean segments,
+  // so override the policy with greedy: the lowest-live victim is the one
+  // whose copy-forward is guaranteed smallest.
+  CleanPolicy policy = lfs_->clean_segments() <= 1 ? CleanPolicy::kGreedy
+                                                   : options_.policy;
+  auto victim_r =
+      lfs_->usage_.PickVictim(policy, env_->Now(), lfs_->segment_blocks());
   if (!victim_r.ok()) return finish(victim_r.status());
   uint32_t victim = victim_r.value();
   // LFSTX_YIELD_OK(revalidated against usage_ after the log lock is reacquired below)
   uint32_t gen = lfs_->usage_.generation(victim);
+  {
+    // Utilization at clean: the input to Rosenblum's 2/(1-u) write cost
+    // (surfaced as the wa.write_cost gauge).
+    uint64_t util_pct = 100ull * lfs_->usage_.live(victim) /
+                        std::max<uint32_t>(1, lfs_->segment_blocks());
+    victim_util_hist_->Add(util_pct);
+    LFSTX_TRACE(env_->tracer(), TraceCat::kLogEcon, "victim",
+                {"seg", victim}, {"util_pct", util_pct},
+                {"live", lfs_->usage_.live(victim)}, {"gen", gen});
+  }
   BlockAddr base = lfs_->SegBase(victim);
   uint32_t seg_blocks = lfs_->segment_blocks();
 
@@ -162,6 +224,32 @@ Status Cleaner::CleanOne() {
         lfs_->usage_.generation(victim) != gen) {
       return finish(Status::OK());
     }
+  }
+
+  // Reclaim-on-failure: a flush that ran out of log mid-pass may still
+  // have relocated every remaining live block, and reclaiming the victim
+  // here is what lets the next engagement run at all — it needs a clean
+  // segment to start, and an abort that freed nothing is an absorbing
+  // state. The checkpoint goes to the fixed region, so it cannot fail for
+  // lack of log space.
+  auto salvage = [&](Status s) {
+    if (lfs_->usage_.state(victim) == SegState::kDirty &&
+        lfs_->usage_.live(victim) == 0) {
+      lfs_->usage_.MarkClean(victim);
+      stats_.segments_cleaned++;
+      (void)lfs_->WriteCheckpointLocked();
+    }
+    return finish(s);
+  };
+
+  // Drain the writers' backlog before copying anything forward: the
+  // flushes below write every dirty block in the cache, so a stalled
+  // writer's pending batch would otherwise ride along with the pass and
+  // push its log consumption past the reserve mid-copy. Flushing it first
+  // charges that space while there is still room, leaving the pass itself
+  // bounded by the victim's live blocks plus metadata.
+  if (lfs_->cache()->dirty_count() > 0) {
+    if (Status s = lfs_->FlushLocked(kNoTxn); !s.ok()) return salvage(s);
   }
 
   // Parse this incarnation's chunks.
@@ -291,7 +379,7 @@ Status Cleaner::CleanOne() {
       // Keep the copy-forward working set bounded: flush part-way if the
       // cache is filling with copied blocks.
       if (lfs_->cache()->dirty_count() * 2 >= lfs_->cache()->capacity()) {
-        if (Status s = lfs_->FlushLocked(kNoTxn); !s.ok()) return finish(s);
+        if (Status s = lfs_->FlushLocked(kNoTxn); !s.ok()) return salvage(s);
       }
     }
   }
@@ -300,7 +388,7 @@ Status Cleaner::CleanOne() {
 
   // Rewrite the live data elsewhere, reclaim the victim, and checkpoint so
   // the crash-recovery window never references the reclaimed segment.
-  if (Status s = lfs_->FlushLocked(kNoTxn); !s.ok()) return finish(s);
+  if (Status s = lfs_->FlushLocked(kNoTxn); !s.ok()) return salvage(s);
   if (options_.mode == Mode::kUserSpace) {
     // Section 5.4: a user-space cleaner revalidates its copied blocks
     // against recently-modified blocks inside one system call.

@@ -91,6 +91,8 @@ class Cleaner {
   Options options_;
   std::shared_ptr<Shared> shared_;
   CleanerStats stats_;
+  MetricHistogram* busy_hist_ = nullptr;         ///< per-CleanOne duration
+  MetricHistogram* victim_util_hist_ = nullptr;  ///< utilization at pick
 };
 
 }  // namespace lfstx

@@ -47,6 +47,7 @@ Lfs::Lfs(SimEnv* env, SimDisk* disk, BufferCache* cache, Options options)
   geo_.nsegments =
       static_cast<uint32_t>((total - geo_.seg_start) / options_.segment_blocks);
   usage_ = SegmentUsage(geo_.nsegments);
+  usage_.AttachTelemetry(env_, options_.segment_blocks);
 
   MetricsRegistry* m = env_->metrics();
   stall_blame_hist_ = m->GetHistogram(
@@ -88,6 +89,19 @@ Lfs::Lfs(SimEnv* env, SimDisk* disk, BufferCache* cache, Options options)
                                 : static_cast<double>(live) /
                                       static_cast<double>(cap);
               });
+  // Sampler-visible log-health time series (ISSUE: "the log's health is a
+  // time series, not just an end-state").
+  m->AddGauge(this, "logecon.live_fraction", "ratio",
+              "live blocks / total log capacity", [this] {
+                uint64_t cap = static_cast<uint64_t>(usage_.nsegments()) *
+                               options_.segment_blocks;
+                return cap == 0 ? 0.0
+                                : static_cast<double>(usage_.total_live()) /
+                                      static_cast<double>(cap);
+              });
+  m->AddGauge(this, "logecon.free_segments", "segments",
+              "clean segments available to the writer",
+              [this] { return static_cast<double>(usage_.clean_count()); });
 }
 
 Lfs::~Lfs() { env_->metrics()->DropOwner(this); }
@@ -139,6 +153,9 @@ Status Lfs::Mount() {
   geo_.checkpoint_a = sb.checkpoint_a;
   geo_.checkpoint_b = sb.checkpoint_b;
   usage_ = SegmentUsage(geo_.nsegments);
+  // Move-assignment replaced the telemetry-attached table; re-attach with
+  // the (possibly adopted on-disk) geometry before recovery mutates it.
+  usage_.AttachTelemetry(env_, options_.segment_blocks);
 
   LFSTX_RETURN_IF_ERROR(RecoverFromCheckpointAndRollForward());
   mounted_ = true;

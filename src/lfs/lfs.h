@@ -118,6 +118,12 @@ class Lfs : public FsCore {
   /// Registered by the Cleaner so the writer can wait for free segments.
   void AttachCleaner(Cleaner* cleaner) { cleaner_ = cleaner; }
 
+  /// Clean segments held back from regular flushes for the cleaner's own
+  /// copy-forward writes. Sized for the worst single pass: the victim's
+  /// live blocks plus fresh metadata (up to two segment boundaries), plus
+  /// the stalled writer's drained backlog on the engagement's first pass.
+  static constexpr uint32_t kCleanerReserveSegments = 3;
+
   /// Bumped every time the log head moves (chunk sealed, segment advanced,
   /// format, recovery restore/roll-forward). GenStamp<Lfs> assertions use
   /// it to prove the head stayed put across a multi-block disk write that
@@ -177,6 +183,10 @@ class Lfs : public FsCore {
   /// Move the write point to a fresh clean segment, waiting on the cleaner
   /// if none is available.
   Status AdvanceSegment();
+  /// One writer-stall edge: wake the cleaner and wait for it to reclaim
+  /// space, dropping the flush lock for the duration (hand-over-hand).
+  /// Returns non-OK only if the simulation stopped.
+  Status StallForCleaner();
   Status MaybePeriodicCheckpoint();
 
   // ---- checkpoint / recovery (checkpoint.cc, recovery.cc) ----

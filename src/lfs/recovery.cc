@@ -70,6 +70,8 @@ Status Lfs::WriteCheckpointImage(const CheckpointData& cp, BlockAddr region) {
   std::vector<char> buf(static_cast<size_t>(geo_.checkpoint_blocks) *
                         kBlockSize);
   cp.Encode(buf.data(), geo_.checkpoint_blocks);
+  env_->log_econ()->ChargeBlocks(LogByteCat::kCheckpoint,
+                                 geo_.checkpoint_blocks);
   Status s = disk_->Write(region, geo_.checkpoint_blocks, buf.data());
   checkpoint_write_in_flight_ = false;
   if (s.ok()) lfs_stats_.checkpoints++;

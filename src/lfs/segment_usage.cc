@@ -4,16 +4,26 @@
 #include <cstring>
 
 #include "common/check_macros.h"
+#include "sim/sim_env.h"
 
 namespace lfstx {
 
 SegmentUsage::SegmentUsage(uint32_t nsegments)
     : nsegments_(nsegments), clean_count_(nsegments), entries_(nsegments) {}
 
+void SegmentUsage::AttachTelemetry(SimEnv* env, uint32_t segment_blocks) {
+  env_ = env;
+  segment_blocks_ = segment_blocks;
+  lifetime_hist_ = env->metrics()->GetHistogram(
+      "lfs.segment_lifetime_us", "us",
+      "virtual age of a segment from last write to cleaned");
+}
+
 void SegmentUsage::AddLive(uint32_t seg, uint32_t blocks, SimTime now) {
   assert(seg < nsegments_);
   entries_[seg].live += blocks;
   entries_[seg].write_time = now;
+  total_live_ += blocks;
   mutation_gen_++;
 }
 
@@ -21,8 +31,9 @@ void SegmentUsage::DecLive(uint32_t seg, uint32_t blocks) {
   assert(seg < nsegments_);
   // Clamp rather than assert: usage is a cleaning heuristic and recovery
   // rebuilds it exactly; transient undercounts must not kill the system.
-  entries_[seg].live =
-      entries_[seg].live >= blocks ? entries_[seg].live - blocks : 0;
+  uint32_t dec = entries_[seg].live >= blocks ? blocks : entries_[seg].live;
+  entries_[seg].live -= dec;
+  total_live_ -= dec;
   mutation_gen_++;
 }
 
@@ -31,9 +42,14 @@ uint32_t SegmentUsage::Activate(uint32_t seg) {
               "activating a non-clean segment would overwrite live data");
   entries_[seg].state = SegState::kActive;
   entries_[seg].generation++;
+  total_live_ -= entries_[seg].live;
   entries_[seg].live = 0;
   clean_count_--;
   mutation_gen_++;
+  if (env_ != nullptr) {
+    LFSTX_TRACE(env_->tracer(), TraceCat::kLogEcon, "seg_activate",
+                {"seg", seg}, {"gen", entries_[seg].generation});
+  }
   return entries_[seg].generation;
 }
 
@@ -41,6 +57,11 @@ void SegmentUsage::Retire(uint32_t seg) {
   assert(entries_[seg].state == SegState::kActive);
   entries_[seg].state = SegState::kDirty;
   mutation_gen_++;
+  if (env_ != nullptr) {
+    LFSTX_TRACE(env_->tracer(), TraceCat::kLogEcon, "seg_sealed",
+                {"seg", seg}, {"live", entries_[seg].live},
+                {"gen", entries_[seg].generation});
+  }
 }
 
 void SegmentUsage::MarkClean(uint32_t seg) {
@@ -52,6 +73,13 @@ void SegmentUsage::MarkClean(uint32_t seg) {
   entries_[seg].state = SegState::kClean;
   clean_count_++;
   mutation_gen_++;
+  if (env_ != nullptr) {
+    SimTime lifetime = env_->Now() - entries_[seg].write_time;
+    lifetime_hist_->Add(lifetime);
+    LFSTX_TRACE(env_->tracer(), TraceCat::kLogEcon, "seg_cleaned",
+                {"seg", seg}, {"gen", entries_[seg].generation},
+                {"lifetime_us", lifetime});
+  }
 }
 
 void SegmentUsage::SetRaw(uint32_t seg, SegState state, uint32_t live,
@@ -63,12 +91,15 @@ void SegmentUsage::SetRaw(uint32_t seg, SegState state, uint32_t live,
              state == SegState::kClean) {
     clean_count_++;
   }
+  total_live_ += live;
+  total_live_ -= entries_[seg].live;
   entries_[seg] = Entry{live, state, gen, write_time};
   mutation_gen_++;
 }
 
 void SegmentUsage::ResetAllLive() {
   for (auto& e : entries_) e.live = 0;
+  total_live_ = 0;
   mutation_gen_++;
 }
 
@@ -125,6 +156,7 @@ void SegmentUsage::Serialize(char* out) const {
 void SegmentUsage::Deserialize(const char* in) {
   mutation_gen_++;
   clean_count_ = 0;
+  total_live_ = 0;
   for (uint32_t i = 0; i < nsegments_; i++) {
     const char* p = in + static_cast<size_t>(i) * 16;
     Entry e;
@@ -141,6 +173,7 @@ void SegmentUsage::Deserialize(const char* in) {
     if (e.state == SegState::kActive) e.state = SegState::kDirty;
     entries_[i] = e;
     if (e.state == SegState::kClean) clean_count_++;
+    total_live_ += e.live;
   }
 }
 

@@ -14,6 +14,9 @@
 
 namespace lfstx {
 
+class SimEnv;
+class MetricHistogram;
+
 enum class SegState : uint8_t {
   kClean = 0,   ///< free for the writer
   kDirty = 1,   ///< contains (possibly dead) data
@@ -33,6 +36,17 @@ class SegmentUsage {
 
   uint32_t nsegments() const { return nsegments_; }
   uint32_t clean_count() const { return clean_count_; }
+
+  /// Attach lifecycle telemetry: the `lfs.segment_lifetime_us` histogram
+  /// (written-to-cleaned age at MarkClean) and `TraceCat::kLogEcon`
+  /// seg_activate / seg_sealed / seg_cleaned events. Without it the table
+  /// is silent (unit tests construct bare tables). Lfs re-calls this after
+  /// Mount rebuilds the table, since move-assignment replaces the object.
+  void AttachTelemetry(SimEnv* env, uint32_t segment_blocks);
+
+  /// Total live blocks across all segments (maintained incrementally; the
+  /// `logecon.live_fraction` gauge divides it by total log capacity).
+  uint64_t total_live() const { return total_live_; }
 
   SegState state(uint32_t seg) const { return entries_[seg].state; }
   uint32_t live(uint32_t seg) const { return entries_[seg].live; }
@@ -81,6 +95,11 @@ class SegmentUsage {
   uint32_t clean_count_;
   std::vector<Entry> entries_;
   uint64_t mutation_gen_ = 0;
+  uint64_t total_live_ = 0;
+  // Telemetry sinks (see AttachTelemetry); null on bare tables.
+  SimEnv* env_ = nullptr;
+  MetricHistogram* lifetime_hist_ = nullptr;
+  uint32_t segment_blocks_ = 0;
 };
 
 }  // namespace lfstx

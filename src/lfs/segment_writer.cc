@@ -35,6 +35,17 @@ Status Lfs::Flush(TxnId txn) {
 Status Lfs::FlushLocked(TxnId txn) {
   lfs_stats_.flushes++;
 
+  // Hold regular flushes out of the cleaner's reserve before they consume
+  // any open-segment room: AdvanceSegment alone cannot enforce the
+  // reserve, because a flush that fits in the current segment never calls
+  // it — a stalled writer would keep trickling blocks into the log
+  // between cleaner passes, and every pass would re-carry that backlog
+  // until the reserve ratchets away beneath the cleaner.
+  while (cleaner_ != nullptr && !cleaning_in_progress_ &&
+         usage_.clean_count() <= kCleanerReserveSegments) {
+    LFSTX_RETURN_IF_ERROR(StallForCleaner());
+  }
+
   // ---- chunk assembly state ----
   std::vector<char> chunk(
       (1ull + options_.segment_blocks) * kBlockSize);
@@ -43,6 +54,10 @@ Status Lfs::FlushLocked(TxnId txn) {
   uint32_t chunk_cap = 0;
   BlockAddr chunk_base = 0;
   bool chunk_open = false;
+  // Byte provenance for the open chunk, charged in seal() right before the
+  // chunk's single disk write so the partition tracks the disk's
+  // submit-time block counter exactly (even across a crash tear).
+  uint64_t chunk_cat[kNumLogByteCats] = {};
   // Buffers placed in the open chunk stay pinned and dirty until the chunk
   // is durably on disk, then are released in one batch — this bounds the
   // number of pinned frames to one chunk regardless of flush size.
@@ -95,6 +110,13 @@ Status Lfs::FlushLocked(TxnId txn) {
     // while the chunk's multi-block write is in flight — `after` was
     // computed from the pre-write head and becomes the head afterwards.
     GenStamp<Lfs> head(this);
+    // The summary block itself is always kSummary, cleaning or not; the
+    // payload was tallied per-block as it was placed.
+    env_->log_econ()->ChargeBlocks(LogByteCat::kSummary, 1);
+    for (int c = 0; c < kNumLogByteCats; c++) {
+      env_->log_econ()->ChargeBlocks(static_cast<LogByteCat>(c), chunk_cat[c]);
+      chunk_cat[c] = 0;
+    }
     LFSTX_RETURN_IF_ERROR(disk_->Write(chunk_base, 1 + nplaced, chunk.data()));
     LFSTX_GEN_CHECK(head,
                     "log head moved during a partial-segment write — the "
@@ -126,8 +148,8 @@ Status Lfs::FlushLocked(TxnId txn) {
     return Status::OK();
   };
 
-  auto place = [&](BlockKind kind, InodeNum inum, uint64_t lblock,
-                   const char* src) -> Result<BlockAddr> {
+  auto place = [&](BlockKind kind, LogByteCat cat, InodeNum inum,
+                   uint64_t lblock, const char* src) -> Result<BlockAddr> {
     if (chunk_open && nplaced >= chunk_cap) {
       LFSTX_RETURN_IF_ERROR(seal(false));
     }
@@ -137,6 +159,7 @@ Status Lfs::FlushLocked(TxnId txn) {
     BlockAddr addr = chunk_base + 1 + nplaced;
     memcpy(chunk.data() + (1ull + nplaced) * kBlockSize, src, kBlockSize);
     entries.push_back(SummaryEntry{static_cast<uint32_t>(kind), inum, lblock});
+    chunk_cat[static_cast<int>(cat)]++;
     nplaced++;
     env_->Consume(env_->costs().segment_block_cpu_us);
     usage_.AddLive(SegOf(addr), 1, env_->Now());
@@ -155,12 +178,19 @@ Status Lfs::FlushLocked(TxnId txn) {
   }
   std::sort(data.begin(), data.end(),
             [](Buffer* a, Buffer* b) { return a->key < b->key; });
+  // Provenance: a cleaning-context flush charges its whole payload to the
+  // cleaner (copy-forward and the metadata churn it causes); otherwise
+  // data splits into WAL-file appends vs. true user data.
   for (Buffer* b : data) {
     LFSTX_ASSIGN_OR_RETURN(Inode * ino,
                            GetInode(static_cast<InodeNum>(b->key.file)));
+    LogByteCat cat = cleaning_in_progress_
+                         ? LogByteCat::kCleaner
+                         : (IsWalFile(b->key.file) ? LogByteCat::kWal
+                                                   : LogByteCat::kUserData);
     LFSTX_ASSIGN_OR_RETURN(
-        BlockAddr addr, place(BlockKind::kData, ino->num(), b->key.lblock,
-                              b->data));
+        BlockAddr addr, place(BlockKind::kData, cat, ino->num(),
+                              b->key.lblock, b->data));
     LFSTX_ASSIGN_OR_RETURN(BlockAddr prev,
                            SetBlockMapping(ino, b->key.lblock, addr));
     if (prev != kInvalidBlock) ReleaseBlockAddr(prev);
@@ -191,7 +221,10 @@ Status Lfs::FlushLocked(TxnId txn) {
       LFSTX_ASSIGN_OR_RETURN(Inode * ino, GetInode(inum));
       LFSTX_ASSIGN_OR_RETURN(
           BlockAddr addr,
-          place(BlockKind::kIndirect, inum, b->key.lblock, b->data));
+          place(BlockKind::kIndirect,
+                cleaning_in_progress_ ? LogByteCat::kCleaner
+                                      : LogByteCat::kInode,
+                inum, b->key.lblock, b->data));
       LFSTX_ASSIGN_OR_RETURN(
           BlockAddr prev, SetMetaBlockMapping(ino, b->key.lblock, addr));
       if (prev != kInvalidBlock) ReleaseBlockAddr(prev);
@@ -218,7 +251,10 @@ Status Lfs::FlushLocked(TxnId txn) {
     }
     LFSTX_ASSIGN_OR_RETURN(
         BlockAddr addr,
-        place(BlockKind::kInode, dirty_inodes[i]->num(), 0, iblock));
+        place(BlockKind::kInode,
+              cleaning_in_progress_ ? LogByteCat::kCleaner
+                                    : LogByteCat::kInode,
+              dirty_inodes[i]->num(), 0, iblock));
     inode_block_refs_[addr] = static_cast<uint32_t>(n);
     for (size_t j = 0; j < n; j++) {
       Inode* ino = dirty_inodes[i + j];
@@ -239,8 +275,10 @@ Status Lfs::FlushLocked(TxnId txn) {
     char mblock[kBlockSize];
     imap_.EncodeBlock(idx, mblock);
     LFSTX_ASSIGN_OR_RETURN(BlockAddr addr,
-                           place(BlockKind::kImap, kInvalidInode, idx,
-                                 mblock));
+                           place(BlockKind::kImap,
+                                 cleaning_in_progress_ ? LogByteCat::kCleaner
+                                                       : LogByteCat::kImap,
+                                 kInvalidInode, idx, mblock));
     BlockAddr prev = imap_.block_addrs()[idx];
     if (prev != 0) usage_.DecLive(SegOf(prev), 1);
     imap_.block_addrs()[idx] = addr;
@@ -266,9 +304,12 @@ Status Lfs::AdvanceSegment() {
       if (r.ok()) chosen = r.value();
     }
     next_seg_hint_ = -1;
-    // Keep one clean segment in reserve for the cleaner's own writes.
+    // Regular flushes stop at the cleaner's reserve (see
+    // kCleanerReserveSegments); only the cleaner's own pass may dig into
+    // it, because that pass frees its victim at the end.
     bool allowed = chosen >= 0 &&
-                   (cleaning_in_progress_ || usage_.clean_count() > 1 ||
+                   (cleaning_in_progress_ ||
+                    usage_.clean_count() > kCleanerReserveSegments ||
                     cleaner_ == nullptr);
     if (allowed) {
       cur_seg_ = static_cast<uint32_t>(chosen);
@@ -282,43 +323,55 @@ Status Lfs::AdvanceSegment() {
                   {"clean_left", usage_.clean_count()});
       return Status::OK();
     }
+    if (cleaning_in_progress_) {
+      // The caller is the cleaner itself (it holds the log for the pass).
+      // Stalling here would poke-and-wait on itself forever; abort the
+      // pass instead and let the next round retry with whatever the churn
+      // has killed in the meantime.
+      return Status::NoSpace("log full during cleaning pass");
+    }
     if (cleaner_ == nullptr) {
       return Status::NoSpace("log full and no cleaner attached");
     }
     // Out of segments: wake the cleaner and wait, releasing the log lock
     // so the cleaner can work.
-    lfs_stats_.writer_stalls++;
-    LFSTX_TRACE(env_->tracer(), TraceCat::kLfs, "writer_stall",
-                {"clean_left", usage_.clean_count()});
-    SimTime since = env_->Now();
-    uint64_t stall_us0 = env_->profiler()->PhaseTotal(Phase::kCleanerStall);
-    bool stopped = false;
-    {
-      ProfPhaseScope prof_phase(env_->profiler(), Phase::kCleanerStall);
-      cleaner_->Poke();
-      // Hand-over-hand with the cleaner: the lock must drop for the wait
-      // and come back before returning to FlushLocked, which is not a
-      // lexical scope a guard can express.
-      flush_lock_.Unlock();  // lint-allow: hand-over-hand with the cleaner
-      clean_wait_.SleepFor(kSecond);
-      stopped = !flush_lock_.Lock() ||  // lint-allow: hand-over-hand reacquire
-                env_->stop_requested();
-    }
-    uint64_t edge_us =
-        env_->profiler()->PhaseTotal(Phase::kCleanerStall) - stall_us0;
-    if (edge_us > 0) {
-      stall_blame_hist_->Add(edge_us);
-      LFSTX_TRACE(env_->tracer(), TraceCat::kBlame, "wait_edge",
-                  {"kind", "lfs"}, {"src", "cleaner"},
-                  {"waiter", env_->profiler()->CurrentSpanTxn()},
-                  {"since", since}, {"waited_us", edge_us},
-                  {"clean_left", usage_.clean_count()});
-    }
-    if (stopped) {
-      return Status::Busy("simulation stopped while waiting for cleaner");
-    }
-    flush_owner_ = SimEnv::Current();
+    LFSTX_RETURN_IF_ERROR(StallForCleaner());
   }
+}
+
+Status Lfs::StallForCleaner() {
+  lfs_stats_.writer_stalls++;
+  LFSTX_TRACE(env_->tracer(), TraceCat::kLfs, "writer_stall",
+              {"clean_left", usage_.clean_count()});
+  SimTime since = env_->Now();
+  uint64_t stall_us0 = env_->profiler()->PhaseTotal(Phase::kCleanerStall);
+  bool stopped = false;
+  {
+    ProfPhaseScope prof_phase(env_->profiler(), Phase::kCleanerStall);
+    cleaner_->Poke();
+    // Hand-over-hand with the cleaner: the lock must drop for the wait
+    // and come back before returning to the flush, which is not a
+    // lexical scope a guard can express.
+    flush_lock_.Unlock();  // lint-allow: hand-over-hand with the cleaner
+    clean_wait_.SleepFor(kSecond);
+    stopped = !flush_lock_.Lock() ||  // lint-allow: hand-over-hand reacquire
+              env_->stop_requested();
+  }
+  uint64_t edge_us =
+      env_->profiler()->PhaseTotal(Phase::kCleanerStall) - stall_us0;
+  if (edge_us > 0) {
+    stall_blame_hist_->Add(edge_us);
+    LFSTX_TRACE(env_->tracer(), TraceCat::kBlame, "wait_edge",
+                {"kind", "lfs"}, {"src", "cleaner"},
+                {"waiter", env_->profiler()->CurrentSpanTxn()},
+                {"since", since}, {"waited_us", edge_us},
+                {"clean_left", usage_.clean_count()});
+  }
+  if (stopped) {
+    return Status::Busy("simulation stopped while waiting for cleaner");
+  }
+  flush_owner_ = SimEnv::Current();
+  return Status::OK();
 }
 
 Status Lfs::MaybePeriodicCheckpoint() {

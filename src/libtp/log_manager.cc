@@ -50,6 +50,9 @@ Status LogManager::Open(const std::string& path) {
   auto r = kernel_->Open(path);
   if (r.ok()) {
     log_ino_ = r.value();
+    // Provenance annotation only (no simulated syscall): WAL blocks are
+    // charged to logecon.bytes.wal, not user data.
+    kernel_->fs()->MarkWalFile(log_ino_);
     LogFileHeader h;
     auto n = kernel_->Read(log_ino_, 0, sizeof(h),
                            reinterpret_cast<char*>(&h));
@@ -79,6 +82,7 @@ Status LogManager::Open(const std::string& path) {
   }
   if (!r.status().IsNotFound()) return r.status();
   LFSTX_ASSIGN_OR_RETURN(log_ino_, kernel_->Create(path));
+  kernel_->fs()->MarkWalFile(log_ino_);  // tag before the header/prealloc writes
   LogFileHeader h{};
   h.magic = kLogFileMagic;
   h.base_lsn = 0;

@@ -1,0 +1,100 @@
+#include "sim/log_econ.h"
+
+namespace lfstx {
+
+const char* LogByteCatName(LogByteCat c) {
+  switch (c) {
+    case LogByteCat::kUserData:
+      return "user_data";
+    case LogByteCat::kWal:
+      return "wal";
+    case LogByteCat::kInode:
+      return "inode";
+    case LogByteCat::kImap:
+      return "imap";
+    case LogByteCat::kSummary:
+      return "summary";
+    case LogByteCat::kCheckpoint:
+      return "checkpoint";
+    case LogByteCat::kCleaner:
+      return "cleaner";
+    case LogByteCat::kFfs:
+      return "ffs";
+  }
+  return "?";
+}
+
+LogEcon::LogEcon(MetricsRegistry* metrics, Tracer* tracer)
+    : metrics_(metrics), tracer_(tracer) {
+  for (int i = 0; i < kNumLogByteCats; i++) {
+    std::string name = "logecon.bytes.";
+    name += LogByteCatName(static_cast<LogByteCat>(i));
+    bytes_counter_[i] = metrics_->GetCounter(
+        name, "bytes", "disk bytes charged to this provenance category");
+  }
+  logical_counter_ = metrics_->GetCounter(
+      "logecon.logical_user_bytes", "bytes",
+      "application write payload (WAL file excluded); wa.logical denominator");
+  victim_util_hist_ = metrics_->GetHistogram(
+      "cleaner.victim_util_pct", "pct",
+      "victim segment live-block utilization at clean time");
+  metrics_->AddGauge(this, "wa.logical", "x",
+                     "bytes-to-disk / logical user bytes (cache can push <1)",
+                     [this] { return LogicalWriteAmplification(); });
+  metrics_->AddGauge(this, "wa.physical", "x",
+                     "bytes-to-disk / on-disk payload bytes; >= 1 once "
+                     "payload exists",
+                     [this] { return PhysicalWriteAmplification(); });
+  // Rosenblum's write cost 2/(1-u): each byte cleaned at utilization u
+  // drags u/(1-u) bytes of copy-forward along, doubled for read+write.
+  // 2.0 floor until a victim has been cleaned (u=0: no cleaning tax yet).
+  metrics_->AddGauge(this, "wa.write_cost", "x",
+                     "Rosenblum cleaner write cost 2/(1-u), u = mean victim "
+                     "utilization",
+                     [this] {
+                       double u = 0.0;
+                       if (victim_util_hist_->count() > 0) {
+                         u = victim_util_hist_->mean() / 100.0;
+                       }
+                       // fully-live victims: cost explodes, clamp
+                       if (u >= 1.0) u = 0.999;
+                       return 2.0 / (1.0 - u);
+                     });
+}
+
+LogEcon::~LogEcon() { metrics_->DropOwner(this); }
+
+void LogEcon::ChargeBlocks(LogByteCat cat, uint64_t blocks) {
+  if (blocks == 0) return;
+  int i = static_cast<int>(cat);
+  blocks_[i] += blocks;
+  total_blocks_ += blocks;
+  bytes_counter_[i]->Inc(blocks * kBlockSize);
+  // "category", not "cat": every trace line already carries "cat" for the
+  // trace category ("logecon"), and duplicate JSON keys would clobber it.
+  LFSTX_TRACE(tracer_, TraceCat::kLogEcon, "bytes",
+              {"category", LogByteCatName(cat)}, {"blocks", blocks},
+              {"bytes", blocks * kBlockSize}, {"total_blocks", total_blocks_});
+}
+
+void LogEcon::ChargeLogicalUser(uint64_t bytes) {
+  if (bytes == 0) return;
+  logical_user_bytes_ += bytes;
+  logical_counter_->Inc(bytes);
+}
+
+double LogEcon::LogicalWriteAmplification() const {
+  if (logical_user_bytes_ == 0) return 0.0;
+  return static_cast<double>(total_blocks_ * kBlockSize) /
+         static_cast<double>(logical_user_bytes_);
+}
+
+double LogEcon::PhysicalWriteAmplification() const {
+  uint64_t payload = blocks_[static_cast<int>(LogByteCat::kUserData)] +
+                     blocks_[static_cast<int>(LogByteCat::kWal)] +
+                     blocks_[static_cast<int>(LogByteCat::kFfs)];
+  if (payload == 0) return 0.0;
+  return static_cast<double>(total_blocks_) / static_cast<double>(payload);
+}
+
+}  // namespace lfstx

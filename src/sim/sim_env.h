@@ -37,6 +37,7 @@
 #include "sim/cost_model.h"
 #include "sim/fiber.h"
 #include "sim/lockdep.h"
+#include "sim/log_econ.h"
 #include "sim/profiler.h"
 #include "sim/trace.h"
 
@@ -154,6 +155,8 @@ class SimEnv {
   Profiler* profiler() { return &profiler_; }
   /// Machine-wide cooperative lockdep (always on; see sim/lockdep.h).
   LockDep* lockdep() { return &lockdep_; }
+  /// Machine-wide byte-provenance accountant (see sim/log_econ.h).
+  LogEcon* log_econ() { return &log_econ_; }
 
   /// Create a simulated process. Daemons (syncer, cleaner, group-commit)
   /// do not keep the simulation alive: Run() returns once every non-daemon
@@ -227,6 +230,7 @@ class SimEnv {
   Tracer tracer_{&now_};
   Profiler profiler_{&now_, &metrics_, &tracer_};
   LockDep lockdep_{&metrics_, &tracer_};
+  LogEcon log_econ_{&metrics_, &tracer_};
 
   std::vector<std::unique_ptr<SimProc>> procs_;
   std::deque<SimProc*> runnable_;

@@ -46,6 +46,7 @@ constexpr CatName kCatNames[] = {
     {TraceCat::kCheck, "check"},         {TraceCat::kProf, "prof"},
     {TraceCat::kBlame, "blame"},         {TraceCat::kMetrics, "metrics"},
     {TraceCat::kOpenLoop, "openloop"},
+    {TraceCat::kLogEcon, "logecon"},
 };
 
 /// Index of a category's bit (for the flight rings).

@@ -6,7 +6,7 @@ tiny measurement per architecture (seconds of wall time) with enough
 attribution attached that a regression shows up not just as a number
 delta but as the phase — and the blamed resource — that ate the time.
 
-Three modes:
+Four modes:
   --mode fig4  (default) closed-loop TPC-B TPS per architecture, with the
                profiler breakdown and wait-blame counters; writes
                BENCH_fig4.json.
@@ -26,6 +26,14 @@ Three modes:
                (sublinear), that every partition count replays the same
                log, and that the daemon's overhead is bounded; writes
                BENCH_recovery.json.
+  --mode cleaning  log-economics sweep through bench/fig_cleaning:
+               byte provenance, write amplification, and victim
+               utilization over disk fullness x cleaner watermark for the
+               embedded and user-space LFS; validates that the provenance
+               categories partition disk bytes exactly at every point,
+               that physical WA never drops below 1.0, and that the sweep
+               actually exercised the cleaner (nonzero cleaner-rewrite
+               bytes); writes BENCH_cleaning.json.
 
 The output is deterministic — the simulation is virtual-time and seeded,
 and no wall-clock timestamps are recorded — so the committed baselines
@@ -268,9 +276,61 @@ def validate_recovery(summary):
           f"with {on['fuzzy_checkpoints']} fuzzy checkpoints")
 
 
+def run_cleaning_bench(args, summary_path):
+    cmd = [args.bench, f"--summary={summary_path}"]
+    if args.fullness:
+        cmd.append(f"--fullness={args.fullness}")
+    if args.watermark:
+        cmd.append(f"--watermark={args.watermark}")
+    print("+ " + " ".join(cmd), flush=True)
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True)
+    sys.stdout.write(proc.stdout)
+    if proc.returncode != 0:
+        sys.exit(f"bench failed with exit code {proc.returncode}")
+
+
+def validate_cleaning(summary):
+    """Log-economics gates; the full report lives in cleaning_report.py."""
+    if summary.get("bench") != "fig_cleaning":
+        sys.exit(f"expected a fig_cleaning summary, "
+                 f"got {summary.get('bench')}")
+    points = summary.get("points", [])
+    if not points:
+        sys.exit("no sweep points")
+    archs = {p["arch"] for p in points}
+    if len(archs) < 2:
+        sys.exit(f"need >= 2 architectures, got {sorted(archs)}")
+    block = 4096
+    for p in points:
+        where = f"{p['arch']}/{p['watermark']}/{p['fullness_pct']}%"
+        charged = sum(p["bytes"].values())
+        if sorted(p["bytes"]) != sorted(tracelib.LOGECON_CATS):
+            sys.exit(f"{where}: category set {sorted(p['bytes'])} does not "
+                     f"match tracelib.LOGECON_CATS")
+        if charged != p["disk_blocks"] * block:
+            sys.exit(f"{where}: provenance sums to {charged} bytes but the "
+                     f"disk wrote {p['disk_blocks'] * block} — the "
+                     f"partition is broken")
+        if p["wa_physical"] < 1.0:
+            sys.exit(f"{where}: physical WA {p['wa_physical']} < 1.0 — "
+                     f"payload accounting broken")
+        if p["churn"]["disk_blocks"] <= 0:
+            sys.exit(f"{where}: empty churn window")
+    if not any(p["bytes"]["cleaner"] > 0 for p in points):
+        sys.exit("no sweep point has nonzero cleaner-rewrite bytes — the "
+                 "sweep never exercised the cleaner")
+    for p in points:
+        print(f"  {p['arch']}/{p['watermark']}/{p['fullness_pct']}%: "
+              f"run WA {p['wa_physical']:.2f}, "
+              f"churn WA {p['churn']['wa_physical']:.2f}, "
+              f"write cost {p['write_cost']:.2f}, "
+              f"{p['cleaner']['segments_cleaned']} cleaned")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--mode", choices=["fig4", "tail", "recovery"],
+    ap.add_argument("--mode", choices=["fig4", "tail", "recovery", "cleaning"],
                     default="fig4")
     ap.add_argument("--bench")
     ap.add_argument("--out")
@@ -284,19 +344,26 @@ def main():
                     help="comma list of offered rates (tail mode)")
     ap.add_argument("--queue-cap", type=int, default=64)
     ap.add_argument("--exemplars", type=int, default=8)
+    ap.add_argument("--fullness", default="",
+                    help="comma list of fill percentages (cleaning mode)")
+    ap.add_argument("--watermark", default="",
+                    help="lazy|eager to restrict the sweep (cleaning mode)")
     args = ap.parse_args()
 
     tail = args.mode == "tail"
     recovery = args.mode == "recovery"
+    cleaning = args.mode == "cleaning"
     if args.bench is None:
         args.bench = {"tail": "build/bench/fig_tail",
                       "recovery": "build/bench/fig_recovery",
+                      "cleaning": "build/bench/fig_cleaning",
                       "fig4": "build/bench/fig4_tps"}[args.mode]
     if args.out is None:
         args.out = {"tail": "BENCH_tail.json",
                     "recovery": "BENCH_recovery.json",
+                    "cleaning": "BENCH_cleaning.json",
                     "fig4": "BENCH_fig4.json"}[args.mode]
-    if args.txns == 0 and not recovery:
+    if args.txns == 0 and not recovery and not cleaning:
         args.txns = 400 if tail else 40
     if args.users == 0:
         args.users = 100 if tail else 1
@@ -311,6 +378,8 @@ def main():
             run_tail_bench(args, tmp)
         elif recovery:
             run_recovery_bench(args, tmp)
+        elif cleaning:
+            run_cleaning_bench(args, tmp)
         else:
             run_bench(args.bench, args.scale, args.txns, args.users,
                       args.blame, tmp)
@@ -323,6 +392,8 @@ def main():
         validate_tail(summary)
     elif recovery:
         validate_recovery(summary)
+    elif cleaning:
+        validate_cleaning(summary)
     else:
         validate(summary, args.min_coverage, args.blame)
 

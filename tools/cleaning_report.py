@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Where did the bytes go? Log-economics report for fig_cleaning runs.
+
+Renders, from the fig_cleaning summary JSON (and optionally a
+`--trace=disk,logecon,cleaner` trace of the same run):
+
+  - the byte-provenance breakdown per sweep point — every disk block
+    charged to exactly one category (user data, WAL, inode, imap, summary,
+    checkpoint, cleaner rewrite, FFS write-back);
+  - the write-amplification curve over the fullness axis, per architecture
+    and watermark (whole-run and churn-window physical WA, plus
+    Rosenblum's 2/(1-u) write cost from victim utilization at clean);
+  - victim-utilization and segment-lifetime percentiles.
+
+With --trace, the report re-derives the provenance partition from the raw
+event stream (logecon `bytes` events vs disk `io_submit` writes) instead of
+trusting the bench's own accounting.
+
+Usage:
+    ./build/bench/fig_cleaning --summary=/tmp/clean.json \\
+        --trace=disk,logecon,cleaner --trace-file=/tmp/clean.jsonl
+    python3 tools/cleaning_report.py /tmp/clean.json --trace /tmp/clean.jsonl
+
+Everything derives from deterministic virtual-time simulation, so the
+report is byte-identical across runs and simulator backends.
+
+Exit status: 0, or 1 under --check when an invariant fails:
+  - any point's provenance categories do not sum exactly to the disk's
+    written blocks (summary level; and trace level when --trace is given);
+  - any point's physical write amplification is below 1.0;
+  - no sweep point shows nonzero cleaner-rewrite bytes (the sweep never
+    exercised the cleaner, so the economics are untested).
+"""
+import argparse
+import json
+import signal
+import sys
+
+import tracelib
+
+signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+BLOCK_SIZE = 4096
+
+
+def point_name(p):
+    return f"{p['arch']}/{p['watermark']}/{p['fullness_pct']}%"
+
+
+def check_point(p, failures):
+    charged = sum(p["bytes"].values())
+    disk_bytes = p["disk_blocks"] * BLOCK_SIZE
+    if charged != disk_bytes:
+        failures.append(
+            f"{point_name(p)}: provenance sums to {charged} bytes but the "
+            f"disk wrote {disk_bytes} — partition broken"
+        )
+    if p["wa_physical"] < 1.0:
+        failures.append(
+            f"{point_name(p)}: physical WA {p['wa_physical']:.4f} < 1.0 — "
+            f"payload accounting broken"
+        )
+
+
+def provenance_table(points):
+    header = ["point"] + tracelib.LOGECON_CATS + ["total MB"]
+    rows = [header]
+    for p in points:
+        total = sum(p["bytes"].values())
+        row = [point_name(p)]
+        for cat in tracelib.LOGECON_CATS:
+            b = p["bytes"].get(cat, 0)
+            row.append("0" if b == 0 else f"{100.0 * b / total:.1f}%")
+        row.append(f"{total / (1 << 20):.1f}")
+        rows.append(row)
+    tracelib.print_table(rows)
+
+
+def wa_table(points):
+    rows = [[
+        "point", "live frac", "run WA", "churn WA", "write cost",
+        "victim u p50/p90", "victims", "cleaned", "lifetime p50 (s)",
+    ]]
+    for p in points:
+        vu = p["victim_util"]
+        lt = p["segment_lifetime_us"]
+        rows.append([
+            point_name(p),
+            f"{p['live_fraction_end']:.3f}",
+            f"{p['wa_physical']:.2f}",
+            f"{p['churn']['wa_physical']:.2f}",
+            f"{p['write_cost']:.2f}",
+            f"{vu['p50']:.0f}/{vu['p90']:.0f}",
+            vu["count"],
+            p["cleaner"]["segments_cleaned"],
+            f"{lt['p50'] / 1e6:.1f}",
+        ])
+    tracelib.print_table(rows)
+
+
+def report_trace(path, points, failures, check):
+    events = list(tracelib.read_events(path))
+    prov, disk = tracelib.provenance_totals(iter(events)), \
+        tracelib.disk_write_blocks(iter(events))
+    machines = sorted(set(prov) | set(disk))
+    print(f"\ntrace: {len(events)} events, {len(machines)} machine(s)")
+    rows = [["machine", "charged blk", "disk write blk", "exact"]]
+    for m in machines:
+        charged = sum(prov.get(m, {}).values())
+        written = disk.get(m, 0)
+        ok = charged == written
+        rows.append([m, charged, written, "yes" if ok else "NO"])
+        if not ok and check:
+            failures.append(
+                f"trace machine {m}: logecon charges {charged} blocks but "
+                f"the disk wrote {written} — partition broken at the "
+                f"event level"
+            )
+    tracelib.print_table(rows)
+    # The summary's own totals must also appear in the trace: same bench,
+    # same machines, so the grand totals agree.
+    trace_total = sum(sum(per.values()) for per in prov.values())
+    summary_total = sum(p["disk_blocks"] for p in points)
+    if trace_total != summary_total and check:
+        failures.append(
+            f"trace charges {trace_total} blocks total but the summary "
+            f"reports {summary_total} — trace and summary are from "
+            f"different runs?"
+        )
+    # Victim picks seen by the trace, as a cross-check on the histograms.
+    victims = [ev for _, ev in events
+               if ev.get("cat") == "logecon" and ev.get("ev") == "victim"]
+    cleaned = [ev for _, ev in events
+               if ev.get("cat") == "logecon" and ev.get("ev") == "seg_cleaned"]
+    print(f"\n  victim picks in trace: {len(victims)}, "
+          f"segments cleaned: {len(cleaned)}")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="log-economics report for fig_cleaning runs")
+    ap.add_argument("summary", help="JSON written by fig_cleaning --summary=")
+    ap.add_argument("--trace", help="JSONL from --trace=disk,logecon,cleaner "
+                    "of the same run")
+    ap.add_argument("--check", action="store_true",
+                    help="exit 1 when an invariant fails")
+    args = ap.parse_args()
+
+    with open(args.summary, "r", encoding="utf-8") as f:
+        summary = json.load(f)
+    if summary.get("bench") != "fig_cleaning":
+        sys.exit(f"{args.summary}: not a fig_cleaning summary")
+    points = summary["points"]
+    if not points:
+        sys.exit(f"{args.summary}: no sweep points")
+
+    failures = []
+    for p in points:
+        check_point(p, failures)
+    if not any(p["bytes"].get("cleaner", 0) > 0 for p in points):
+        failures.append(
+            "no sweep point has nonzero cleaner-rewrite bytes — the sweep "
+            "never exercised the cleaner"
+        )
+
+    print("byte provenance (share of bytes written to disk):")
+    provenance_table(points)
+    print("\nwrite amplification & cleaning economics:")
+    wa_table(points)
+
+    if args.trace:
+        report_trace(args.trace, points, failures, args.check)
+
+    if failures:
+        print(f"\n{len(failures)} invariant failure(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        if args.check:
+            return 1
+    elif args.check:
+        print("\nall cleaning-economics invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -74,6 +74,78 @@ def load_spans(path):
     return groups
 
 
+# Byte-provenance categories; must match LogByteCatName in
+# src/sim/log_econ.h (and the logecon.bytes.* metric names).
+LOGECON_CATS = [
+    "user_data",
+    "wal",
+    "inode",
+    "imap",
+    "summary",
+    "checkpoint",
+    "cleaner",
+    "ffs",
+]
+
+
+def provenance_totals(events):
+    """{machine: {category: blocks}} summed over logecon `bytes` events.
+
+    `events` is an iterable of (lineno, event) pairs as produced by
+    read_events. Every machine present gets all categories (zero-filled).
+    """
+    totals = {}
+    for _, ev in events:
+        if ev.get("cat") != "logecon" or ev.get("ev") != "bytes":
+            continue
+        per = totals.setdefault(machine_of(ev), dict.fromkeys(LOGECON_CATS, 0))
+        per[ev["category"]] += ev["blocks"]
+    return totals
+
+
+def disk_write_blocks(events):
+    """{machine: blocks} summed over disk io_submit write events.
+
+    io_submit (not io_begin) is the submit-time twin of the disk's
+    blocks_written counter, which LogEcon charges against: a write still
+    queued when the simulation stops is counted and charged but never
+    reaches service, so io_begin would under-count it.
+    """
+    totals = {}
+    for _, ev in events:
+        if ev.get("cat") != "disk" or ev.get("ev") != "io_submit":
+            continue
+        if ev.get("op") != "write":
+            continue
+        m = machine_of(ev)
+        totals[m] = totals.get(m, 0) + ev["nblocks"]
+    return totals
+
+
+def validate_logecon(events, where="trace"):
+    """Dies unless logecon charges partition disk write blocks exactly.
+
+    The byte-provenance invariant (OBSERVABILITY.md, "Log economics"):
+    per machine, the sum of all logecon `bytes` events equals the sum of
+    all disk `io_submit` write events, block for block. Both sides skip
+    RawWrite (untimed mkfs I/O), so the identity is exact, not
+    approximate. Returns (provenance_totals, disk_totals).
+    """
+    events = list(events)
+    prov = provenance_totals(iter(events))
+    disk = disk_write_blocks(iter(events))
+    machines = sorted(set(prov) | set(disk))
+    for m in machines:
+        charged = sum(prov.get(m, {}).values())
+        written = disk.get(m, 0)
+        if charged != written:
+            sys.exit(
+                f"{where}: machine {m}: logecon charges {charged} blocks "
+                f"but the disk wrote {written} — provenance partition broken"
+            )
+    return prov, disk
+
+
 def print_table(rows, indent="  ", out=sys.stdout):
     """Left-justified column table; first row is the header."""
     rows = [[str(c) for c in r] for r in rows]
